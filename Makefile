@@ -1,0 +1,24 @@
+# Convenience targets for the repro package.
+
+PYTHON ?= python
+
+.PHONY: install test bench results quick clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+results:
+	$(PYTHON) -m repro.experiments --out results all
+
+quick:
+	$(PYTHON) -m repro.experiments --quick --out results-quick all
+
+clean:
+	rm -rf results results-quick benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

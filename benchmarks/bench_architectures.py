@@ -1,0 +1,67 @@
+"""Benchmark A1 — the methods on other machine architectures (paper §5 #3).
+
+The paper's third future-work item is trying the methods on different
+machines.  This bench sweeps the four methods over the calibrated SP2,
+a T3E-class machine (fast torus), a commodity Ethernet cluster (slow,
+high-latency net) and a modern cluster, and checks how the trade-offs
+shift: expensive bytes reward small messages (BSLC closes in), cheap
+bytes reward cheap CPU (BSBR/BSBRC pull ahead), and the sparse methods
+beat plain BS on *every* architecture.
+"""
+
+import pytest
+
+from conftest import cell, emit
+from repro.analysis.tables import format_generic
+from repro.cluster.model import ETHERNET_CLUSTER, MODERN_CLUSTER, SP2, T3E
+from repro.experiments.harness import run_method, workload
+
+P = 16
+DATASET = "engine_high"
+MACHINES = (SP2, T3E, ETHERNET_CLUSTER, MODERN_CLUSTER)
+METHODS = ("bs", "bsbr", "bslc", "bsbrc")
+
+
+def test_bench_machine_architectures(benchmark):
+    work = workload(DATASET, 384, max_ranks=64)
+
+    def sweep():
+        return {
+            (machine.name, method): run_method(work, method, P, machine=machine)[0]
+            for machine in MACHINES
+            for method in METHODS
+        }
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_generic(
+        ["machine", "method", "T_comp (ms)", "T_comm (ms)", "T_total (ms)"],
+        [
+            (
+                name,
+                method,
+                f"{r.t_comp * 1e3:.3f}",
+                f"{r.t_comm * 1e3:.3f}",
+                f"{r.t_total * 1e3:.3f}",
+            )
+            for (name, method), r in rows.items()
+        ],
+    )
+    emit("architectures", f"Machine-architecture study ({DATASET}, P={P})\n" + table)
+
+    for machine in MACHINES:
+        totals = {m: rows[(machine.name, m)].t_total for m in METHODS}
+        # Sparse compositing wins on every architecture.
+        assert totals["bs"] == max(totals.values()), machine.name
+        assert totals["bsbrc"] < totals["bs"] / 2, machine.name
+
+    # Byte cost shifts the BSLC-vs-BSBRC gap: highest on the T3E (cheap
+    # bytes expose BSLC's encode CPU), lowest on the Ethernet cluster.
+    def gap(name):
+        return rows[(name, "bslc")].t_total / rows[(name, "bsbrc")].t_total
+
+    assert gap("ethernet-cluster") < gap("sp2") <= gap("t3e") * 1.05
+
+    # M_max is architecture-independent (same data, same algorithms).
+    for method in METHODS:
+        sizes = {rows[(m.name, method)].mmax_bytes for m in MACHINES}
+        assert len(sizes) == 1, method

@@ -1,0 +1,83 @@
+"""Benchmarks F7-F11 — regenerate the paper's figures and check curves.
+
+Each figure bench times the compositing sweep behind one figure
+(BSBR/BSLC/BSBRC over P=2..64 on that figure's dataset at 384x384),
+emits the ASCII plot, and asserts the curve relationships the paper
+describes in §4 for that figure.
+"""
+
+import pytest
+
+from conftest import PAPER_RANKS, cell, emit
+from repro.experiments.figures import FIGURE_DATASETS, format_figure, render_figure7
+from repro.experiments.harness import run_grid, workload
+
+_METHODS = ("bsbr", "bslc", "bsbrc")
+
+
+def figure_rows(dataset):
+    return run_grid([dataset], 384, PAPER_RANKS, _METHODS)
+
+
+def _bench_figure(benchmark, figure):
+    dataset = FIGURE_DATASETS[figure]
+    workload(dataset, 384, max_ranks=64)  # pre-render
+    rows = benchmark.pedantic(lambda: figure_rows(dataset), rounds=1, iterations=1)
+    emit(f"figure{figure}", format_figure(figure, rows))
+    return rows
+
+
+def test_bench_figure8_engine_low(benchmark):
+    """Figure 8: Engine_low — every T_total(BSBRC) below T_total(BSBR);
+    BSLC worst of the three at scale."""
+    rows = _bench_figure(benchmark, 8)
+    for p in PAPER_RANKS:
+        c = cell(rows, "engine_low", p)
+        assert c["bsbrc"].t_total <= c["bsbr"].t_total * 1.10, p
+        if p >= 8:
+            assert c["bslc"].t_total == max(m.t_total for m in c.values()), p
+
+
+def test_bench_figure9_head(benchmark):
+    """Figure 9: Head — BSBR and BSBRC nearly tie (the paper notes BSBR
+    can win at mid P by a small margin); BSLC clearly worst."""
+    rows = _bench_figure(benchmark, 9)
+    for p in PAPER_RANKS:
+        c = cell(rows, "head", p)
+        ratio = c["bsbrc"].t_total / c["bsbr"].t_total
+        assert 0.5 < ratio < 1.15, (p, ratio)
+        if p >= 8:
+            assert c["bslc"].t_total > c["bsbrc"].t_total, p
+
+
+def test_bench_figure10_engine_high(benchmark):
+    """Figure 10: Engine_high — sparse data, BSBRC wins at every P."""
+    rows = _bench_figure(benchmark, 10)
+    for p in PAPER_RANKS:
+        c = cell(rows, "engine_high", p)
+        assert c["bsbrc"].t_total == min(m.t_total for m in c.values()), p
+
+
+def test_bench_figure11_cube(benchmark):
+    """Figure 11: Cube — T_total(BSBRC) much less than T_total(BSBR) in
+    all test cases; BSLC beats BSBR only at small P."""
+    rows = _bench_figure(benchmark, 11)
+    for p in PAPER_RANKS:
+        c = cell(rows, "cube", p)
+        assert c["bsbrc"].t_total < c["bsbr"].t_total, p
+    c64 = cell(rows, "cube", 64)
+    assert c64["bsbr"].t_total / c64["bsbrc"].t_total > 1.2
+
+
+def test_bench_figure7_sample_images(benchmark, tmp_path):
+    """Figure 7: render the four test samples (the rendering-phase work)."""
+    paths = benchmark.pedantic(
+        lambda: render_figure7(tmp_path, image_size=384), rounds=1, iterations=1
+    )
+    assert len(paths) == 4
+    from repro.volume.io import read_pgm
+
+    for path in paths:
+        gray = read_pgm(path)
+        assert gray.shape == (384, 384)
+        assert int(gray.max()) > 32  # visibly non-empty render

@@ -1,0 +1,37 @@
+"""Benchmark E9 — the paper's eq. (9) M_max ordering at paper scale.
+
+``M_max(BS) >= M_max(BSBR) >= M_max(BSBRC) >= M_max(BSLC)`` across all
+four datasets and P = 2..64 at 384x384, measured from the real
+serialized message sizes (5% run-code tolerance on the BSBRC/BSLC leg,
+matching the paper's "in general" wording).
+"""
+
+import pytest
+
+from conftest import PAPER_RANKS, cell, emit
+from repro.experiments.mmax import format_mmax, run_mmax
+from repro.volume.datasets import PAPER_DATASETS
+
+
+def test_bench_mmax_ordering(benchmark):
+    from repro.experiments.harness import workload
+
+    for dataset in PAPER_DATASETS:
+        workload(dataset, 384, max_ranks=64)
+    report = benchmark.pedantic(
+        lambda: run_mmax(rank_counts=PAPER_RANKS), rounds=1, iterations=1
+    )
+    emit("mmax", format_mmax(report))
+    assert report.ordering_holds, report.violations
+
+    # The strict legs hold without any tolerance.
+    for dataset in PAPER_DATASETS:
+        for p in PAPER_RANKS:
+            c = cell(report.rows, dataset, p)
+            assert c["bs"].mmax_bytes >= c["bsbr"].mmax_bytes >= c["bsbrc"].mmax_bytes
+
+    # BS's M_max is content-independent and huge; the sparse methods cut
+    # it by an order of magnitude on the sparse datasets.
+    for dataset in ("engine_high", "cube"):
+        c = cell(report.rows, dataset, 64)
+        assert c["bs"].mmax_bytes / c["bslc"].mmax_bytes > 10

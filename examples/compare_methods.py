@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Compare every compositing method on one workload across processor counts.
+
+Reproduces the paper's core comparison (BS vs BSBR vs BSLC vs BSBRC) and
+extends it with the related-work baselines (direct send, binary tree,
+parallel pipeline).  Prints a table of T_comp / T_comm / T_total / M_max
+per method and processor count, plus the speedup over plain binary swap.
+
+Usage:
+    python examples/compare_methods.py [--dataset cube] [--full]
+"""
+
+import argparse
+import sys
+
+from repro import PAPER_DATASETS, available_methods
+from repro.analysis.tables import format_generic
+from repro.experiments.harness import run_method, workload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="engine_high", choices=sorted(PAPER_DATASETS))
+    parser.add_argument("--full", action="store_true", help="paper-scale run")
+    parser.add_argument(
+        "--methods",
+        nargs="*",
+        default=list(available_methods()),
+        help=f"methods to compare (default: all of {available_methods()})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.full:
+        image_size, volume_shape, ranks, max_ranks = 384, None, (2, 8, 32, 64), 64
+    else:
+        image_size, volume_shape, ranks, max_ranks = 96, (64, 64, 28), (2, 4, 8), 8
+
+    print(f"Rendering {args.dataset} at {image_size}x{image_size} ...")
+    work = workload(
+        args.dataset, image_size, max_ranks=max_ranks, volume_shape=volume_shape
+    )
+
+    rows = []
+    bs_total = {}
+    for num_ranks in ranks:
+        for method in args.methods:
+            measurement, _ = run_method(work, method, num_ranks)
+            if method == "bs":
+                bs_total[num_ranks] = measurement.t_total
+            rows.append((num_ranks, method, measurement))
+
+    print(f"\nCompositing {args.dataset} on the simulated SP2:\n")
+    table_rows = []
+    for num_ranks, method, m in rows:
+        base = bs_total.get(num_ranks)
+        speed = f"{base / m.t_total:5.2f}x" if base else "   - "
+        table_rows.append(
+            (
+                num_ranks,
+                method,
+                f"{m.t_comp * 1e3:9.2f}",
+                f"{m.t_comm * 1e3:8.2f}",
+                f"{m.t_total * 1e3:9.2f}",
+                m.mmax_bytes,
+                speed,
+            )
+        )
+    print(
+        format_generic(
+            ["P", "method", "T_comp ms", "T_comm ms", "T_total ms", "M_max B", "vs BS"],
+            table_rows,
+        )
+    )
+
+    print(
+        "\nReading guide: BS ships every pixel (content-independent, worst);"
+        "\nBSBR ships bounding rectangles (hurt by sparse rects); BSLC ships"
+        "\nRLE'd non-blank pixels but re-scans its whole half every stage;"
+        "\nBSBRC runs the RLE only inside the rectangle — the paper's winner."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Bring your own data: composite a user-defined volume.
+
+Shows the extension points a downstream user needs: build a
+``VolumeGrid`` from any scalar field (here, a torus with a density
+gradient), pick a ``TransferFunction`` window, and drive the pipeline
+pieces directly — partition, per-rank render, compositing method of
+your choice — without going through the dataset registry.
+
+Usage:
+    python examples/custom_dataset.py [--method bslc] [--ranks 8]
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import (
+    SP2,
+    Camera,
+    TransferFunction,
+    VolumeGrid,
+    depth_order,
+    recursive_bisect,
+    render_subvolume,
+    run_compositing,
+)
+from repro.pipeline.system import assemble_final
+from repro.render.reference import composite_sequential, luminance
+from repro.volume.io import to_gray8, write_pgm
+
+
+def make_torus(shape=(64, 64, 32), major=0.55, minor=0.22) -> VolumeGrid:
+    """A torus in the xy plane whose density rises with angle."""
+    nx, ny, nz = shape
+    xs = (np.arange(nx) + 0.5) / nx * 2.0 - 1.0
+    ys = (np.arange(ny) + 0.5) / ny * 2.0 - 1.0
+    zs = (np.arange(nz) + 0.5) / nz * 2.0 - 1.0
+    X = xs[:, None, None]
+    Y = ys[None, :, None]
+    Z = zs[None, None, :]
+    ring = np.sqrt(X**2 + Y**2) - major
+    dist = np.sqrt(ring**2 + Z**2)
+    body = np.clip((minor - dist) / minor, 0.0, 1.0)
+    swirl = 0.55 + 0.45 * np.arctan2(Y, X) / np.pi  # density gradient
+    return VolumeGrid.from_field(body * swirl, name="torus")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--method", default="bsbrc")
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--out", default="torus.pgm")
+    args = parser.parse_args(argv)
+
+    volume = make_torus()
+    transfer = TransferFunction(lo=0.10, hi=0.60, max_alpha=0.5, name="torus")
+    camera = Camera(
+        width=160, height=160, volume_shape=volume.shape, rot_x=55.0, rot_y=15.0
+    )
+    print(volume.describe())
+
+    # Phase 1: partition the volume over the simulated processors.
+    plan = recursive_bisect(volume.shape, args.ranks)
+
+    # Phase 2: each rank renders its subvolume (embarrassingly parallel).
+    subimages = [
+        render_subvolume(volume, transfer, camera, plan.extent(rank))
+        for rank in range(args.ranks)
+    ]
+
+    # Phase 3: composite on the simulated SP2.
+    run = run_compositing(subimages, args.method, plan, camera.view_dir, SP2)
+    final = assemble_final(run.outcomes, camera.height, camera.width)
+
+    reference = composite_sequential(subimages, depth_order(plan, camera.view_dir))
+    print(f"max |parallel - sequential| = {final.max_abs_diff(reference):.2e}")
+
+    stats = run.stats
+    print(
+        f"{args.method} on P={args.ranks}: "
+        f"T_total = {stats.t_total * 1e3:.2f} ms, M_max = {stats.mmax_bytes} B"
+    )
+
+    write_pgm(args.out, to_gray8(luminance(final), gain=2.2))
+    print(f"Image written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: render a volume on 8 simulated processors and composite.
+
+Runs the full sort-last-sparse pipeline — partition, parallel render,
+BSBRC binary-swap compositing, gather — on the simulated SP2, verifies
+the result against the sequential oracle, writes the image as PGM, and
+prints the compositing-phase statistics the paper's tables report.
+
+Usage:
+    python examples/quickstart.py [--full]
+
+``--full`` uses the paper-scale engine volume (256x256x110, 384x384
+image); the default is a quick small-scale run.
+"""
+
+import argparse
+import sys
+
+from repro import RunConfig, SortLastSystem
+from repro.render.reference import luminance
+from repro.volume.io import to_gray8, write_pgm
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale run")
+    parser.add_argument("--out", default="quickstart.pgm", help="output image path")
+    args = parser.parse_args(argv)
+
+    config = RunConfig(
+        dataset="engine_low",
+        method="bsbrc",
+        num_ranks=8,
+        image_size=384 if args.full else 128,
+        volume_shape=None if args.full else (64, 64, 28),
+        rot_x=20.0,
+        rot_y=30.0,
+    )
+    print(f"Running sort-last-sparse pipeline: {config.label()}")
+
+    result = SortLastSystem(config).run()
+
+    # Verify the parallel composite against the sequential oracle.
+    reference = result.reference_image()
+    max_diff = result.final_image.max_abs_diff(reference)
+    print(f"parallel vs sequential composite: max |diff| = {max_diff:.2e}")
+    assert max_diff < 1e-9, "compositing mismatch!"
+
+    stats = result.compositing.stats
+    print("\nCompositing phase (simulated SP2, critical rank):")
+    print(f"  T_comp   = {stats.t_comp * 1e3:8.2f} ms")
+    print(f"  T_comm   = {stats.t_comm * 1e3:8.2f} ms")
+    print(f"  T_total  = {stats.t_total * 1e3:8.2f} ms")
+    print(f"  wait     = {stats.t_wait * 1e3:8.2f} ms  (synchronization skew)")
+    print(f"  makespan = {stats.makespan * 1e3:8.2f} ms")
+    print(f"  M_max    = {stats.mmax_bytes} bytes (max received per rank)")
+    print(f"  over ops = {stats.counter_total('over')} pixels composited")
+
+    print("\nPer-rank subimage sparsity (what the sparse methods exploit):")
+    for rank, image in enumerate(result.subimages):
+        rect = image.bounding_rect()
+        print(
+            f"  rank {rank}: nonblank {image.nonblank_count():6d}/{image.num_pixels}"
+            f"  bounding rect {rect.height}x{rect.width}"
+        )
+
+    write_pgm(args.out, to_gray8(luminance(result.final_image), gain=2.0))
+    print(f"\nFinal image written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The compositing bottleneck: why the paper exists.
+
+The rendering phase is embarrassingly parallel — its per-rank work drops
+like 1/P — but the compositing phase exchanges subimages, so past a
+threshold it dominates the frame time (the paper's introduction).  This
+example models a full frame (render + composite) across processor
+counts for plain BS and for BSBRC and prints where each curve stops
+scaling.
+
+Usage:
+    python examples/scaling_study.py [--full] [--dataset engine_low]
+"""
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_generic
+from repro.experiments.harness import run_method, workload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="engine_low")
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.full:
+        image_size, volume_shape, ranks = 384, None, (2, 4, 8, 16, 32, 64)
+        voxels = 256 * 256 * 110
+    else:
+        image_size, volume_shape, ranks = 96, (64, 64, 28), (2, 4, 8)
+        voxels = 64 * 64 * 28
+
+    work = workload(
+        args.dataset, image_size, max_ranks=max(ranks), volume_shape=volume_shape
+    )
+
+    # Model the (perfectly parallel) render phase with the SP2's over
+    # constant as a per-sample cost proxy: T_render(P) ~ voxels/P * t.
+    render_unit = 2.0e-6  # seconds per voxel sample on the POWER2-class node
+    rows = []
+    for num_ranks in ranks:
+        t_render = voxels / num_ranks * render_unit
+        bs, _ = run_method(work, "bs", num_ranks)
+        brc, _ = run_method(work, "bsbrc", num_ranks)
+        frame_bs = t_render + bs.t_total
+        frame_brc = t_render + brc.t_total
+        rows.append(
+            (
+                num_ranks,
+                f"{t_render * 1e3:9.1f}",
+                f"{bs.t_total * 1e3:8.1f}",
+                f"{frame_bs * 1e3:9.1f}",
+                f"{brc.t_total * 1e3:8.1f}",
+                f"{frame_brc * 1e3:9.1f}",
+            )
+        )
+
+    print(f"Frame-time model for {args.dataset} ({image_size}x{image_size}):\n")
+    print(
+        format_generic(
+            ["P", "render ms", "BS comp", "BS frame", "BSBRC comp", "BSBRC frame"],
+            rows,
+        )
+    )
+
+    base_bs = float(rows[0][3])
+    base_brc = float(rows[0][5])
+    last_bs = float(rows[-1][3])
+    last_brc = float(rows[-1][5])
+    print(
+        f"\nSpeedup {ranks[0]}->{ranks[-1]} PEs: "
+        f"BS {base_bs / last_bs:.2f}x vs BSBRC {base_brc / last_brc:.2f}x"
+    )
+    print(
+        "\nThe render term shrinks with P but the BS compositing term *grows*"
+        "\n(every stage composites A/2^k pixels regardless of content), so the"
+        "\nBS frame time flattens early — the bottleneck the sparse methods fix."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

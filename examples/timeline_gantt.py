@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Visualize per-rank activity of a compositing run as an ASCII Gantt.
+
+A debugging/teaching aid: shows when each simulated rank computes (#),
+transfers (=) and waits for its partner (.).  Comparing BSBR with BSLC
+makes the paper's load-balancing argument visible — BSBR's uneven
+rectangles leave some ranks idling, BSLC's interleaving removes nearly
+all the wait.
+
+Usage:
+    python examples/timeline_gantt.py [--dataset engine_high] [--ranks 8]
+"""
+
+import argparse
+import sys
+
+from repro.analysis.timeline import ascii_gantt
+from repro.experiments.harness import run_method, workload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="engine_high")
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--methods", nargs="*", default=["bsbr", "bslc", "bsbrc"])
+    args = parser.parse_args(argv)
+
+    if args.full:
+        image_size, volume_shape = 384, None
+    else:
+        image_size, volume_shape = 96, (64, 64, 28)
+
+    work = workload(
+        args.dataset, image_size, max_ranks=max(args.ranks, 8),
+        volume_shape=volume_shape,
+    )
+    for method in args.methods:
+        row, run = run_method(work, method, args.ranks)
+        print(
+            ascii_gantt(
+                run.stats,
+                title=(
+                    f"\n{method.upper()} on {args.dataset}, P={args.ranks} "
+                    f"(T_total {row.t_total * 1e3:.2f} ms, "
+                    f"wait {run.stats.t_wait_max * 1e3:.2f} ms max)"
+                ),
+            )
+        )
+    print(
+        "\nNote the '.' columns: BSBR ranks with small bounding rectangles"
+        "\nfinish their over work early and stall at the next rendezvous;"
+        "\nBSLC's interleaved distribution spreads the work and the waits"
+        "\nnearly vanish — the static load balancing of the paper's §3.3."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

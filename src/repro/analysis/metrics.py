@@ -1,0 +1,114 @@
+"""Evaluation metrics matching the paper's §4.
+
+* ``T_comp`` / ``T_comm`` / ``T_total`` — compositing-phase times of the
+  critical rank (the rank with the largest total), keeping the table's
+  columns additive like the paper's.
+* ``M_max`` — maximum over ranks of total received bytes
+  (``M_max = MAX_i Σ_k R_i^k``), computed from the *accounted* wire
+  sizes of the real serialized messages.
+* :func:`check_mmax_ordering` — the paper's eq. (9):
+  ``M_max(BS) ≥ M_max(BSBR) ≥ M_max(BSBRC) ≥ M_max(BSLC)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.stats import RunResult
+
+__all__ = ["MethodMeasurement", "measure", "check_mmax_ordering", "speedup"]
+
+
+@dataclass(frozen=True)
+class MethodMeasurement:
+    """One row of Table 1 / Table 2: a (method, workload) measurement."""
+
+    method: str
+    dataset: str
+    image_size: int
+    num_ranks: int
+    t_comp: float
+    t_comm: float
+    mmax_bytes: int
+    makespan: float
+    bytes_total: int
+    pixels_composited: int
+    pixels_encoded: int
+
+    @property
+    def t_total(self) -> float:
+        return self.t_comp + self.t_comm
+
+    def as_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "image_size": self.image_size,
+            "num_ranks": self.num_ranks,
+            "t_comp": self.t_comp,
+            "t_comm": self.t_comm,
+            "t_total": self.t_total,
+            "mmax_bytes": self.mmax_bytes,
+            "makespan": self.makespan,
+            "bytes_total": self.bytes_total,
+            "pixels_composited": self.pixels_composited,
+            "pixels_encoded": self.pixels_encoded,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "MethodMeasurement":
+        fields = dict(data)
+        fields.pop("t_total", None)
+        return MethodMeasurement(**fields)
+
+
+def measure(
+    stats: RunResult,
+    *,
+    method: str,
+    dataset: str,
+    image_size: int,
+) -> MethodMeasurement:
+    """Reduce a compositing-phase :class:`RunResult` to one table row."""
+    return MethodMeasurement(
+        method=method,
+        dataset=dataset,
+        image_size=image_size,
+        num_ranks=stats.num_ranks,
+        t_comp=stats.t_comp,
+        t_comm=stats.t_comm,
+        mmax_bytes=stats.mmax_bytes,
+        makespan=stats.makespan,
+        bytes_total=sum(rs.bytes_recv for rs in stats.rank_stats),
+        pixels_composited=stats.counter_total("over"),
+        pixels_encoded=stats.counter_total("encode"),
+    )
+
+
+def check_mmax_ordering(
+    mmax: dict[str, int], *, tolerance_bytes: int = 0, rel_tolerance: float = 0.0
+) -> list[str]:
+    """Verify the paper's eq. (9) ordering on a ``{method: M_max}`` dict.
+
+    Returns a list of human-readable violations (empty = ordering holds).
+    ``tolerance_bytes`` / ``rel_tolerance`` allow slack: the paper states
+    the ordering holds "in general", and the BSBRC/BSLC leg can flip by a
+    few percent of run-length-code overhead on dense images.
+    """
+    order = ("bs", "bsbr", "bsbrc", "bslc")
+    present = [m for m in order if m in mmax]
+    violations: list[str] = []
+    for left, right in zip(present, present[1:]):
+        slack = tolerance_bytes + int(rel_tolerance * mmax[right])
+        if mmax[left] + slack < mmax[right]:
+            violations.append(
+                f"M_max({left})={mmax[left]} < M_max({right})={mmax[right]}"
+            )
+    return violations
+
+
+def speedup(t_baseline: float, t_method: float) -> float:
+    """How many times faster than the baseline (> 1 means faster)."""
+    if t_method <= 0:
+        raise ValueError(f"t_method must be > 0, got {t_method}")
+    return t_baseline / t_method

@@ -1,0 +1,113 @@
+"""ASCII line plots for the paper's Figures 8-11.
+
+The figures plot compositing time (ms) against processor count for the
+BSBR, BSLC and BSBRC methods on one dataset.  Matplotlib is not
+available offline, so the harness renders terminal-friendly ASCII charts
+that preserve what the figures communicate: which curve is lowest and
+where curves cross.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_plot", "series_summary"]
+
+_MARKERS = "ox+*#%@&"
+
+
+def ascii_line_plot(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object],
+    *,
+    title: str = "",
+    y_label: str = "",
+    height: int = 18,
+    width: int = 72,
+) -> str:
+    """Plot named series sharing categorical x positions.
+
+    ``series[name][i]`` is the y value at ``x_labels[i]``.  Values are
+    linearly mapped onto a ``height`` x ``width`` character grid; each
+    series gets a marker from :data:`_MARKERS`.
+    """
+    names = list(series)
+    if not names:
+        raise ValueError("no series to plot")
+    npoints = len(x_labels)
+    for name in names:
+        if len(series[name]) != npoints:
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, expected {npoints}"
+            )
+    if npoints < 1:
+        raise ValueError("need at least one x position")
+
+    values = [v for name in names for v in series[name]]
+    y_min = min(values)
+    y_max = max(values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    xs = (
+        [width // 2]
+        if npoints == 1
+        else [round(i * (width - 1) / (npoints - 1)) for i in range(npoints)]
+    )
+
+    def y_to_row(v: float) -> int:
+        frac = (v - y_min) / (y_max - y_min)
+        return (height - 1) - round(frac * (height - 1))
+
+    for si, name in enumerate(names):
+        marker = _MARKERS[si % len(_MARKERS)]
+        pts = [(xs[i], y_to_row(series[name][i])) for i in range(npoints)]
+        for (x0, r0), (x1, r1) in zip(pts, pts[1:]):
+            steps = max(abs(x1 - x0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                x = round(x0 + (x1 - x0) * s / steps)
+                r = round(r0 + (r1 - r0) * s / steps)
+                if grid[r][x] == " ":
+                    grid[r][x] = "."
+        for x, r in pts:
+            grid[r][x] = marker
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    label_w = 10
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = f"{y_max:.4g}"
+        elif row_idx == height - 1:
+            label = f"{y_min:.4g}"
+        else:
+            label = ""
+        out.append(label.rjust(label_w) + " |" + "".join(row))
+    out.append(" " * label_w + " +" + "-" * width)
+    x_axis = [" "] * width
+    for i, x in enumerate(xs):
+        text = str(x_labels[i])
+        start = min(max(0, x - len(text) // 2), width - len(text))
+        for j, ch in enumerate(text):
+            x_axis[start + j] = ch
+    out.append(" " * label_w + "  " + "".join(x_axis))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(names)
+    )
+    out.append(" " * label_w + "  legend: " + legend + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(out)
+
+
+def series_summary(series: Mapping[str, Sequence[float]], x_labels: Sequence[object]) -> str:
+    """Compact numeric companion to the plot (exact values)."""
+    names = list(series)
+    header = ["P"] + names
+    rows = []
+    for i, x in enumerate(x_labels):
+        rows.append([str(x)] + [f"{series[n][i]:.4g}" for n in names])
+    widths = [max(len(h), *(len(r[c]) for r in rows)) for c, h in enumerate(header)]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+    lines += ["  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in rows]
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Image-quality metrics for comparing rendered/composited images.
+
+Used to quantify renderer differences (ray casting vs splatting), the
+sort-last splatting seam artifact, and any lossy variation a user
+introduces.  All metrics operate on the displayable luminance plane or
+on raw (intensity, opacity) pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..render.image import SubImage
+
+__all__ = ["ImageDelta", "image_delta", "psnr", "mean_abs_error"]
+
+
+def mean_abs_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean absolute per-pixel difference."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float(np.abs(a - b).mean())
+
+
+def psnr(a: np.ndarray, b: np.ndarray, *, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical images)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if peak <= 0:
+        raise ValueError(f"peak must be > 0, got {peak}")
+    mse = float(np.mean((a - b) ** 2)) if a.size else 0.0
+    if mse == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / mse)
+
+
+@dataclass(frozen=True)
+class ImageDelta:
+    """Summary of the difference between two subimages."""
+
+    max_abs: float
+    mean_abs: float
+    psnr_db: float
+    differing_pixels: int
+    total_pixels: int
+
+    @property
+    def differing_fraction(self) -> float:
+        return self.differing_pixels / self.total_pixels if self.total_pixels else 0.0
+
+    def __str__(self) -> str:
+        psnr_text = "inf" if math.isinf(self.psnr_db) else f"{self.psnr_db:.1f}"
+        return (
+            f"max|d|={self.max_abs:.3g}  mean|d|={self.mean_abs:.3g}  "
+            f"PSNR={psnr_text} dB  differing={self.differing_fraction:.2%}"
+        )
+
+
+def image_delta(a: SubImage, b: SubImage, *, atol: float = 1e-12) -> ImageDelta:
+    """Quantify the difference between two subimages (intensity planes)."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    diff = np.abs(a.intensity - b.intensity)
+    return ImageDelta(
+        max_abs=float(diff.max(initial=0.0)),
+        mean_abs=float(diff.mean()) if diff.size else 0.0,
+        psnr_db=psnr(a.intensity, b.intensity),
+        differing_pixels=int((diff > atol).sum()),
+        total_pixels=a.num_pixels,
+    )

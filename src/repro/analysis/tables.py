@@ -1,0 +1,115 @@
+"""Render measurement grids in the paper's table layout.
+
+Table 1 / Table 2 group rows by dataset, one row per processor count,
+with (T_comp, T_comm, T_total) columns per method, milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .metrics import MethodMeasurement
+
+__all__ = ["format_paper_table", "format_mmax_table", "format_generic"]
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}"
+
+
+def format_paper_table(
+    rows: Iterable[MethodMeasurement],
+    *,
+    methods: Sequence[str],
+    datasets: Sequence[str],
+    title: str = "",
+) -> str:
+    """Format measurements like the paper's Table 1/2.
+
+    ``rows`` may contain any superset of the requested grid; missing
+    cells render as ``-``.
+    """
+    index: dict[tuple[str, str, int], MethodMeasurement] = {}
+    ranks: set[int] = set()
+    for row in rows:
+        index[(row.dataset, row.method, row.num_ranks)] = row
+        ranks.add(row.num_ranks)
+    rank_list = sorted(ranks)
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    header = ["P"] + [
+        f"{m.upper()}:{col}" for m in methods for col in ("Tcomp", "Tcomm", "Ttotal")
+    ]
+    widths = [max(8, len(h) + 1) for h in header]
+
+    def fmt_row(cells: list[str]) -> str:
+        return " ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    for dataset in datasets:
+        out.append("")
+        out.append(f"--- {dataset} ---")
+        out.append(fmt_row(header))
+        for p in rank_list:
+            cells = [str(p)]
+            for method in methods:
+                m = index.get((dataset, method, p))
+                if m is None:
+                    cells += ["-", "-", "-"]
+                else:
+                    cells += [_ms(m.t_comp), _ms(m.t_comm), _ms(m.t_total)]
+            out.append(fmt_row(cells))
+    out.append("")
+    out.append("(Time unit: ms)")
+    return "\n".join(out)
+
+
+def format_mmax_table(
+    rows: Iterable[MethodMeasurement],
+    *,
+    methods: Sequence[str],
+    datasets: Sequence[str],
+    title: str = "Maximum received message size M_max (bytes)",
+) -> str:
+    """Per-dataset grid of ``M_max`` by (P, method) — the eq. (9) data."""
+    index: dict[tuple[str, str, int], MethodMeasurement] = {}
+    ranks: set[int] = set()
+    for row in rows:
+        index[(row.dataset, row.method, row.num_ranks)] = row
+        ranks.add(row.num_ranks)
+    rank_list = sorted(ranks)
+
+    out: list[str] = [title]
+    header = ["P"] + [m.upper() for m in methods]
+    widths = [max(10, len(h) + 1) for h in header]
+
+    def fmt_row(cells: list[str]) -> str:
+        return " ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    for dataset in datasets:
+        out.append("")
+        out.append(f"--- {dataset} ---")
+        out.append(fmt_row(header))
+        for p in rank_list:
+            cells = [str(p)]
+            for method in methods:
+                m = index.get((dataset, method, p))
+                cells.append("-" if m is None else str(m.mmax_bytes))
+            out.append(fmt_row(cells))
+    return "\n".join(out)
+
+
+def format_generic(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Minimal fixed-width table for ad-hoc reports."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in str_rows]
+    return "\n".join(lines)

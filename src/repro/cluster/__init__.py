@@ -1,0 +1,93 @@
+"""Simulated distributed-memory multicomputer substrate.
+
+The paper ran on an 80-node IBM SP2; this environment has one core and no
+MPI, so the cluster is *simulated*: rank programs are coroutines scheduled
+deterministically with per-rank virtual clocks priced by a
+:class:`~repro.cluster.model.MachineModel` (see DESIGN.md §6 for the exact
+timing semantics).  Real data flows through the simulated messages, so
+algorithm correctness is end-to-end testable while timing is exactly the
+paper's analytic regime.
+"""
+
+from .collectives import allreduce, bcast, gather
+from .context import RankContext, payload_nbytes
+from .events import (
+    ANY_TAG,
+    BarrierOp,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    Op,
+    RecvOp,
+    Request,
+    SendOp,
+    SendRecvOp,
+    WaitOp,
+)
+from .model import (
+    ETHERNET_CLUSTER,
+    IDEALIZED,
+    MODERN_CLUSTER,
+    PRESETS,
+    SP2,
+    SP2_FAST_NET,
+    SP2_SLOW_NET,
+    T3E,
+    MachineModel,
+)
+from .simulator import Simulator, TraceEvent
+from .stats import PRE_STAGE, RankStats, RunResult, StageStats
+from .topology import (
+    TreeStep,
+    binary_swap_partner,
+    binary_swap_schedule,
+    binary_tree_schedule,
+    is_power_of_two,
+    keeps_low_half,
+    log2_int,
+    ring_next,
+    ring_prev,
+)
+
+__all__ = [
+    "ANY_TAG",
+    "BarrierOp",
+    "ComputeOp",
+    "ETHERNET_CLUSTER",
+    "IDEALIZED",
+    "MODERN_CLUSTER",
+    "MachineModel",
+    "Op",
+    "PRESETS",
+    "PRE_STAGE",
+    "RankContext",
+    "RankStats",
+    "IrecvOp",
+    "IsendOp",
+    "RecvOp",
+    "Request",
+    "RunResult",
+    "SP2",
+    "SP2_FAST_NET",
+    "SP2_SLOW_NET",
+    "SendOp",
+    "T3E",
+    "SendRecvOp",
+    "Simulator",
+    "StageStats",
+    "TraceEvent",
+    "WaitOp",
+    "TreeStep",
+    "allreduce",
+    "bcast",
+    "binary_swap_partner",
+    "binary_swap_schedule",
+    "binary_tree_schedule",
+    "gather",
+    "is_power_of_two",
+    "keeps_low_half",
+    "log2_int",
+    "payload_nbytes",
+    "ring_next",
+    "ring_prev",
+]

@@ -1,0 +1,131 @@
+"""Collective operations built on the point-to-point substrate.
+
+Only what the sort-last pipeline needs: a ``gather`` of final image tiles
+to a root (the display node), a ``bcast`` of configuration from the root
+(the partitioning phase), and an ``allreduce`` used by diagnostics.  All
+are implemented with explicit p2p messages so that their traffic is
+visible to the same accounting that measures the compositing phase.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import ConfigurationError
+from .context import RankContext, payload_nbytes
+
+__all__ = ["gather", "bcast", "allreduce"]
+
+#: Tag space reserved for collectives so they never collide with
+#: compositing-stage tags (which are small non-negative stage indices).
+_GATHER_TAG = 1 << 20
+_BCAST_TAG = 1 << 21
+_ALLREDUCE_TAG = 1 << 22
+
+
+async def gather(
+    ctx: RankContext,
+    payload: Any,
+    *,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+) -> Optional[list[Any]]:
+    """Gather one payload per rank to ``root``.
+
+    Returns the rank-ordered list at the root and ``None`` elsewhere.
+    Implemented as a linear gather: fine for a display-node image
+    collection, and its cost model (``P-1`` serialized receives at the
+    root) matches the paper's assumption that the final image is simply
+    collected after compositing.
+    """
+    if not (0 <= root < ctx.size):
+        raise ConfigurationError(f"gather root {root} out of range")
+    if ctx.rank == root:
+        out: list[Any] = [None] * ctx.size
+        out[root] = payload
+        for src in range(ctx.size):
+            if src == root:
+                continue
+            out[src] = await ctx.recv(src, tag=_GATHER_TAG)
+        return out
+    await ctx.send(root, payload, nbytes=nbytes, tag=_GATHER_TAG)
+    return None
+
+
+async def bcast(
+    ctx: RankContext,
+    payload: Any,
+    *,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+) -> Any:
+    """Broadcast ``payload`` from ``root`` to every rank (binomial tree).
+
+    Every rank (including the root) returns the broadcast value.
+    """
+    if not (0 <= root < ctx.size):
+        raise ConfigurationError(f"bcast root {root} out of range")
+    size = ctx.size
+    # Rotate so the algorithm can assume root == 0.
+    vrank = (ctx.rank - root) % size
+    value = payload if ctx.rank == root else None
+    have = ctx.rank == root
+    span = 1
+    while span < size:
+        span <<= 1
+    span >>= 1
+    # Binomial: at round with distance d (descending), holders with
+    # vrank % (2d) == 0 send to vrank + d.
+    d = span
+    while d >= 1:
+        if have and vrank % (2 * d) == 0 and vrank + d < size:
+            dst = (vrank + d + root) % size
+            await ctx.send(dst, value, nbytes=nbytes, tag=_BCAST_TAG)
+        elif not have and vrank % (2 * d) == d:
+            src = (vrank - d + root) % size
+            value = await ctx.recv(src, tag=_BCAST_TAG)
+            have = True
+        d >>= 1
+    return value
+
+
+async def allreduce(
+    ctx: RankContext,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    *,
+    nbytes: Optional[int] = None,
+) -> Any:
+    """All-reduce with an arbitrary associative/commutative ``op``.
+
+    Recursive doubling when ``P`` is a power of two, otherwise a
+    gather-to-0/compute/broadcast fallback.  ``nbytes`` prices each hop;
+    when omitted it is inferred from the payload.
+    """
+    size = ctx.size
+    if size == 1:
+        return value
+    if size & (size - 1) == 0:
+        acc = value
+        d = 1
+        while d < size:
+            peer = ctx.rank ^ d
+            theirs = await ctx.sendrecv(
+                peer,
+                acc,
+                nbytes=payload_nbytes(acc) if nbytes is None else nbytes,
+                tag=_ALLREDUCE_TAG + d,
+            )
+            # Apply in rank-independent order so every rank computes the
+            # bit-identical result even for weakly associative ops.
+            acc = op(acc, theirs) if ctx.rank < peer else op(theirs, acc)
+            d <<= 1
+        return acc
+    gathered = await gather(ctx, value, root=0, nbytes=nbytes)
+    result = None
+    if ctx.rank == 0:
+        assert gathered is not None
+        result = gathered[0]
+        for item in gathered[1:]:
+            result = op(result, item)
+    return await bcast(ctx, result, root=0, nbytes=nbytes)

@@ -1,0 +1,196 @@
+"""Per-rank communication/computation API handed to rank programs.
+
+A rank program is an ``async def`` function taking a :class:`RankContext`.
+The context exposes MPI-flavoured verbs (``send``/``recv``/``sendrecv``/
+``barrier``) plus :meth:`compute` for charging modelled computation time,
+and convenience charging helpers (:meth:`charge_over`, :meth:`charge_encode`,
+...) that translate *operation counts* into seconds via the machine model
+so algorithm code never hard-codes cost constants.
+
+Example
+-------
+>>> async def program(ctx):
+...     peer = ctx.rank ^ 1
+...     data = await ctx.sendrecv(peer, b"x" * ctx.rank, tag=0)
+...     await ctx.charge_over(100)
+...     return len(data)
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+from .events import (
+    ANY_TAG,
+    BarrierOp,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    RecvOp,
+    SendOp,
+    SendRecvOp,
+    WaitOp,
+)
+from .model import MachineModel
+from .stats import RankStats
+
+__all__ = ["RankContext", "payload_nbytes"]
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort wire size of a payload.
+
+    ``bytes``/``bytearray``/``memoryview`` and numpy arrays report their
+    true buffer size; ``None`` is a zero-byte control message.  Any other
+    object is priced at its pickled size, like mpi4py's lowercase verbs.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    nbytes = getattr(payload, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    try:
+        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception as exc:  # unpicklable: caller must size it
+        raise ConfigurationError(
+            f"cannot infer wire size of {type(payload).__name__}; pass nbytes= explicitly"
+        ) from exc
+
+
+class RankContext:
+    """The view a single simulated rank has of the machine."""
+
+    def __init__(self, simulator, proc):
+        self._simulator = simulator
+        self._proc = proc
+
+    # ---- identity ----------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._proc.rank
+
+    @property
+    def size(self) -> int:
+        return self._simulator.num_ranks
+
+    @property
+    def model(self) -> MachineModel:
+        return self._simulator.model
+
+    @property
+    def stats(self) -> RankStats:
+        return self._proc.stats
+
+    # ---- staging ------------------------------------------------------------
+    def begin_stage(self, stage: int) -> None:
+        """Route subsequent accounting into stage bucket ``stage``."""
+        self._proc.current_stage = int(stage)
+
+    @property
+    def current_stage(self) -> int:
+        return self._proc.current_stage
+
+    # ---- computation ---------------------------------------------------------
+    async def compute(self, seconds: float, *, kind: str = "compute", count: int = 0) -> None:
+        """Advance this rank's clock by ``seconds`` of local computation."""
+        await ComputeOp(seconds, kind=kind, count=count)
+
+    async def charge_over(self, npixels: int) -> None:
+        """Charge ``npixels`` over-operator composites (model ``To``)."""
+        await ComputeOp(self.model.over_time(npixels), kind="over", count=npixels)
+
+    async def charge_encode(self, npixels: int) -> None:
+        """Charge an RLE scan of ``npixels`` pixels (model ``Tencode``)."""
+        await ComputeOp(self.model.encode_time(npixels), kind="encode", count=npixels)
+
+    async def charge_bound(self, npixels: int) -> None:
+        """Charge a bounding-rect scan of ``npixels`` pixels (model ``Tbound``)."""
+        await ComputeOp(self.model.bound_time(npixels), kind="bound", count=npixels)
+
+    async def charge_pack(self, nbytes: int) -> None:
+        """Charge packing ``nbytes`` into a message buffer (model ``tpack``)."""
+        await ComputeOp(self.model.pack_time(nbytes), kind="pack", count=nbytes)
+
+    def note(self, kind: str, count: int = 1) -> None:
+        """Record a zero-cost named counter in the current stage bucket.
+
+        Used by compositing methods to expose observed sparsity
+        quantities (``a_rec``, ``a_opaque``, ``r_code``, ``a_send``,
+        empty-rectangle events) for analytic-model cross-checks without
+        affecting timing.
+        """
+        self._proc.bucket().add_counter(kind, count)
+
+    # ---- point to point --------------------------------------------------------
+    async def send(self, dst: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0):
+        """Blocking send (rendezvous semantics, like ``MPI_Ssend``)."""
+        self._check_peer(dst)
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        await SendOp(dst, payload, size, tag=tag)
+
+    async def recv(self, src: int, *, tag: int = ANY_TAG) -> Any:
+        """Blocking receive from ``src``; returns the payload."""
+        self._check_peer(src)
+        return await RecvOp(src, tag=tag)
+
+    async def sendrecv(
+        self, peer: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0
+    ) -> Any:
+        """Full-duplex pairwise exchange; returns the peer's payload.
+
+        This is the binary-swap primitive: deadlock-free by construction,
+        each side pays ``Ts + incoming_bytes·Tc``.
+        """
+        self._check_peer(peer)
+        if peer == self.rank:
+            raise ConfigurationError(f"rank {self.rank} cannot sendrecv with itself")
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        return await SendRecvOp(peer, payload, size, tag=tag)
+
+    # ---- nonblocking ---------------------------------------------------------------
+    async def isend(
+        self, dst: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0
+    ):
+        """Nonblocking send; returns a :class:`~repro.cluster.events.Request`.
+
+        The transfer runs in the background (serialized on the receiver's
+        link); complete it with :meth:`wait`/:meth:`wait_all`.
+        """
+        self._check_peer(dst)
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        return await IsendOp(dst, payload, size, tag=tag)
+
+    async def irecv(self, src: int, *, tag: int = 0):
+        """Nonblocking receive; returns a Request whose payload is
+        available after :meth:`wait`."""
+        self._check_peer(src)
+        return await IrecvOp(src, tag=tag)
+
+    async def wait(self, request) -> Any:
+        """Block until ``request`` completes; returns its payload (irecv)
+        or ``None`` (isend)."""
+        results = await WaitOp([request])
+        return results[0]
+
+    async def wait_all(self, requests) -> list:
+        """Block until every request completes; returns payloads in order."""
+        return await WaitOp(list(requests))
+
+    # ---- collective ----------------------------------------------------------------
+    async def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+        await BarrierOp()
+
+    # ---- misc --------------------------------------------------------------------
+    def _check_peer(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise ConfigurationError(
+                f"peer rank {rank} out of range for a {self.size}-rank machine"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RankContext(rank={self.rank}, size={self.size}, model={self.model.name})"

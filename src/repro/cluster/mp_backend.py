@@ -1,0 +1,207 @@
+"""Real-transport backend: the compositors on OS processes and queues.
+
+The simulator gives deterministic *timing*; this backend gives a second,
+*real* execution substrate for correctness: every rank is an actual
+``multiprocessing`` process and every message crosses a real IPC queue.
+The same compositor coroutines run unchanged — :class:`MPRankContext`
+implements the rank API with synchronous transport calls inside ``async``
+methods that never yield, so each rank drives its coroutine to completion
+locally (no event loop needed).
+
+This is how the library would be ported to real MPI: implement the
+RankContext verbs over ``mpi4py`` the same way.  Timing is *not* modelled
+here (``charge_*`` are no-ops; wall clock on a single-core host means
+nothing), so use :func:`run_compositing_mp` for cross-validating results,
+not for the paper's tables.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+
+__all__ = ["MPRankContext", "run_rank_programs_mp", "DEFAULT_TIMEOUT"]
+
+#: Per-receive timeout (seconds) after which a rank assumes deadlock.
+DEFAULT_TIMEOUT = 60.0
+
+
+class MPRankContext:
+    """Rank API over multiprocessing queues (one queue per directed pair).
+
+    Implements the same surface as
+    :class:`~repro.cluster.context.RankContext`; the ``async`` methods
+    complete synchronously, so awaiting them never suspends.
+    """
+
+    def __init__(self, rank: int, size: int, queues, barrier, timeout: float):
+        self._rank = rank
+        self._size = size
+        self._queues = queues  # queues[src][dst]
+        self._barrier = barrier
+        self._timeout = timeout
+        self.counters: dict[str, int] = {}
+
+    # ---- identity --------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def model(self):  # pragma: no cover - never priced on this backend
+        raise ConfigurationError("the multiprocessing backend has no machine model")
+
+    # ---- staging / accounting (no-ops on the real backend) ----------------
+    def begin_stage(self, stage: int) -> None:
+        pass
+
+    def note(self, kind: str, count: int = 1) -> None:
+        if count:
+            self.counters[kind] = self.counters.get(kind, 0) + int(count)
+
+    async def compute(self, seconds: float, *, kind: str = "compute", count: int = 0) -> None:
+        pass
+
+    async def charge_over(self, npixels: int) -> None:
+        self.note("over", npixels)
+
+    async def charge_encode(self, npixels: int) -> None:
+        self.note("encode", npixels)
+
+    async def charge_bound(self, npixels: int) -> None:
+        self.note("bound", npixels)
+
+    async def charge_pack(self, nbytes: int) -> None:
+        self.note("pack", nbytes)
+
+    # ---- transport ---------------------------------------------------------
+    def _check_peer(self, peer: int) -> None:
+        if not (0 <= peer < self._size):
+            raise ConfigurationError(f"peer {peer} out of range (size {self._size})")
+
+    async def send(self, dst: int, payload: Any, *, nbytes=None, tag: int = 0):
+        self._check_peer(dst)
+        self._queues[self._rank][dst].put((tag, payload))
+
+    async def recv(self, src: int, *, tag: int = -1) -> Any:
+        self._check_peer(src)
+        try:
+            got_tag, payload = self._queues[src][self._rank].get(timeout=self._timeout)
+        except Exception as exc:
+            raise SimulationError(
+                f"rank {self._rank} timed out receiving from {src} (tag {tag})"
+            ) from exc
+        if tag != -1 and got_tag != tag:
+            raise SimulationError(
+                f"rank {self._rank} expected tag {tag} from {src}, got {got_tag} "
+                "(out-of-order traffic is not supported on this backend)"
+            )
+        return payload
+
+    async def sendrecv(self, peer: int, payload: Any, *, nbytes=None, tag: int = 0) -> Any:
+        if peer == self._rank:
+            raise ConfigurationError("cannot sendrecv with self")
+        # Queues are buffered, so send-then-receive cannot deadlock.
+        await self.send(peer, payload, tag=tag)
+        return await self.recv(peer, tag=tag)
+
+    async def barrier(self) -> None:
+        self._barrier.wait(timeout=self._timeout)
+
+    # Nonblocking verbs are not offered on this backend (queues are
+    # already buffered); compositors that need them target the simulator.
+
+
+def _worker(rank, size, program, args, queues, barrier, timeout, result_queue):
+    """Subprocess entry: drive the rank coroutine to completion."""
+    try:
+        ctx = MPRankContext(rank, size, queues, barrier, timeout)
+        coro = program(ctx, *args)
+        try:
+            while True:
+                yielded = coro.send(None)
+                # All MPRankContext verbs complete synchronously; a yield
+                # means the program awaited a simulator-only op.
+                raise SimulationError(
+                    f"operation {yielded!r} is not supported on the "
+                    "multiprocessing backend (simulator-only primitive)"
+                )
+        except StopIteration as stop:
+            result_queue.put((rank, "ok", stop.value, ctx.counters))
+    except BaseException as exc:  # report, don't hang the parent
+        result_queue.put((rank, "error", repr(exc), {}))
+
+
+@dataclass
+class MPRunResult:
+    """Results of one multiprocessing run."""
+
+    returns: list[Any]
+    counters: list[dict[str, int]]
+
+
+def run_rank_programs_mp(
+    num_ranks: int,
+    program,
+    args: Sequence[Any] = (),
+    *,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> MPRunResult:
+    """Run ``program(ctx, *args)`` on ``num_ranks`` real processes.
+
+    ``program`` must be a picklable (module-level) ``async def``; its
+    return values are collected per rank.  Raises
+    :class:`SimulationError` if any rank fails or times out.
+    """
+    if num_ranks < 1:
+        raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
+    mp_ctx = mp.get_context("fork")  # workers inherit numpy state cheaply
+    queues = [
+        [mp_ctx.Queue() if src != dst else None for dst in range(num_ranks)]
+        for src in range(num_ranks)
+    ]
+    barrier = mp_ctx.Barrier(num_ranks)
+    result_queue = mp_ctx.Queue()
+
+    workers = [
+        mp_ctx.Process(
+            target=_worker,
+            args=(rank, num_ranks, program, tuple(args), queues, barrier,
+                  timeout, result_queue),
+        )
+        for rank in range(num_ranks)
+    ]
+    for worker in workers:
+        worker.start()
+
+    returns: list[Any] = [None] * num_ranks
+    counters: list[dict[str, int]] = [{} for _ in range(num_ranks)]
+    failures: list[str] = []
+    try:
+        for _ in range(num_ranks):
+            rank, status, value, rank_counters = result_queue.get(timeout=timeout)
+            if status == "ok":
+                returns[rank] = value
+                counters[rank] = rank_counters
+            else:
+                failures.append(f"rank {rank}: {value}")
+    except Exception as exc:
+        failures.append(f"collection timed out: {exc!r}")
+    finally:
+        for worker in workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():
+                worker.terminate()
+                worker.join()
+    if failures:
+        raise SimulationError("multiprocessing run failed: " + "; ".join(failures))
+    return MPRunResult(returns=returns, counters=counters)

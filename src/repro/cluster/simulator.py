@@ -1,0 +1,431 @@
+"""Deterministic discrete-event simulator of a distributed-memory machine.
+
+``P`` rank programs (``async def`` coroutines) run under a single OS
+thread.  Each rank owns a *virtual clock*; awaited operations advance it
+according to the :class:`~repro.cluster.model.MachineModel`:
+
+* ``ComputeOp(dt)``            — ``clock += dt`` (charged to ``T_comp``).
+* ``SendOp`` / ``RecvOp``      — rendezvous: both sides complete at
+  ``max(post times) + Ts + nbytes·Tc``.  The transfer portion
+  (``Ts + nbytes·Tc``) is charged to the rank's ``T_comm`` and the time
+  spent waiting for the partner to arrive (``max(posts) − own post``) to
+  its ``wait_time`` — keeping ``T_comm`` aligned with the paper's pure
+  communication terms while the makespan still reflects skew.
+* ``SendRecvOp``               — full-duplex pairwise exchange: each side
+  completes at ``max(post times) + Ts + incoming_bytes·Tc`` (its own
+  outgoing transfer overlaps), which is exactly the per-stage
+  communication term of the paper's eqs. (2), (4), (6), (8).
+* ``BarrierOp``                — all ranks released at
+  ``max(post times) + Ts·ceil(log2 P)`` (tree barrier).
+
+The scheduler is deterministic: ranks are stepped in rank order and
+matches are resolved in rank order, so a given program always yields
+bit-identical results, timings, and traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Coroutine, Optional
+
+from collections import deque
+
+from ..errors import ConfigurationError, DeadlockError, RankFailedError, SimulationError
+from .events import (
+    ANY_TAG,
+    BarrierOp,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    Op,
+    RecvOp,
+    Request,
+    SendOp,
+    SendRecvOp,
+    WaitOp,
+)
+from .model import MachineModel
+from .stats import RankStats, RunResult
+
+__all__ = ["Simulator", "TraceEvent"]
+
+
+class _State(Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+@dataclass
+class TraceEvent:
+    """One entry of the optional execution trace."""
+
+    time: float
+    rank: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class _Proc:
+    """Book-keeping for one simulated rank."""
+
+    rank: int
+    coro: Coroutine[Op, Any, Any]
+    clock: float = 0.0
+    state: _State = _State.READY
+    pending: Optional[Op] = None
+    post_time: float = 0.0
+    resume_value: Any = None
+    return_value: Any = None
+    current_stage: int = -1
+    stats: RankStats = field(default_factory=lambda: RankStats(rank=-1))
+
+    def __post_init__(self) -> None:
+        self.stats = RankStats(rank=self.rank)
+
+    def bucket(self):
+        return self.stats.stage(self.current_stage)
+
+
+class Simulator:
+    """Run ``num_ranks`` coroutine programs in lock-step virtual time.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of simulated processors (``P``); must be positive.
+    model:
+        The machine cost model used to price every operation.
+    trace:
+        When true, record a :class:`TraceEvent` per simulator action in
+        :attr:`trace_events` (useful for debugging protocols; costs memory).
+    max_steps:
+        Safety valve against runaway programs: the total number of
+        coroutine resumptions is capped.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        model: MachineModel,
+        *,
+        trace: bool = False,
+        max_steps: int = 50_000_000,
+    ):
+        if num_ranks < 1:
+            raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
+        self.num_ranks = int(num_ranks)
+        self.model = model
+        self.trace = bool(trace)
+        self.trace_events: list[TraceEvent] = []
+        self.max_steps = int(max_steps)
+        self._procs: list[_Proc] = []
+        # Nonblocking machinery: FIFO queues of unmatched requests keyed
+        # by (src, dst, tag), and a per-rank incoming-link availability
+        # time that serializes concurrent background transfers into one
+        # receiver (a single NIC drains one message at a time).
+        self._pending_isends: dict[tuple[int, int, int], deque] = {}
+        self._pending_irecvs: dict[tuple[int, int, int], deque] = {}
+        self._link_free: list[float] = []
+
+    # ------------------------------------------------------------------ api
+    def run(self, program_factory: Callable[["RankContext"], Coroutine]) -> RunResult:
+        """Instantiate one program per rank and run to completion.
+
+        ``program_factory(ctx)`` must return a coroutine; ``ctx`` exposes
+        the rank's communication API (see :class:`RankContext`).
+        """
+        from .context import RankContext  # local import to avoid a cycle
+
+        self._procs = []
+        self._pending_isends.clear()
+        self._pending_irecvs.clear()
+        self._link_free = [0.0] * self.num_ranks
+        for rank in range(self.num_ranks):
+            proc = _Proc(rank=rank, coro=None)  # type: ignore[arg-type]
+            ctx = RankContext(simulator=self, proc=proc)
+            coro = program_factory(ctx)
+            if not hasattr(coro, "send"):
+                raise ConfigurationError(
+                    "program_factory must return a coroutine (use 'async def'), "
+                    f"got {type(coro).__name__}"
+                )
+            proc.coro = coro
+            self._procs.append(proc)
+
+        try:
+            self._event_loop()
+        except BaseException:
+            self._close_all()
+            raise
+
+        makespan = max((p.clock for p in self._procs), default=0.0)
+        return RunResult(
+            num_ranks=self.num_ranks,
+            returns=[p.return_value for p in self._procs],
+            rank_stats=[p.stats for p in self._procs],
+            makespan=makespan,
+        )
+
+    # ------------------------------------------------------------ event loop
+    def _event_loop(self) -> None:
+        steps = 0
+        while True:
+            stepped = False
+            for proc in self._procs:
+                while proc.state is _State.READY:
+                    stepped = True
+                    steps += 1
+                    if steps > self.max_steps:
+                        raise SimulationError(
+                            f"exceeded max_steps={self.max_steps}; "
+                            "likely an unbounded loop in a rank program"
+                        )
+                    self._step(proc)
+            if all(p.state is _State.DONE for p in self._procs):
+                return
+            matched = self._resolve_matches()
+            if not matched and not stepped:
+                blocked = {
+                    p.rank: repr(p.pending)
+                    for p in self._procs
+                    if p.state is _State.BLOCKED
+                }
+                raise DeadlockError(blocked)
+
+    def _step(self, proc: _Proc) -> None:
+        value, proc.resume_value = proc.resume_value, None
+        try:
+            op = proc.coro.send(value)
+        except StopIteration as stop:
+            proc.state = _State.DONE
+            proc.return_value = stop.value
+            self._trace(proc, "done", "")
+            return
+        except Exception as exc:
+            raise RankFailedError(proc.rank, exc) from exc
+
+        if isinstance(op, ComputeOp):
+            proc.clock += op.seconds
+            bucket = proc.bucket()
+            bucket.comp_time += op.seconds
+            bucket.add_counter(op.kind, op.count)
+            self._trace(proc, "compute", f"{op.kind} dt={op.seconds:.3e} count={op.count}")
+            # stays READY; the outer while-loop resumes it immediately.
+        elif isinstance(op, IsendOp):
+            request = Request(
+                kind="isend", rank=proc.rank, peer=op.dst, tag=op.tag,
+                nbytes=op.nbytes, post_time=proc.clock, payload=op.payload,
+            )
+            self._post_nonblocking(proc, request)
+            proc.resume_value = request  # stays READY
+        elif isinstance(op, IrecvOp):
+            request = Request(
+                kind="irecv", rank=proc.rank, peer=op.src, tag=op.tag,
+                nbytes=0, post_time=proc.clock,
+            )
+            self._post_nonblocking(proc, request)
+            proc.resume_value = request  # stays READY
+        elif isinstance(op, (SendOp, RecvOp, SendRecvOp, BarrierOp, WaitOp)):
+            proc.state = _State.BLOCKED
+            proc.pending = op
+            proc.post_time = proc.clock
+            self._trace(proc, "post", repr(op))
+        else:
+            raise SimulationError(
+                f"rank {proc.rank} awaited an unknown object {op!r}; "
+                "only repro.cluster.events ops may be awaited"
+            )
+
+    # ------------------------------------------------ nonblocking machinery
+    def _post_nonblocking(self, proc: _Proc, request: Request) -> None:
+        """Register an isend/irecv and try to match it immediately."""
+        if not (0 <= request.peer < self.num_ranks):
+            raise SimulationError(
+                f"rank {proc.rank} named peer {request.peer}, outside "
+                f"0..{self.num_ranks - 1}"
+            )
+        if request.kind == "isend":
+            key = (request.rank, request.peer, request.tag)  # (src, dst, tag)
+            counterpart = self._pending_irecvs.get(key)
+            if counterpart:
+                self._complete_transfer(request, counterpart.popleft())
+            else:
+                self._pending_isends.setdefault(key, deque()).append(request)
+        else:
+            key = (request.peer, request.rank, request.tag)
+            counterpart = self._pending_isends.get(key)
+            if counterpart:
+                self._complete_transfer(counterpart.popleft(), request)
+            else:
+                self._pending_irecvs.setdefault(key, deque()).append(request)
+        self._trace(proc, "post", repr(request))
+
+    def _complete_transfer(self, send_req: Request, recv_req: Request) -> None:
+        """Price a matched background transfer on the receiver's link."""
+        dst = recv_req.rank
+        start = max(send_req.post_time, recv_req.post_time)
+        begin = max(start, self._link_free[dst])
+        arrival = begin + self.model.message_time(send_req.nbytes)
+        self._link_free[dst] = arrival
+        for request in (send_req, recv_req):
+            request.matched = True
+            request.arrival = arrival
+        recv_req.payload = send_req.payload
+        recv_req.nbytes = send_req.nbytes
+        # Byte/message accounting lands in each rank's *current* stage.
+        sender_bucket = self._procs[send_req.rank].bucket()
+        sender_bucket.bytes_sent += send_req.nbytes
+        sender_bucket.msgs_sent += 1
+        recv_bucket = self._procs[dst].bucket()
+        recv_bucket.bytes_recv += send_req.nbytes
+        recv_bucket.msgs_recv += 1
+
+    def _try_complete_wait(self, proc: _Proc, wop: WaitOp) -> bool:
+        if not all(request.matched for request in wop.requests):
+            return False
+        arrival = max(
+            (request.arrival for request in wop.requests), default=proc.post_time
+        )
+        completion = max(proc.post_time, arrival)
+        bucket = proc.bucket()
+        # Time visibly spent inside the wait is communication (the rank
+        # sits in MPI_Wait); fully-overlapped transfers cost nothing.
+        bucket.comm_time += max(0.0, completion - proc.post_time)
+        proc.clock = max(proc.clock, completion)
+        proc.resume_value = [
+            request.payload if request.kind == "irecv" else None
+            for request in wop.requests
+        ]
+        proc.state = _State.READY
+        proc.pending = None
+        self._trace(proc, "waitdone", f"{len(wop.requests)} reqs t={completion:.6f}")
+        return True
+
+    # ------------------------------------------------------------- matching
+    def _resolve_matches(self) -> bool:
+        matched = False
+        for proc in self._procs:
+            if proc.state is not _State.BLOCKED:
+                continue
+            op = proc.pending
+            if isinstance(op, RecvOp):
+                matched |= self._try_match_recv(proc, op)
+            elif isinstance(op, SendRecvOp):
+                matched |= self._try_match_exchange(proc, op)
+            elif isinstance(op, WaitOp):
+                matched |= self._try_complete_wait(proc, op)
+            # SendOp is matched from the receiver's side; BarrierOp below.
+        matched |= self._try_release_barrier()
+        return matched
+
+    def _partner(self, rank: int) -> _Proc:
+        if not (0 <= rank < self.num_ranks):
+            raise SimulationError(f"message names rank {rank}, outside 0..{self.num_ranks - 1}")
+        return self._procs[rank]
+
+    def _try_match_recv(self, receiver: _Proc, rop: RecvOp) -> bool:
+        sender = self._partner(rop.src)
+        if sender.state is not _State.BLOCKED or not isinstance(sender.pending, SendOp):
+            return False
+        sop = sender.pending
+        if sop.dst != receiver.rank:
+            return False
+        if rop.tag != ANY_TAG and rop.tag != sop.tag:
+            return False
+        start = max(sender.post_time, receiver.post_time)
+        completion = start + self.model.message_time(sop.nbytes)
+        self._complete_comm(sender, start, completion, sent=sop.nbytes)
+        self._complete_comm(receiver, start, completion, received=sop.nbytes)
+        receiver.resume_value = sop.payload
+        sender.resume_value = None
+        self._trace(receiver, "recv", f"from {sender.rank} {sop.nbytes}B t={completion:.6f}")
+        self._trace(sender, "send", f"to {receiver.rank} {sop.nbytes}B t={completion:.6f}")
+        return True
+
+    def _try_match_exchange(self, a: _Proc, aop: SendRecvOp) -> bool:
+        b = self._partner(aop.peer)
+        if b.rank == a.rank:
+            raise SimulationError(f"rank {a.rank} attempted sendrecv with itself")
+        if b.state is not _State.BLOCKED or not isinstance(b.pending, SendRecvOp):
+            return False
+        bop = b.pending
+        if bop.peer != a.rank or bop.tag != aop.tag:
+            return False
+        start = max(a.post_time, b.post_time)
+        # Full duplex: each side pays start-up plus its *incoming* bytes.
+        completion_a = start + self.model.message_time(bop.nbytes)
+        completion_b = start + self.model.message_time(aop.nbytes)
+        self._complete_comm(a, start, completion_a, sent=aop.nbytes, received=bop.nbytes)
+        self._complete_comm(b, start, completion_b, sent=bop.nbytes, received=aop.nbytes)
+        a.resume_value = bop.payload
+        b.resume_value = aop.payload
+        self._trace(a, "exch", f"with {b.rank} out={aop.nbytes}B in={bop.nbytes}B")
+        self._trace(b, "exch", f"with {a.rank} out={bop.nbytes}B in={aop.nbytes}B")
+        return True
+
+    def _try_release_barrier(self) -> bool:
+        waiting = [p for p in self._procs if isinstance(p.pending, BarrierOp)]
+        if not waiting:
+            return False
+        if len(waiting) < sum(1 for p in self._procs if p.state is not _State.DONE):
+            return False  # someone has not arrived yet
+        if len(waiting) < self.num_ranks:
+            ranks = sorted(p.rank for p in waiting)
+            raise SimulationError(
+                f"barrier posted by ranks {ranks} but other ranks already exited; "
+                "every rank must reach every barrier"
+            )
+        depth = math.ceil(math.log2(self.num_ranks)) if self.num_ranks > 1 else 0
+        arrival = max(p.post_time for p in waiting)
+        release = arrival + self.model.ts * depth
+        for p in waiting:
+            self._complete_comm(p, arrival, release)
+            p.resume_value = None
+            self._trace(p, "barrier", f"released t={release:.6f}")
+        return True
+
+    def _complete_comm(
+        self,
+        proc: _Proc,
+        transfer_start: float,
+        completion: float,
+        *,
+        sent: int = 0,
+        received: int = 0,
+    ) -> None:
+        if completion < proc.post_time - 1e-15:
+            raise SimulationError(
+                f"non-monotonic clock on rank {proc.rank}: "
+                f"completion {completion} < post {proc.post_time}"
+            )
+        bucket = proc.bucket()
+        # Split partner-wait (skew) from the transfer itself.
+        bucket.wait_time += max(0.0, transfer_start - proc.post_time)
+        bucket.comm_time += max(0.0, completion - max(transfer_start, proc.post_time))
+        if sent:
+            bucket.bytes_sent += sent
+        if received:
+            bucket.bytes_recv += received
+        if isinstance(proc.pending, (SendOp, SendRecvOp)):
+            bucket.msgs_sent += 1
+        if isinstance(proc.pending, (RecvOp, SendRecvOp)):
+            bucket.msgs_recv += 1
+        proc.clock = max(proc.clock, completion)
+        proc.state = _State.READY
+        proc.pending = None
+
+    # --------------------------------------------------------------- helpers
+    def _trace(self, proc: _Proc, kind: str, detail: str) -> None:
+        if self.trace:
+            self.trace_events.append(
+                TraceEvent(time=proc.clock, rank=proc.rank, kind=kind, detail=detail)
+            )
+
+    def _close_all(self) -> None:
+        for proc in self._procs:
+            if proc.coro is not None and proc.state is not _State.DONE:
+                proc.coro.close()

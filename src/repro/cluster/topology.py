@@ -1,0 +1,121 @@
+"""Communication schedules for the compositing algorithms.
+
+Binary swap pairs ranks hypercube-style: at stage ``k`` (0-based) of
+``log2 P`` stages, rank ``r`` exchanges with ``r XOR 2**k``.  With the
+volume partitioned by recursive bisection in the *same* bit order (rank
+bit ``k`` selects the half of the ``k``-th split, counting from the last
+split), the pair at stage ``k`` always holds the two halves of one
+bisection node, so a single plane separates their data and the over
+operation's front/back order is well defined (Ma et al. 1994).
+
+This module also provides schedules for the related-work baselines:
+binary-tree combining and ring schedules for parallel-pipeline
+compositing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "is_power_of_two",
+    "log2_int",
+    "binary_swap_partner",
+    "binary_swap_schedule",
+    "keeps_low_half",
+    "binary_tree_schedule",
+    "ring_next",
+    "ring_prev",
+    "TreeStep",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Exact integer log2; raises for non-powers-of-two."""
+    if not is_power_of_two(n):
+        raise ConfigurationError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def binary_swap_partner(rank: int, stage: int, size: int) -> int:
+    """Partner of ``rank`` at 0-based ``stage`` in a ``size``-rank swap."""
+    steps = log2_int(size)
+    if not (0 <= stage < steps):
+        raise ConfigurationError(f"stage {stage} out of range for P={size} ({steps} stages)")
+    if not (0 <= rank < size):
+        raise ConfigurationError(f"rank {rank} out of range for P={size}")
+    return rank ^ (1 << stage)
+
+
+def binary_swap_schedule(rank: int, size: int) -> list[int]:
+    """All ``log2 P`` partners of ``rank``, in stage order."""
+    return [binary_swap_partner(rank, k, size) for k in range(log2_int(size))]
+
+
+def keeps_low_half(rank: int, stage: int) -> bool:
+    """Whether ``rank`` keeps the first (low-coordinate) half at ``stage``.
+
+    Convention: the pair member with the *zero* bit at position ``stage``
+    keeps the first half of the current image region and sends the second;
+    its partner does the opposite.  This makes the final ownership map a
+    bit-reversal-style interleaving identical for every method.
+    """
+    return (rank >> stage) & 1 == 0
+
+
+@dataclass(frozen=True, slots=True)
+class TreeStep:
+    """One step of a binary-tree combine for a given rank.
+
+    ``role`` is ``"send"`` (this rank forwards its data to ``peer`` and
+    drops out) or ``"recv"`` (this rank receives ``peer``'s data and
+    continues).
+    """
+
+    stage: int
+    role: str
+    peer: int
+
+
+def binary_tree_schedule(rank: int, size: int) -> list[TreeStep]:
+    """Binary-tree combining schedule (Ahrens & Painter style baseline).
+
+    At stage ``k``, ranks that are multiples of ``2**(k+1)`` receive from
+    ``rank + 2**k``; the senders are done afterwards.  Rank 0 ends up with
+    the full image.
+    """
+    steps: list[TreeStep] = []
+    span = 1
+    stage = 0
+    for stage in range(log2_int(size)):
+        span = 1 << stage
+        group = 1 << (stage + 1)
+        if rank % group == 0:
+            peer = rank + span
+            if peer < size:
+                steps.append(TreeStep(stage=stage, role="recv", peer=peer))
+        elif rank % group == span:
+            steps.append(TreeStep(stage=stage, role="send", peer=rank - span))
+            break  # sender drops out of later stages
+    return steps
+
+
+def ring_next(rank: int, size: int) -> int:
+    """Successor on the ring (parallel-pipeline compositing)."""
+    if size < 1:
+        raise ConfigurationError("ring requires at least one rank")
+    return (rank + 1) % size
+
+
+def ring_prev(rank: int, size: int) -> int:
+    """Predecessor on the ring."""
+    if size < 1:
+        raise ConfigurationError("ring requires at least one rank")
+    return (rank - 1) % size

@@ -1,0 +1,104 @@
+"""Core contribution: sparse binary-swap image compositing methods.
+
+The four methods of the paper — :class:`~repro.compositing.bs.BinarySwap`
+(BS), :class:`~repro.compositing.bsbr.BinarySwapBoundingRect` (BSBR),
+:class:`~repro.compositing.bslc.BinarySwapLoadBalancedCompression`
+(BSLC) and
+:class:`~repro.compositing.bsbrc.BinarySwapBoundingRectCompression`
+(BSBRC) — plus related-work baselines, the *over* operator, the mask RLE
+codec, bounding-rectangle machinery and the byte-level wire formats.
+"""
+
+from .base import CompositeOutcome, Compositor, composite_rect_pixels, split_axis_for
+from .baselines import (
+    BinaryTreeCompression,
+    DirectSend,
+    DirectSendAsync,
+    ParallelPipeline,
+    strip_rect,
+)
+from .bs import BinarySwap
+from .folding import FoldedCompositor
+from .bsbr import BinarySwapBoundingRect
+from .bsbrc import BinarySwapBoundingRectCompression
+from .bslc import BinarySwapLoadBalancedCompression, final_owned_indices
+from .bslc_value import BinarySwapValueCompression
+from .value_rle import (
+    VALUE_RUN_BYTES,
+    pack_value_runs,
+    unpack_value_runs,
+    value_rle_decode,
+    value_rle_encode,
+)
+from .interleave import DEFAULT_SECTION, initial_indices, split_interleaved
+from .over import is_blank, nonblank_mask, over, over_inplace, over_scalar
+from .rect import clip_rect, find_bounding_rect, split_rect_by_centerline
+from .registry import PAPER_METHODS, available_methods, make_compositor, register
+from .rle import MAX_RUN, count_nonblank, rle_decode_mask, rle_encode_mask
+from .wire import (
+    WireMessage,
+    pack_bs,
+    pack_bsbr,
+    pack_bsbrc,
+    pack_bslc,
+    pack_pixels_rect,
+    unpack_bs,
+    unpack_bsbr,
+    unpack_bsbrc,
+    unpack_bslc,
+    unpack_pixels_rect,
+)
+
+__all__ = [
+    "BinarySwap",
+    "BinarySwapBoundingRect",
+    "BinarySwapBoundingRectCompression",
+    "BinarySwapLoadBalancedCompression",
+    "BinarySwapValueCompression",
+    "BinaryTreeCompression",
+    "CompositeOutcome",
+    "Compositor",
+    "DEFAULT_SECTION",
+    "DirectSend",
+    "DirectSendAsync",
+    "FoldedCompositor",
+    "MAX_RUN",
+    "PAPER_METHODS",
+    "ParallelPipeline",
+    "VALUE_RUN_BYTES",
+    "WireMessage",
+    "available_methods",
+    "clip_rect",
+    "composite_rect_pixels",
+    "count_nonblank",
+    "final_owned_indices",
+    "find_bounding_rect",
+    "initial_indices",
+    "is_blank",
+    "make_compositor",
+    "nonblank_mask",
+    "over",
+    "over_inplace",
+    "over_scalar",
+    "pack_bs",
+    "pack_bsbr",
+    "pack_bsbrc",
+    "pack_bslc",
+    "pack_pixels_rect",
+    "pack_value_runs",
+    "register",
+    "rle_decode_mask",
+    "rle_encode_mask",
+    "split_axis_for",
+    "split_interleaved",
+    "split_rect_by_centerline",
+    "strip_rect",
+    "unpack_bs",
+    "unpack_bsbr",
+    "unpack_bsbrc",
+    "unpack_bslc",
+    "unpack_pixels_rect",
+    "unpack_value_runs",
+    "value_rle_decode",
+    "value_rle_encode",
+]

@@ -1,0 +1,153 @@
+"""Compositor framework shared by all compositing methods.
+
+A compositor is an object whose :meth:`Compositor.run` coroutine executes
+one rank's side of the compositing phase against the cluster substrate:
+it consumes the rank's rendered :class:`~repro.render.image.SubImage`,
+exchanges messages with partners, charges modelled computation, and
+returns a :class:`CompositeOutcome` describing the disjoint portion of
+the final image this rank ends up owning.
+
+Two ownership representations exist:
+
+* *rect-based* (BS, BSBR, BSBRC): the rank owns a contiguous image
+  region that halves each stage;
+* *index-based* (BSLC): the rank owns an interleaved set of flat pixel
+  indices (the static load-balancing distribution of §3.3).
+
+Either way ``finalize``/ownership invariants are the same: across ranks
+the owned sets partition the image, and the owned pixels equal the
+sequential depth-order composite.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.context import RankContext
+from ..errors import CompositingError
+from ..render.image import SubImage
+from ..types import Rect
+from ..volume.partition import PartitionPlan
+from .over import over
+
+__all__ = ["Compositor", "CompositeOutcome", "composite_rect_pixels", "split_axis_for"]
+
+
+@dataclass
+class CompositeOutcome:
+    """What one rank holds after the compositing phase.
+
+    ``image`` is the rank's full-frame buffer whose *owned* portion
+    carries final pixels.  Exactly one of ``owned_rect`` /
+    ``owned_indices`` is set.
+    """
+
+    image: SubImage
+    owned_rect: Rect | None = None
+    owned_indices: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if (self.owned_rect is None) == (self.owned_indices is None):
+            raise CompositingError(
+                "exactly one of owned_rect / owned_indices must be provided"
+            )
+
+    @property
+    def owned_pixel_count(self) -> int:
+        if self.owned_rect is not None:
+            return self.owned_rect.area
+        return int(self.owned_indices.shape[0])  # type: ignore[union-attr]
+
+    def owned_values(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``(intensity, opacity)`` arrays of the owned pixels."""
+        if self.owned_rect is not None:
+            rows, cols = self.owned_rect.slices()
+            return (
+                self.image.intensity[rows, cols].ravel().copy(),
+                self.image.opacity[rows, cols].ravel().copy(),
+            )
+        flat_i = self.image.intensity.ravel()
+        flat_a = self.image.opacity.ravel()
+        idx = self.owned_indices
+        return flat_i[idx].copy(), flat_a[idx].copy()
+
+
+class Compositor(abc.ABC):
+    """Abstract compositing method (one instance drives every rank)."""
+
+    #: Registry/reporting name, e.g. ``"bsbrc"``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    async def run(
+        self,
+        ctx: RankContext,
+        image: SubImage,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> CompositeOutcome:
+        """Execute this rank's side of the compositing phase.
+
+        ``image`` may be mutated in place and becomes the outcome's
+        buffer.  ``plan`` and ``view_dir`` supply the front/back decision
+        for each pairwise *over*.
+        """
+
+    # ---- shared helpers ----------------------------------------------------
+    @staticmethod
+    def check_plan(ctx: RankContext, plan: PartitionPlan) -> int:
+        """Validate rank-count consistency; returns ``log2 P``."""
+        if plan.num_ranks != ctx.size:
+            raise CompositingError(
+                f"partition plan is for {plan.num_ranks} ranks but the "
+                f"machine has {ctx.size}"
+            )
+        return plan.num_stages
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def split_axis_for(region: Rect, stage: int, policy: str) -> int:
+    """Image-space split axis for the current region.
+
+    ``policy``:
+
+    * ``"longest"`` — split the longer side (keeps regions squarish; the
+      default, and both partners agree since they share the region);
+    * ``"alternate"`` — rows, columns, rows, ... (Ma et al.'s original
+      scheme);
+    * ``"rows"`` — always split rows.
+    """
+    if policy == "longest":
+        return 0 if region.height >= region.width else 1
+    if policy == "alternate":
+        return stage % 2
+    if policy == "rows":
+        return 0
+    raise CompositingError(f"unknown split policy {policy!r}")
+
+
+def composite_rect_pixels(
+    image: SubImage,
+    rect: Rect,
+    recv_i: np.ndarray,
+    recv_a: np.ndarray,
+    *,
+    local_in_front: bool,
+) -> None:
+    """Composite a received rect block with the local pixels, in place."""
+    if rect.is_empty:
+        return
+    rows, cols = rect.slices()
+    loc_i = image.intensity[rows, cols]
+    loc_a = image.opacity[rows, cols]
+    if local_in_front:
+        out_i, out_a = over(loc_i, loc_a, recv_i, recv_a)
+    else:
+        out_i, out_a = over(recv_i, recv_a, loc_i, loc_a)
+    image.intensity[rows, cols] = out_i
+    image.opacity[rows, cols] = out_a

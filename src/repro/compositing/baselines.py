@@ -1,0 +1,410 @@
+"""Related-work baselines from the paper's §2 (extensions beyond BS).
+
+These are not part of the paper's measured comparison but are the
+methods its related-work section positions against; having them in the
+same harness lets the benchmarks answer "how far is BSBRC from the
+*other* families?":
+
+* :class:`DirectSend` — the *buffered case* (Hsu 1993, Neumann 1993):
+  each rank owns a fixed image strip and receives every other rank's
+  contribution for that strip in one shot, then composites the buffer in
+  depth order.  Messages use bounding-rectangle packing (sparse-aware).
+* :class:`BinaryTreeCompression` — Ahrens & Painter 1998: binary-tree
+  combining where the full subimage is RLE-compressed at each hop;
+  senders drop out, rank 0 ends with the whole image.
+* :class:`ParallelPipeline` — Lee et al. 1996 style ring pipeline over
+  depth-sorted ranks.  Because *over* is order-sensitive, each traveling
+  partial carries **two** accumulators (front-of-wrap and back-of-wrap
+  runs of the depth order) that merge when the partial reaches its
+  target strip — the standard trick for pipelining a non-commutative
+  operator around a ring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.context import RankContext
+from ..cluster.stats import PRE_STAGE
+from ..errors import CompositingError, WireFormatError
+from ..render.image import SubImage
+from ..types import PIXEL_BYTES, RECT_INFO_BYTES, Rect
+from ..volume.partition import PartitionPlan, depth_order
+from .base import CompositeOutcome, Compositor, composite_rect_pixels
+from .rect import find_bounding_rect
+from .wire import pack_bsbr, pack_bslc, unpack_bsbr, unpack_bslc
+from .over import over
+
+__all__ = ["DirectSend", "DirectSendAsync", "BinaryTreeCompression", "ParallelPipeline", "strip_rect"]
+
+
+def strip_rect(height: int, width: int, rank: int, size: int) -> Rect:
+    """Row strip of the final image owned by ``rank`` in buffered methods."""
+    if not (0 <= rank < size):
+        raise CompositingError(f"rank {rank} out of range for {size} strips")
+    y0 = rank * height // size
+    y1 = (rank + 1) * height // size
+    return Rect(y0, 0, y1, width).normalized()
+
+
+class DirectSend(Compositor):
+    """Buffered-case direct send with bounding-rectangle packing."""
+
+    name = "direct"
+
+    def __init__(self, *, charge_pack: bool = True):
+        self.charge_pack = charge_pack
+
+    async def run(
+        self,
+        ctx: RankContext,
+        image: SubImage,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> CompositeOutcome:
+        self.check_plan(ctx, plan)
+        size, rank = ctx.size, ctx.rank
+        height, width = image.shape
+        my_strip = strip_rect(height, width, rank, size)
+
+        ctx.begin_stage(PRE_STAGE)
+        await ctx.charge_bound(image.num_pixels)  # one classification scan
+
+        contributions: dict[int, tuple[Rect, np.ndarray, np.ndarray]] = {}
+        own_rect = find_bounding_rect(image.intensity, image.opacity, my_strip)
+        if not own_rect.is_empty:
+            rows, cols = own_rect.slices()
+            contributions[rank] = (
+                own_rect,
+                image.intensity[rows, cols].copy(),
+                image.opacity[rows, cols].copy(),
+            )
+
+        # P-1 pairwise exchange rounds (XOR schedule = perfect matchings).
+        for rnd in range(1, size):
+            ctx.begin_stage(rnd - 1)
+            partner = rank ^ rnd
+            partner_strip = strip_rect(height, width, partner, size)
+            send_rect = find_bounding_rect(image.intensity, image.opacity, partner_strip)
+            msg = pack_bsbr(image.intensity, image.opacity, send_rect)
+            if self.charge_pack:
+                await ctx.charge_pack(len(msg.buffer))
+            raw = await ctx.sendrecv(partner, msg.buffer, nbytes=msg.accounted_bytes, tag=rnd)
+            recv_rect, recv_i, recv_a = unpack_bsbr(raw)
+            if not my_strip.contains(recv_rect):
+                raise CompositingError(
+                    f"round {rnd}: contribution rect {recv_rect} outside strip {my_strip}"
+                )
+            if not recv_rect.is_empty:
+                contributions[partner] = (recv_rect, recv_i, recv_a)  # type: ignore[arg-type]
+
+        # Composite the buffered contributions back-to-front.
+        ctx.begin_stage(size - 1)
+        result = SubImage.blank(height, width)
+        order = depth_order(plan, view_dir)  # front first
+        composited = 0
+        for src in reversed(order):
+            entry = contributions.get(src)
+            if entry is None:
+                continue
+            rect, block_i, block_a = entry
+            # Folding back-to-front: every new contribution sits in front
+            # of everything accumulated so far.
+            composite_rect_pixels(result, rect, block_i, block_a, local_in_front=False)
+            composited += rect.area
+        await ctx.charge_over(composited)
+        return CompositeOutcome(image=result, owned_rect=my_strip)
+
+
+class DirectSendAsync(Compositor):
+    """Direct send with nonblocking communication (latency hiding).
+
+    Same buffered-case semantics as :class:`DirectSend`, but all ``P-1``
+    contributions are posted as isends/irecvs up front so transfers
+    overlap each other and the local bounding-rectangle scans, instead
+    of paying ``P-1`` serialized rendezvous rounds.  Incoming messages
+    still serialize on the receiver's link (the simulator models one NIC
+    per node), so the win is start-up/skew hiding, not magic bandwidth.
+    """
+
+    name = "direct-async"
+
+    def __init__(self, *, charge_pack: bool = True):
+        self.charge_pack = charge_pack
+
+    async def run(
+        self,
+        ctx: RankContext,
+        image: SubImage,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> CompositeOutcome:
+        self.check_plan(ctx, plan)
+        size, rank = ctx.size, ctx.rank
+        height, width = image.shape
+        my_strip = strip_rect(height, width, rank, size)
+
+        ctx.begin_stage(PRE_STAGE)
+        # Post every receive before doing any local work.
+        recv_requests = {
+            src: await ctx.irecv(src, tag=src) for src in range(size) if src != rank
+        }
+
+        await ctx.charge_bound(image.num_pixels)
+        contributions: dict[int, tuple[Rect, np.ndarray, np.ndarray]] = {}
+        own_rect = find_bounding_rect(image.intensity, image.opacity, my_strip)
+        if not own_rect.is_empty:
+            rows, cols = own_rect.slices()
+            contributions[rank] = (
+                own_rect,
+                image.intensity[rows, cols].copy(),
+                image.opacity[rows, cols].copy(),
+            )
+
+        ctx.begin_stage(0)
+        send_requests = []
+        for dst in range(size):
+            if dst == rank:
+                continue
+            dst_strip = strip_rect(height, width, dst, size)
+            send_rect = find_bounding_rect(image.intensity, image.opacity, dst_strip)
+            msg = pack_bsbr(image.intensity, image.opacity, send_rect)
+            if self.charge_pack:
+                await ctx.charge_pack(len(msg.buffer))
+            send_requests.append(
+                await ctx.isend(dst, msg.buffer, nbytes=msg.accounted_bytes, tag=rank)
+            )
+
+        ctx.begin_stage(1)
+        payloads = await ctx.wait_all(list(recv_requests.values()))
+        await ctx.wait_all(send_requests)
+        for src, raw in zip(recv_requests.keys(), payloads):
+            recv_rect, recv_i, recv_a = unpack_bsbr(raw)
+            if not my_strip.contains(recv_rect):
+                raise CompositingError(
+                    f"contribution rect {recv_rect} from {src} outside strip {my_strip}"
+                )
+            if not recv_rect.is_empty:
+                contributions[src] = (recv_rect, recv_i, recv_a)  # type: ignore[arg-type]
+
+        ctx.begin_stage(2)
+        result = SubImage.blank(height, width)
+        order = depth_order(plan, view_dir)
+        composited = 0
+        for src in reversed(order):
+            entry = contributions.get(src)
+            if entry is None:
+                continue
+            rect, block_i, block_a = entry
+            composite_rect_pixels(result, rect, block_i, block_a, local_in_front=False)
+            composited += rect.area
+        await ctx.charge_over(composited)
+        return CompositeOutcome(image=result, owned_rect=my_strip)
+
+
+class BinaryTreeCompression(Compositor):
+    """Ahrens & Painter binary-tree combining with mask-RLE messages."""
+
+    name = "tree"
+
+    def __init__(self, *, charge_pack: bool = True):
+        self.charge_pack = charge_pack
+
+    async def run(
+        self,
+        ctx: RankContext,
+        image: SubImage,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> CompositeOutcome:
+        stages = self.check_plan(ctx, plan)
+        rank = ctx.rank
+        num_pixels = image.num_pixels
+        all_indices = np.arange(num_pixels, dtype=np.int64)
+        flat_i = image.intensity.ravel()
+        flat_a = image.opacity.ravel()
+
+        for stage in range(stages):
+            ctx.begin_stage(stage)
+            group = 1 << (stage + 1)
+            span = 1 << stage
+            if rank % group == span:
+                # Sender: compress the whole current image and drop out.
+                peer = rank - span
+                msg = pack_bslc(flat_i, flat_a, all_indices)
+                await ctx.charge_encode(num_pixels)
+                if self.charge_pack:
+                    await ctx.charge_pack(len(msg.buffer))
+                await ctx.send(peer, msg.buffer, nbytes=msg.accounted_bytes, tag=stage)
+                return CompositeOutcome(image=image, owned_rect=Rect.empty())
+            if rank % group == 0:
+                peer = rank + span
+                raw = await ctx.recv(peer, tag=stage)
+                positions, recv_i, recv_a = unpack_bslc(raw, num_pixels)
+                if positions.size:
+                    loc_i = flat_i[positions]
+                    loc_a = flat_a[positions]
+                    if plan.local_in_front(rank, stage, view_dir):
+                        out_i, out_a = over(loc_i, loc_a, recv_i, recv_a)
+                    else:
+                        out_i, out_a = over(recv_i, recv_a, loc_i, loc_a)
+                    flat_i[positions] = out_i
+                    flat_a[positions] = out_a
+                    await ctx.charge_over(positions.size)
+        return CompositeOutcome(image=image, owned_rect=image.full_rect())
+
+
+class ParallelPipeline(Compositor):
+    """Ring pipeline over depth-sorted ranks with dual accumulators."""
+
+    name = "pipeline"
+
+    def __init__(self, *, charge_pack: bool = True):
+        self.charge_pack = charge_pack
+
+    async def run(
+        self,
+        ctx: RankContext,
+        image: SubImage,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> CompositeOutcome:
+        self.check_plan(ctx, plan)
+        size, rank = ctx.size, ctx.rank
+        height, width = image.shape
+        order = depth_order(plan, view_dir)  # order[0] = front-most rank
+        pos = order.index(rank)
+        deeper = order[(pos + 1) % size]  # ring successor (next deeper, wraps)
+        shallower = order[(pos - 1) % size]
+
+        ctx.begin_stage(PRE_STAGE)
+        await ctx.charge_bound(image.num_pixels)
+
+        if size == 1:
+            return CompositeOutcome(image=image, owned_rect=image.full_rect())
+
+        # Partial for strip s is created at position (s+1) % size and ends
+        # at position s after size-1 transfers.  A partial carries two
+        # accumulators: 'back' covers the depth-contiguous run of visited
+        # positions before the ring wrap, 'front' the run after it.
+        def new_partial(strip_pos: int) -> "_Partial":
+            strip = strip_rect(height, width, strip_pos, size)
+            partial = _Partial(strip)
+            partial.fold_own(image, pos, creator=(strip_pos + 1) % size)
+            return partial
+
+        current = new_partial((pos - 1) % size)
+        await ctx.charge_over(current.last_fold_area)
+
+        result: _Partial | None = None
+        for step in range(1, size):
+            ctx.begin_stage(step - 1)
+            send_buf = current.pack()
+            if self.charge_pack:
+                await ctx.charge_pack(len(send_buf.buffer))
+            # Ring shift with blocking rendezvous: odd/even positions
+            # alternate send-first / recv-first to avoid a send cycle.
+            if pos % 2 == 0:
+                await ctx.send(deeper, send_buf.buffer, nbytes=send_buf.accounted_bytes, tag=step)
+                raw = await ctx.recv(shallower, tag=step)
+            else:
+                raw = await ctx.recv(shallower, tag=step)
+                await ctx.send(deeper, send_buf.buffer, nbytes=send_buf.accounted_bytes, tag=step)
+
+            strip_pos = (pos - 1 - step) % size
+            current = _Partial.unpack(raw, strip_rect(height, width, strip_pos, size))
+            current.fold_own(image, pos, creator=(strip_pos + 1) % size)
+            await ctx.charge_over(current.last_fold_area)
+            if strip_pos == pos:
+                result = current
+        assert result is not None
+
+        final = SubImage.blank(height, width)
+        merged_i, merged_a = result.merge()
+        rows, cols = result.strip.slices()
+        final.intensity[rows, cols] = merged_i
+        final.opacity[rows, cols] = merged_a
+        await ctx.charge_over(result.strip.area)
+        return CompositeOutcome(image=final, owned_rect=result.strip)
+
+
+class _Partial:
+    """Traveling pipeline partial: front/back strip accumulators."""
+
+    def __init__(self, strip: Rect):
+        self.strip = strip
+        h, w = strip.height, strip.width
+        self.front_i = np.zeros((h, w), dtype=np.float64)
+        self.front_a = np.zeros((h, w), dtype=np.float64)
+        self.back_i = np.zeros((h, w), dtype=np.float64)
+        self.back_a = np.zeros((h, w), dtype=np.float64)
+        self.last_fold_area = 0
+
+    def fold_own(self, image: SubImage, pos: int, creator: int) -> None:
+        """Fold this rank's own strip pixels into the proper accumulator.
+
+        Positions ``creator..P-1`` accumulate into ``back``; after the
+        ring wraps, positions ``0..creator-1`` accumulate into ``front``.
+        Within each run folds happen shallow-to-deep, so the new
+        contribution always composites *under* the accumulator.
+        """
+        rect = find_bounding_rect(image.intensity, image.opacity, self.strip)
+        self.last_fold_area = rect.area
+        if rect.is_empty:
+            return
+        rows, cols = rect.slices()
+        mine_i = image.intensity[rows, cols]
+        mine_a = image.opacity[rows, cols]
+        local = rect.shifted(-self.strip.y0, -self.strip.x0)
+        lrows, lcols = local.slices()
+        if pos >= creator:
+            acc_i, acc_a = self.back_i, self.back_a
+        else:
+            acc_i, acc_a = self.front_i, self.front_a
+        out_i, out_a = over(acc_i[lrows, lcols], acc_a[lrows, lcols], mine_i, mine_a)
+        acc_i[lrows, lcols] = out_i
+        acc_a[lrows, lcols] = out_a
+
+    def merge(self) -> tuple[np.ndarray, np.ndarray]:
+        """front over back — the finished strip."""
+        return over(self.front_i, self.front_a, self.back_i, self.back_a)
+
+    # ---- wire -------------------------------------------------------------
+    def pack(self):
+        from .wire import WireMessage
+
+        front = pack_bsbr(self.front_i, self.front_a, self._rect_of(self.front_i, self.front_a))
+        back = pack_bsbr(self.back_i, self.back_a, self._rect_of(self.back_i, self.back_a))
+        return WireMessage(
+            buffer=front.buffer + back.buffer,
+            accounted_bytes=front.accounted_bytes + back.accounted_bytes,
+        )
+
+    def _rect_of(self, plane_i: np.ndarray, plane_a: np.ndarray) -> Rect:
+        return find_bounding_rect(plane_i, plane_a, None)
+
+    @staticmethod
+    def unpack(raw: bytes, strip: Rect) -> "_Partial":
+        partial = _Partial(strip)
+
+        def _read(offset: int, into_i: np.ndarray, into_a: np.ndarray) -> int:
+            if len(raw) < offset + RECT_INFO_BYTES:
+                raise WireFormatError("pipeline partial truncated")
+            head = raw[offset : offset + RECT_INFO_BYTES]
+            rect = Rect.from_int16_array(np.frombuffer(head, dtype="<i2"))
+            length = RECT_INFO_BYTES + (0 if rect.is_empty else rect.area * PIXEL_BYTES)
+            rect_msg = raw[offset : offset + length]
+            got_rect, block_i, block_a = unpack_bsbr(rect_msg)
+            if not got_rect.is_empty:
+                # Accumulator planes are strip-local, and so was the rect
+                # computed by pack(): index directly.
+                rows, cols = got_rect.slices()
+                into_i[rows, cols] = block_i
+                into_a[rows, cols] = block_a
+            return offset + length
+
+        offset = _read(0, partial.front_i, partial.front_a)
+        offset = _read(offset, partial.back_i, partial.back_a)
+        if offset != len(raw):
+            raise WireFormatError("pipeline partial has trailing bytes")
+        return partial

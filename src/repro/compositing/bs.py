@@ -1,0 +1,75 @@
+"""Plain binary-swap compositing (Ma, Painter, Hansen, Krogh 1994).
+
+The baseline the paper improves on.  At each of the ``log2 P`` stages a
+rank pair splits its current image region along the centerline, each
+member keeps one half and ships the other *in full* — every pixel, blank
+or not — then folds the received half into its kept half with *over*.
+
+Per-stage costs reproduce the paper's eqs. (1)-(2): ``To · A/2^k``
+composites and a ``16 · A/2^k``-byte message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.context import RankContext
+from ..cluster.topology import keeps_low_half
+from ..errors import CompositingError
+from ..render.image import SubImage
+from ..volume.partition import PartitionPlan
+from .base import CompositeOutcome, Compositor, composite_rect_pixels, split_axis_for
+from .wire import pack_bs, unpack_bs
+
+__all__ = ["BinarySwap"]
+
+
+class BinarySwap(Compositor):
+    """The BS method — full-frame halves, no sparsity exploitation."""
+
+    name = "bs"
+
+    def __init__(self, *, split_policy: str = "longest", charge_pack: bool = True):
+        self.split_policy = split_policy
+        self.charge_pack = charge_pack
+
+    async def run(
+        self,
+        ctx: RankContext,
+        image: SubImage,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> CompositeOutcome:
+        stages = self.check_plan(ctx, plan)
+        region = image.full_rect()
+        for stage in range(stages):
+            ctx.begin_stage(stage)
+            partner = ctx.rank ^ (1 << stage)
+            axis = split_axis_for(region, stage, self.split_policy)
+            first, second = region.split(axis)
+            if keeps_low_half(ctx.rank, stage):
+                keep, send = first, second
+            else:
+                keep, send = second, first
+            if keep.is_empty or send.is_empty:
+                raise CompositingError(
+                    f"image too small to halve at stage {stage} (region {region})"
+                )
+
+            msg = pack_bs(image.intensity, image.opacity, send)
+            if self.charge_pack:
+                await ctx.charge_pack(len(msg.buffer))
+            raw = await ctx.sendrecv(
+                partner, msg.buffer, nbytes=msg.accounted_bytes, tag=stage
+            )
+            recv_i, recv_a = unpack_bs(raw, keep)
+            composite_rect_pixels(
+                image,
+                keep,
+                recv_i,
+                recv_a,
+                local_in_front=plan.local_in_front(ctx.rank, stage, view_dir),
+            )
+            await ctx.charge_over(keep.area)
+            region = keep
+        return CompositeOutcome(image=image, owned_rect=region)

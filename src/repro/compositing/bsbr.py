@@ -1,0 +1,100 @@
+"""BSBR — binary swap with bounding rectangles (paper §3.2).
+
+Each rank scans its rendered subimage once (``T_bound``) for the *local
+bounding rectangle* of its non-blank pixels.  At every stage the current
+region's centerline splits that rectangle into the new local and the
+*sending* bounding rectangles; only pixels inside the sending rectangle
+cross the wire, prefixed by its 8 bytes of corner info (which ship even
+when the rectangle is empty — the pair cannot know in advance, so the
+exchange itself is unconditional, paper eq. (4)).  After the exchange the
+local rectangle is updated as the union of the kept part and the
+received rectangle — an O(1) refresh, never a rescan.
+
+Strength: dense rectangles ship with almost no overhead.  Weakness: a
+*sparse* rectangle still ships every blank pixel inside it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.context import RankContext
+from ..cluster.topology import keeps_low_half
+from ..errors import CompositingError
+from ..render.image import SubImage
+from ..volume.partition import PartitionPlan
+from .base import CompositeOutcome, Compositor, composite_rect_pixels, split_axis_for
+from .rect import split_rect_by_centerline
+from .wire import pack_bsbr, unpack_bsbr
+
+__all__ = ["BinarySwapBoundingRect"]
+
+
+class BinarySwapBoundingRect(Compositor):
+    """The BSBR method — ship only the bounding rectangle of each half."""
+
+    name = "bsbr"
+
+    def __init__(self, *, split_policy: str = "longest", charge_pack: bool = True):
+        self.split_policy = split_policy
+        self.charge_pack = charge_pack
+
+    async def run(
+        self,
+        ctx: RankContext,
+        image: SubImage,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> CompositeOutcome:
+        from ..cluster.stats import PRE_STAGE
+
+        stages = self.check_plan(ctx, plan)
+        region = image.full_rect()
+
+        # Initial full scan for the local bounding rectangle (T_bound).
+        ctx.begin_stage(PRE_STAGE)
+        local_rect = image.bounding_rect()
+        await ctx.charge_bound(image.num_pixels)
+
+        for stage in range(stages):
+            ctx.begin_stage(stage)
+            partner = ctx.rank ^ (1 << stage)
+            axis = split_axis_for(region, stage, self.split_policy)
+            first, second = region.split(axis)
+            low_part, high_part = split_rect_by_centerline(local_rect, region, axis)
+            if keeps_low_half(ctx.rank, stage):
+                keep, send = first, second
+                keep_rect, send_rect = low_part, high_part
+            else:
+                keep, send = second, first
+                keep_rect, send_rect = high_part, low_part
+
+            msg = pack_bsbr(image.intensity, image.opacity, send_rect)
+            if self.charge_pack:
+                await ctx.charge_pack(len(msg.buffer))
+            raw = await ctx.sendrecv(
+                partner, msg.buffer, nbytes=msg.accounted_bytes, tag=stage
+            )
+            recv_rect, recv_i, recv_a = unpack_bsbr(raw)
+            if not keep.contains(recv_rect):
+                raise CompositingError(
+                    f"stage {stage}: received rect {recv_rect} outside kept half {keep}"
+                )
+            ctx.note("a_rec", recv_rect.area)
+            ctx.note("a_send", send_rect.area)
+            if recv_rect.is_empty:
+                ctx.note("empty_recv_rect")
+            if send_rect.is_empty:
+                ctx.note("empty_send_rect")
+            if not recv_rect.is_empty:
+                composite_rect_pixels(
+                    image,
+                    recv_rect,
+                    recv_i,  # type: ignore[arg-type]
+                    recv_a,  # type: ignore[arg-type]
+                    local_in_front=plan.local_in_front(ctx.rank, stage, view_dir),
+                )
+                await ctx.charge_over(recv_rect.area)
+            local_rect = keep_rect.union(recv_rect)
+            region = keep
+        return CompositeOutcome(image=image, owned_rect=region)

@@ -1,0 +1,86 @@
+"""BSLC variant with Ahrens & Painter value-based RLE ("bslcv").
+
+Identical exchange structure to BSLC — interleaved halves, static load
+balancing — but the wire compression is value runs instead of the
+paper's blank/non-blank mask runs.  This is the comparator the paper's
+§3.3 argues against for volume rendering: on floating-point pixels the
+value runs degenerate to one run per non-blank pixel (18 bytes each vs
+BSLC's 16 + amortized 2-byte mask codes).  Kept in the registry so the
+ablation bench can demonstrate the argument on real images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.context import RankContext
+from ..cluster.topology import keeps_low_half
+from ..errors import CompositingError
+from ..render.image import SubImage
+from ..volume.partition import PartitionPlan
+from .base import CompositeOutcome, Compositor
+from .interleave import DEFAULT_SECTION, initial_indices, split_interleaved
+from .over import nonblank_mask, over
+from .value_rle import pack_value_runs, unpack_value_runs
+
+__all__ = ["BinarySwapValueCompression"]
+
+
+class BinarySwapValueCompression(Compositor):
+    """BSLC exchange structure with value-RLE payload (A&P comparator)."""
+
+    name = "bslcv"
+
+    def __init__(self, *, section: int = DEFAULT_SECTION, charge_pack: bool = True):
+        if section < 1:
+            raise CompositingError(f"section must be >= 1, got {section}")
+        self.section = int(section)
+        self.charge_pack = charge_pack
+
+    async def run(
+        self,
+        ctx: RankContext,
+        image: SubImage,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> CompositeOutcome:
+        stages = self.check_plan(ctx, plan)
+        flat_i = image.intensity.ravel()
+        flat_a = image.opacity.ravel()
+        indices = initial_indices(image.num_pixels)
+
+        for stage in range(stages):
+            ctx.begin_stage(stage)
+            partner = ctx.rank ^ (1 << stage)
+            kept, sent = split_interleaved(
+                indices, self.section, keeps_low_half(ctx.rank, stage)
+            )
+
+            msg = pack_value_runs(flat_i[sent], flat_a[sent])
+            await ctx.charge_encode(sent.shape[0])
+            if self.charge_pack:
+                await ctx.charge_pack(len(msg.buffer))
+            raw = await ctx.sendrecv(
+                partner, msg.buffer, nbytes=msg.accounted_bytes, tag=stage
+            )
+
+            recv_i, recv_a = unpack_value_runs(raw, kept.shape[0])
+            ctx.note("value_runs", int.from_bytes(raw[:4], "little"))
+            # Blank received pixels are over-identities; composite only
+            # the non-blank ones (and charge accordingly).
+            mask = nonblank_mask(recv_i, recv_a)
+            positions = np.flatnonzero(mask)
+            ctx.note("a_opaque", positions.size)
+            if positions.size:
+                targets = kept[positions]
+                loc_i = flat_i[targets]
+                loc_a = flat_a[targets]
+                if plan.local_in_front(ctx.rank, stage, view_dir):
+                    out_i, out_a = over(loc_i, loc_a, recv_i[mask], recv_a[mask])
+                else:
+                    out_i, out_a = over(recv_i[mask], recv_a[mask], loc_i, loc_a)
+                flat_i[targets] = out_i
+                flat_a[targets] = out_a
+                await ctx.charge_over(positions.size)
+            indices = kept
+        return CompositeOutcome(image=image, owned_indices=indices)

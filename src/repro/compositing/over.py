@@ -1,0 +1,84 @@
+"""The *over* compositing operator (Porter-Duff, front-to-back form).
+
+Every pixel carries an ``intensity`` (pre-multiplied by its opacity, as
+produced by front-to-back ray casting) and an ``opacity`` in ``[0, 1]``.
+Compositing pixel *f* (front) over pixel *b* (back):
+
+.. math::
+
+    I = I_f + (1 - \\alpha_f)\\,I_b \\qquad
+    \\alpha = \\alpha_f + (1 - \\alpha_f)\\,\\alpha_b
+
+The operator is associative (the algebraic property binary-swap relies
+on) but **not** commutative: callers must know which operand is in front.
+All functions here are pure numpy and operate on matching-shape arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "over",
+    "over_inplace",
+    "over_scalar",
+    "is_blank",
+    "nonblank_mask",
+]
+
+
+def over(
+    front_i: np.ndarray,
+    front_a: np.ndarray,
+    back_i: np.ndarray,
+    back_a: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Composite *front over back*, returning new ``(intensity, opacity)``.
+
+    Shapes must broadcast; dtype follows numpy promotion (float64 in the
+    library's pipelines).
+    """
+    trans = 1.0 - front_a
+    return front_i + trans * back_i, front_a + trans * back_a
+
+
+def over_inplace(
+    front_i: np.ndarray,
+    front_a: np.ndarray,
+    acc_i: np.ndarray,
+    acc_a: np.ndarray,
+) -> None:
+    """Composite *front over acc*, storing the result into ``acc_*``.
+
+    This is the hot path of every compositing stage: the received (or
+    local) front half is folded into the accumulation buffers without
+    allocating new planes.
+    """
+    trans = 1.0 - front_a
+    np.multiply(acc_i, trans, out=acc_i)
+    acc_i += front_i
+    np.multiply(acc_a, trans, out=acc_a)
+    acc_a += front_a
+
+
+def over_scalar(front: tuple[float, float], back: tuple[float, float]) -> tuple[float, float]:
+    """Scalar reference implementation (oracle for tests)."""
+    fi, fa = front
+    bi, ba = back
+    return fi + (1.0 - fa) * bi, fa + (1.0 - fa) * ba
+
+
+def is_blank(intensity: np.ndarray, opacity: np.ndarray) -> np.ndarray:
+    """Boolean mask of *blank* pixels (background).
+
+    The paper's sparse methods classify a pixel as blank when both its
+    values are zero — the state a ray-cast pixel has iff no non-transparent
+    sample was hit (§3.3: "checks a pixel's value (opacity or intensity)
+    to see whether it is zero or nonzero").
+    """
+    return (opacity == 0.0) & (intensity == 0.0)
+
+
+def nonblank_mask(intensity: np.ndarray, opacity: np.ndarray) -> np.ndarray:
+    """Boolean mask of foreground pixels; complement of :func:`is_blank`."""
+    return (opacity != 0.0) | (intensity != 0.0)

@@ -1,0 +1,75 @@
+"""Name → compositor factory registry.
+
+The experiment harness, CLI and examples refer to methods by their paper
+names (``bs``, ``bsbr``, ``bslc``, ``bsbrc``) plus the related-work
+baselines implemented as extensions (``direct``, ``tree``,
+``pipeline``).  Factories accept the method's keyword options so
+ablations (split policy, section size) route through the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from .base import Compositor
+
+__all__ = ["register", "make_compositor", "available_methods", "PAPER_METHODS"]
+
+_REGISTRY: dict[str, Callable[..., Compositor]] = {}
+
+#: The four methods evaluated in the paper's tables, in table order.
+PAPER_METHODS = ("bs", "bsbr", "bslc", "bsbrc")
+
+
+def register(name: str, factory: Callable[..., Compositor]) -> None:
+    """Register a compositor factory under ``name`` (lowercase)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ConfigurationError(f"compositor {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def make_compositor(name: str, **options) -> Compositor:
+    """Instantiate a registered compositor by name."""
+    factory = _REGISTRY.get(name.lower())
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown compositing method {name!r}; available: {available_methods()}"
+        )
+    return factory(**options)
+
+
+def available_methods() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    from .bs import BinarySwap
+    from .bsbr import BinarySwapBoundingRect
+    from .bsbrc import BinarySwapBoundingRectCompression
+    from .bslc import BinarySwapLoadBalancedCompression
+
+    register("bs", BinarySwap)
+    register("bsbr", BinarySwapBoundingRect)
+    register("bslc", BinarySwapLoadBalancedCompression)
+    register("bsbrc", BinarySwapBoundingRectCompression)
+
+    from .bslc_value import BinarySwapValueCompression
+
+    register("bslcv", BinarySwapValueCompression)
+
+    from .baselines import (
+        BinaryTreeCompression,
+        DirectSend,
+        DirectSendAsync,
+        ParallelPipeline,
+    )
+
+    register("direct", DirectSend)
+    register("direct-async", DirectSendAsync)
+    register("tree", BinaryTreeCompression)
+    register("pipeline", ParallelPipeline)
+
+
+_register_builtins()

@@ -1,0 +1,96 @@
+"""Blank/non-blank run-length codec (BSLC and BSBRC wire compression).
+
+Unlike Ahrens & Painter's value-based RLE (good for integer-valued
+surface-rendering pixels), the paper encodes only the *background /
+foreground* classification of each pixel (§3.3): floating-point volume
+pixels almost never repeat exactly, so value RLE would degenerate while
+mask RLE still compresses the long blank spans of sparse subimages.
+
+Wire format
+-----------
+A sequence of ``uint16`` run lengths that **starts with a blank run**
+(possibly of length zero) and then strictly alternates
+blank/non-blank/blank/...  Runs longer than 65535 are split by inserting
+a zero-length run of the opposite class, so any mask of any length has an
+exact encoding.  Each code element costs 2 bytes on the wire
+(``RLE_CODE_BYTES``), matching the paper's ``2 · R_code`` terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WireFormatError
+
+__all__ = ["rle_encode_mask", "rle_decode_mask", "count_nonblank", "MAX_RUN"]
+
+#: Largest run representable by one uint16 code element.
+MAX_RUN = 0xFFFF
+
+
+def rle_encode_mask(mask: np.ndarray) -> np.ndarray:
+    """Encode a 1-D boolean mask into alternating uint16 run lengths.
+
+    ``mask[i]`` is True for non-blank pixels.  Runs alternate starting
+    with blank; over-long runs are split with zero-length opposite runs.
+    The empty mask encodes to an empty code array.
+    """
+    mask = np.asarray(mask)
+    if mask.ndim != 1:
+        raise WireFormatError(f"mask must be 1-D, got shape {mask.shape}")
+    n = mask.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.uint16)
+    mask = mask.astype(bool, copy=False)
+    # Boundaries between runs: positions where the value changes.
+    change = np.flatnonzero(mask[1:] != mask[:-1]) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [n]))
+    lengths = ends - starts
+    first_is_blank = not bool(mask[0])
+
+    codes: list[int] = []
+    if not first_is_blank:
+        codes.append(0)  # leading zero-length blank run
+    for run_len in lengths:
+        run_len = int(run_len)
+        while run_len > MAX_RUN:
+            codes.append(MAX_RUN)
+            codes.append(0)  # zero run of the opposite class
+            run_len -= MAX_RUN
+        codes.append(run_len)
+    return np.asarray(codes, dtype=np.uint16)
+
+
+def rle_decode_mask(codes: np.ndarray, n: int) -> np.ndarray:
+    """Decode run lengths back to a boolean mask of length ``n``.
+
+    Raises :class:`WireFormatError` when the codes do not sum to ``n``.
+    """
+    codes = np.asarray(codes, dtype=np.uint16)
+    if codes.ndim != 1:
+        raise WireFormatError(f"codes must be 1-D, got shape {codes.shape}")
+    total = int(codes.sum(dtype=np.int64))
+    if total != n:
+        raise WireFormatError(f"run lengths sum to {total}, expected {n}")
+    mask = np.zeros(n, dtype=bool)
+    pos = 0
+    blank = True
+    for code in codes:
+        run = int(code)
+        if not blank and run:
+            mask[pos : pos + run] = True
+        pos += run
+        blank = not blank
+    return mask
+
+
+def count_nonblank(codes: np.ndarray) -> int:
+    """Number of non-blank pixels described by a code sequence.
+
+    Non-blank runs occupy the odd positions of the alternating sequence.
+    """
+    codes = np.asarray(codes, dtype=np.uint16)
+    if codes.ndim != 1:
+        raise WireFormatError(f"codes must be 1-D, got shape {codes.shape}")
+    return int(codes[1::2].sum(dtype=np.int64))

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still distinguishing substrate failures
+(:class:`SimulationError`), malformed wire data (:class:`WireFormatError`),
+and configuration mistakes (:class:`ConfigurationError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "DeadlockError",
+    "RankFailedError",
+    "WireFormatError",
+    "PartitionError",
+    "RenderError",
+    "CompositingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid run/machine/camera configuration was supplied."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event cluster simulator reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """Every live rank is blocked on communication and no pair matches.
+
+    Carries a human-readable summary of what each rank was blocked on so
+    that protocol bugs in compositing methods are diagnosable.
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        detail = "; ".join(f"rank {r}: {what}" for r, what in sorted(blocked.items()))
+        super().__init__(f"simulated cluster deadlocked ({len(blocked)} ranks blocked): {detail}")
+
+
+class RankFailedError(SimulationError):
+    """A rank's program raised; wraps the original exception."""
+
+    def __init__(self, rank: int, original: BaseException):
+        self.rank = rank
+        self.original = original
+        super().__init__(f"rank {rank} failed: {original!r}")
+
+
+class WireFormatError(ReproError, ValueError):
+    """A serialized compositing message failed to parse or validate."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A volume could not be partitioned as requested."""
+
+
+class RenderError(ReproError, RuntimeError):
+    """The ray caster was given inconsistent geometry."""
+
+
+class CompositingError(ReproError, RuntimeError):
+    """A compositing method violated one of its invariants."""

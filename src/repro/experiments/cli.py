@@ -1,0 +1,213 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+Subcommands regenerate each paper artifact::
+
+    table1    Table 1   (384x384, 4 methods x 4 datasets x P=2..64)
+    table2    Table 2   (768x768, BSBR/BSLC/BSBRC)
+    figures   Figures 8-11 (ASCII plots)  [--figure N for just one]
+    fig7      Figure 7  (render the test samples to PGM)
+    mmax      Equation (9) M_max ordering check
+    rotation  §3.2 empty-bounding-rectangle viewpoint analysis
+    compare   fidelity metrics vs the paper's published Tables 1-2
+    sparsity  dataset sparsity profiles (the structure behind §3)
+    stages    per-stage breakdown of one run (the §3 per-stage view)
+
+``--quick`` shrinks the volumes, the image, and the processor sweep so
+every command finishes in seconds (useful for smoke tests); results are
+written to ``--out`` (default ``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .compare import compare_to_paper, format_fidelity
+from .figures import format_figure, render_figure7, run_figures
+from .harness import save_rows
+from .mmax import format_mmax, run_mmax
+from .rotation import format_rotation, run_rotation
+from .table1 import format_table1, run_table1
+from .table2 import format_table2, run_table2
+
+__all__ = ["main", "build_parser"]
+
+_QUICK = {
+    "rank_counts": (2, 4, 8),
+    "volume_shape": (64, 64, 28),
+    "image_size": 96,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the simulated SP2.",
+    )
+    parser.add_argument("--quick", action="store_true", help="small fast variant")
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1")
+    sub.add_parser("table2")
+    figures = sub.add_parser("figures")
+    figures.add_argument("--figure", type=int, choices=(8, 9, 10, 11), default=None)
+    sub.add_parser("fig7")
+    sub.add_parser("mmax")
+    rotation = sub.add_parser("rotation")
+    rotation.add_argument("--dataset", default="engine_low")
+    sub.add_parser("compare")
+    sub.add_parser("sparsity")
+    stages = sub.add_parser("stages")
+    stages.add_argument("--dataset", default="engine_high")
+    stages.add_argument("--method", default="bsbrc")
+    stages.add_argument("--ranks", type=int, default=16)
+    sub.add_parser("all")
+    return parser
+
+
+def _quick_kwargs(args) -> dict:
+    if not args.quick:
+        return {}
+    return dict(_QUICK)
+
+
+def _emit(args, name: str, text: str, rows=None) -> None:
+    os.makedirs(args.out, exist_ok=True)
+    print(text)
+    path = os.path.join(args.out, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    if rows is not None:
+        save_rows(rows, os.path.join(args.out, f"{name}.json"))
+    print(f"\n[written to {path}]")
+
+
+def _run_one(args, command: str) -> None:
+    quick = _quick_kwargs(args)
+    if command == "table1":
+        rows = run_table1(verbose=args.verbose, **quick)
+        _emit(args, "table1", format_table1(rows), rows)
+    elif command == "table2":
+        quick2 = dict(quick)
+        if args.quick:
+            quick2["image_size"] = 192
+        rows = run_table2(verbose=args.verbose, **quick2)
+        _emit(args, "table2", format_table2(rows), rows)
+    elif command == "figures":
+        rows = run_figures(verbose=args.verbose, **quick)
+        wanted = [args.figure] if getattr(args, "figure", None) else [8, 9, 10, 11]
+        text = "\n\n".join(format_figure(fig, rows) for fig in wanted)
+        _emit(args, "figures", text, rows)
+    elif command == "fig7":
+        size = quick.get("image_size", 384)
+        shape = quick.get("volume_shape")
+        paths = render_figure7(args.out, image_size=size, volume_shape=shape)
+        print("Figure 7 sample images written:")
+        for path in paths:
+            print(f"  {path}")
+    elif command == "mmax":
+        report = run_mmax(verbose=args.verbose, **quick)
+        _emit(args, "mmax", format_mmax(report), report.rows)
+    elif command == "compare":
+        if args.quick:
+            raise SystemExit(
+                "compare needs the full-scale grids (the paper's numbers "
+                "are at 384/768 px); run without --quick"
+            )
+        rows1 = run_table1(verbose=args.verbose)
+        rows2 = run_table2(verbose=args.verbose)
+        text = (
+            format_fidelity(compare_to_paper(rows1))
+            + "\n\n"
+            + format_fidelity(compare_to_paper(rows2))
+        )
+        _emit(args, "compare", text)
+    elif command == "sparsity":
+        from ..analysis.sparsity import sparsity_table
+        from ..render.camera import Camera
+        from ..render.raycast import render_full
+        from ..volume.datasets import PAPER_DATASETS, make_dataset
+
+        size = quick.get("image_size", 384)
+        shape = quick.get("volume_shape")
+        labels, images = [], []
+        for dataset in PAPER_DATASETS:
+            volume, transfer = make_dataset(dataset, shape)
+            camera = Camera(
+                width=size, height=size, volume_shape=volume.shape,
+                rot_x=20.0, rot_y=30.0,
+            )
+            labels.append(dataset)
+            images.append(render_full(volume, transfer, camera))
+        _emit(
+            args,
+            "sparsity",
+            sparsity_table(
+                labels, images,
+                title=f"Dataset sparsity profiles ({size}x{size} full renders)",
+            ),
+        )
+    elif command == "stages":
+        from .stages import format_stage_breakdown, run_stage_breakdown
+
+        kwargs = dict(
+            dataset=getattr(args, "dataset", "engine_high"),
+            method=getattr(args, "method", "bsbrc"),
+            num_ranks=getattr(args, "ranks", 16),
+        )
+        if args.quick:
+            kwargs.update(
+                num_ranks=min(kwargs["num_ranks"], 8),
+                image_size=_QUICK["image_size"],
+                volume_shape=_QUICK["volume_shape"],
+            )
+        breakdown = run_stage_breakdown(**kwargs)
+        _emit(
+            args,
+            "stages",
+            format_stage_breakdown(
+                breakdown,
+                title=(
+                    f"Per-stage breakdown: {kwargs['method']} on "
+                    f"{kwargs['dataset']}, P={kwargs['num_ranks']}"
+                ),
+            ),
+        )
+    elif command == "rotation":
+        kwargs = {}
+        if args.quick:
+            kwargs = dict(
+                rank_counts=(4, 8),
+                volume_shape=_QUICK["volume_shape"],
+                image_size=_QUICK["image_size"],
+            )
+        observations = run_rotation(dataset=getattr(args, "dataset", "engine_low"), **kwargs)
+        _emit(args, "rotation", format_rotation(observations))
+    else:
+        raise SystemExit(f"unknown command {command!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = (
+        ["table1", "table2", "figures", "fig7", "mmax", "rotation",
+         "sparsity", "stages"]
+        + ([] if args.quick else ["compare"])
+        if args.command == "all"
+        else [args.command]
+    )
+    for command in commands:
+        if args.command == "all":
+            print(f"\n========== {command} ==========")
+        if command == "rotation" and not hasattr(args, "dataset"):
+            args.dataset = "engine_low"
+        if command == "figures" and not hasattr(args, "figure"):
+            args.figure = None
+        _run_one(args, command)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Reproduction-fidelity analysis: measured numbers vs the paper's.
+
+Joins regenerated :class:`~repro.analysis.metrics.MethodMeasurement`
+rows with the transcribed published tables and computes the metrics that
+matter for a *shape* reproduction:
+
+* **winner agreement** — in what fraction of (dataset, P) cells does the
+  same method have the lowest ``T_total``?
+* **pairwise-order agreement** — across all method pairs per cell, how
+  often does "A beats B" match the paper?
+* **rank correlation** — Spearman correlation between measured and
+  published ``T_total`` over all cells (and per method).
+* **ratio spread** — median and quartiles of measured/published time per
+  method (absolute calibration quality; informational only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..analysis.metrics import MethodMeasurement
+from ..analysis.tables import format_generic
+from .paper_data import PAPER_TABLE1, PAPER_TABLE2, PaperCell
+
+__all__ = ["FidelityReport", "compare_to_paper", "format_fidelity"]
+
+
+@dataclass
+class FidelityReport:
+    """Aggregate fidelity metrics for one table."""
+
+    table: str
+    cells_compared: int
+    winner_agreement: float
+    pairwise_agreement: float
+    spearman_total: float
+    per_method_ratio: dict[str, tuple[float, float, float]]  # q25, median, q75
+    per_method_spearman: dict[str, float]
+    mismatched_winners: list[str]
+
+
+def _paper_table(image_size: int) -> dict[tuple[str, int, str], PaperCell]:
+    return PAPER_TABLE1 if image_size == 384 else PAPER_TABLE2
+
+
+def compare_to_paper(
+    rows: list[MethodMeasurement], *, image_size: int | None = None
+) -> FidelityReport:
+    """Compute fidelity metrics for measured ``rows`` vs the paper."""
+    if not rows:
+        raise ValueError("no measurements supplied")
+    size = image_size if image_size is not None else rows[0].image_size
+    paper = _paper_table(size)
+
+    measured: dict[tuple[str, int, str], MethodMeasurement] = {
+        (r.dataset, r.num_ranks, r.method): r
+        for r in rows
+        if r.image_size == size and (r.dataset, r.num_ranks, r.method) in paper
+    }
+    if not measured:
+        raise ValueError(
+            f"no overlap between measurements and the paper's {size}x{size} table"
+        )
+
+    # Group cells by (dataset, P).
+    groups: dict[tuple[str, int], list[str]] = {}
+    for dataset, num_ranks, method in measured:
+        groups.setdefault((dataset, num_ranks), []).append(method)
+
+    winner_hits = 0
+    winner_total = 0
+    pair_hits = 0
+    pair_total = 0
+    mismatches: list[str] = []
+    measured_series: list[float] = []
+    paper_series: list[float] = []
+    per_method_pairs: dict[str, list[tuple[float, float]]] = {}
+
+    for (dataset, num_ranks), methods in sorted(groups.items()):
+        if len(methods) < 2:
+            continue
+        m_tot = {m: measured[(dataset, num_ranks, m)].t_total * 1e3 for m in methods}
+        p_tot = {m: paper[(dataset, num_ranks, m)].t_total for m in methods}
+        for method in methods:
+            measured_series.append(m_tot[method])
+            paper_series.append(p_tot[method])
+            per_method_pairs.setdefault(method, []).append(
+                (m_tot[method], p_tot[method])
+            )
+        measured_winner = min(m_tot, key=m_tot.get)  # type: ignore[arg-type]
+        paper_winner = min(p_tot, key=p_tot.get)  # type: ignore[arg-type]
+        winner_total += 1
+        if measured_winner == paper_winner:
+            winner_hits += 1
+        else:
+            mismatches.append(
+                f"{dataset} P={num_ranks}: paper={paper_winner} "
+                f"({p_tot[paper_winner]:.1f} ms) vs measured={measured_winner} "
+                f"({m_tot[measured_winner]:.1f} ms)"
+            )
+        for a, b in combinations(sorted(methods), 2):
+            pair_total += 1
+            if (m_tot[a] < m_tot[b]) == (p_tot[a] < p_tot[b]):
+                pair_hits += 1
+
+    spearman = float(
+        scipy_stats.spearmanr(measured_series, paper_series).statistic
+    )
+    per_method_ratio: dict[str, tuple[float, float, float]] = {}
+    per_method_spearman: dict[str, float] = {}
+    for method, pairs in sorted(per_method_pairs.items()):
+        arr = np.asarray(pairs)
+        ratios = arr[:, 0] / arr[:, 1]
+        per_method_ratio[method] = (
+            float(np.quantile(ratios, 0.25)),
+            float(np.median(ratios)),
+            float(np.quantile(ratios, 0.75)),
+        )
+        if len(pairs) >= 3:
+            per_method_spearman[method] = float(
+                scipy_stats.spearmanr(arr[:, 0], arr[:, 1]).statistic
+            )
+
+    return FidelityReport(
+        table=f"Table {'1' if size == 384 else '2'} ({size}x{size})",
+        cells_compared=len(measured),
+        winner_agreement=winner_hits / max(1, winner_total),
+        pairwise_agreement=pair_hits / max(1, pair_total),
+        spearman_total=spearman,
+        per_method_ratio=per_method_ratio,
+        per_method_spearman=per_method_spearman,
+        mismatched_winners=mismatches,
+    )
+
+
+def format_fidelity(report: FidelityReport) -> str:
+    out = [
+        f"Reproduction fidelity vs the paper — {report.table}",
+        f"  cells compared:          {report.cells_compared}",
+        f"  winner agreement:        {report.winner_agreement:.0%} of (dataset, P) cells",
+        f"  pairwise-order agreement: {report.pairwise_agreement:.0%} of method pairs",
+        f"  Spearman rho (T_total):  {report.spearman_total:.3f}",
+        "",
+        format_generic(
+            ["method", "ratio q25", "median", "q75", "Spearman rho"],
+            [
+                (
+                    method,
+                    f"{q25:.2f}",
+                    f"{median:.2f}",
+                    f"{q75:.2f}",
+                    f"{report.per_method_spearman.get(method, float('nan')):.3f}",
+                )
+                for method, (q25, median, q75) in report.per_method_ratio.items()
+            ],
+        ),
+    ]
+    if report.mismatched_winners:
+        out.append("")
+        out.append("cells where the winner differs:")
+        out.extend(f"  {line}" for line in report.mismatched_winners)
+    else:
+        out.append("")
+        out.append("the same method wins every cell.")
+    return "\n".join(out)

@@ -1,0 +1,102 @@
+"""Experiments F7-F11 — regenerate the paper's figures.
+
+* Figure 7 — the four test-sample images (rendered to PGM files).
+* Figures 8-11 — compositing time vs processor count for BSBR, BSLC
+  and BSBRC on Engine_low, Head, Engine_high and Cube respectively
+  (ASCII line plots + exact-value tables; see
+  :mod:`repro.analysis.plots`).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..analysis.metrics import MethodMeasurement
+from ..analysis.plots import ascii_line_plot, series_summary
+from ..cluster.model import SP2, MachineModel
+from ..render.raycast import render_full
+from ..render.reference import luminance
+from ..render.camera import Camera
+from ..volume.datasets import PAPER_DATASETS, make_dataset
+from ..volume.io import to_gray8, write_pgm
+from .harness import DEFAULT_ROTATION, run_grid
+
+__all__ = ["FIGURE_DATASETS", "run_figures", "format_figure", "render_figure7"]
+
+#: Figure number → dataset, in the paper's order.
+FIGURE_DATASETS = {
+    8: "engine_low",
+    9: "head",
+    10: "engine_high",
+    11: "cube",
+}
+
+_FIGURE_METHODS = ("bsbr", "bslc", "bsbrc")
+
+
+def run_figures(
+    *,
+    machine: MachineModel = SP2,
+    rank_counts=(2, 4, 8, 16, 32, 64),
+    image_size: int = 384,
+    volume_shape=None,
+    verbose: bool = False,
+) -> list[MethodMeasurement]:
+    """Measurements behind Figures 8-11 (same grid as Table 1, 3 methods)."""
+    return run_grid(
+        PAPER_DATASETS,
+        image_size,
+        rank_counts,
+        _FIGURE_METHODS,
+        machine=machine,
+        volume_shape=volume_shape,
+        verbose=verbose,
+    )
+
+
+def format_figure(figure: int, rows: list[MethodMeasurement]) -> str:
+    """Render one of Figures 8-11 from measurement rows."""
+    dataset = FIGURE_DATASETS.get(figure)
+    if dataset is None:
+        raise KeyError(f"no figure {figure}; available: {sorted(FIGURE_DATASETS)}")
+    subset = [r for r in rows if r.dataset == dataset]
+    ranks = sorted({r.num_ranks for r in subset})
+    series = {}
+    for method in _FIGURE_METHODS:
+        by_p = {r.num_ranks: r.t_total * 1e3 for r in subset if r.method == method}
+        if len(by_p) == len(ranks) and ranks:
+            series[method.upper()] = [by_p[p] for p in ranks]
+    title = (
+        f"Figure {figure} (reproduction): compositing time of the BSBR, BSLC and "
+        f"BSBRC methods for {dataset}"
+    )
+    plot = ascii_line_plot(series, ranks, title=title, y_label="T_total ms")
+    return plot + "\n\n" + series_summary(series, ranks)
+
+
+def render_figure7(
+    out_dir: str | os.PathLike,
+    *,
+    image_size: int = 384,
+    volume_shape=None,
+    rotation=DEFAULT_ROTATION,
+    gain: float = 2.0,
+) -> list[str]:
+    """Figure 7: render each test sample to ``<out_dir>/fig7_<name>.pgm``."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths: list[str] = []
+    for dataset in PAPER_DATASETS:
+        volume, transfer = make_dataset(dataset, volume_shape)
+        camera = Camera(
+            width=image_size,
+            height=image_size,
+            volume_shape=volume.shape,
+            rot_x=rotation[0],
+            rot_y=rotation[1],
+            rot_z=rotation[2],
+        )
+        image = render_full(volume, transfer, camera)
+        path = os.path.join(os.fspath(out_dir), f"fig7_{dataset}.pgm")
+        write_pgm(path, to_gray8(luminance(image), gain=gain))
+        paths.append(path)
+    return paths

@@ -1,0 +1,79 @@
+"""Experiment E9 — the paper's eq. (9) maximum-received-message ordering.
+
+``M_max(BS) ≥ M_max(BSBR) ≥ M_max(BSBRC) ≥ M_max(BSLC)`` must hold for
+every dataset and processor count; the harness measures ``M_max`` from
+the real serialized message sizes and reports any violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import MethodMeasurement, check_mmax_ordering
+from ..analysis.tables import format_mmax_table
+from ..cluster.model import SP2, MachineModel
+from ..compositing.registry import PAPER_METHODS
+from ..volume.datasets import PAPER_DATASETS
+from .harness import run_grid
+
+__all__ = ["MmaxReport", "run_mmax", "format_mmax"]
+
+
+@dataclass
+class MmaxReport:
+    rows: list[MethodMeasurement]
+    violations: list[str]
+
+    @property
+    def ordering_holds(self) -> bool:
+        return not self.violations
+
+
+def run_mmax(
+    *,
+    machine: MachineModel = SP2,
+    rank_counts=(2, 4, 8, 16, 32, 64),
+    image_size: int = 384,
+    datasets=PAPER_DATASETS,
+    volume_shape=None,
+    rel_tolerance: float = 0.05,
+    verbose: bool = False,
+) -> MmaxReport:
+    rows = run_grid(
+        datasets,
+        image_size,
+        rank_counts,
+        PAPER_METHODS,
+        machine=machine,
+        volume_shape=volume_shape,
+        verbose=verbose,
+    )
+    violations: list[str] = []
+    for dataset in datasets:
+        for num_ranks in rank_counts:
+            mmax = {
+                r.method: r.mmax_bytes
+                for r in rows
+                if r.dataset == dataset and r.num_ranks == num_ranks
+            }
+            for violation in check_mmax_ordering(mmax, rel_tolerance=rel_tolerance):
+                violations.append(f"{dataset} P={num_ranks}: {violation}")
+    return MmaxReport(rows=rows, violations=violations)
+
+
+def format_mmax(report: MmaxReport) -> str:
+    datasets = list(dict.fromkeys(row.dataset for row in report.rows))
+    table = format_mmax_table(
+        report.rows,
+        methods=list(PAPER_METHODS),
+        datasets=datasets,
+        title="Equation (9) check: maximum received message size M_max (bytes)",
+    )
+    if report.ordering_holds:
+        verdict = (
+            "\nOrdering M_max(BS) >= M_max(BSBR) >= M_max(BSBRC) >= M_max(BSLC): "
+            "HOLDS (5% run-code tolerance on the BSBRC/BSLC leg)"
+        )
+    else:
+        verdict = "\nVIOLATIONS:\n  " + "\n  ".join(report.violations)
+    return table + verdict

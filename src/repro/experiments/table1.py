@@ -1,0 +1,57 @@
+"""Experiment T1 — regenerate the paper's Table 1.
+
+Compositing time (``T_comp``, ``T_comm``, ``T_total``) of BS, BSBR,
+BSLC and BSBRC on the four test datasets at 384x384 pixels for
+P ∈ {2, 4, 8, 16, 32, 64}.
+"""
+
+from __future__ import annotations
+
+from ..analysis.metrics import MethodMeasurement
+from ..analysis.tables import format_paper_table
+from ..cluster.model import SP2, MachineModel
+from ..compositing.registry import PAPER_METHODS
+from ..volume.datasets import PAPER_DATASETS
+from .harness import run_grid
+
+__all__ = ["run_table1", "format_table1", "TABLE1_RANKS", "TABLE1_IMAGE_SIZE"]
+
+TABLE1_RANKS = (2, 4, 8, 16, 32, 64)
+TABLE1_IMAGE_SIZE = 384
+
+
+def run_table1(
+    *,
+    machine: MachineModel = SP2,
+    rank_counts=TABLE1_RANKS,
+    image_size: int = TABLE1_IMAGE_SIZE,
+    datasets=PAPER_DATASETS,
+    methods=PAPER_METHODS,
+    volume_shape=None,
+    verbose: bool = False,
+) -> list[MethodMeasurement]:
+    """Run the Table 1 grid; pass smaller knobs for a quick variant."""
+    return run_grid(
+        datasets,
+        image_size,
+        rank_counts,
+        methods,
+        machine=machine,
+        volume_shape=volume_shape,
+        verbose=verbose,
+    )
+
+
+def format_table1(rows: list[MethodMeasurement]) -> str:
+    datasets = list(dict.fromkeys(row.dataset for row in rows))
+    methods = [m for m in PAPER_METHODS if any(r.method == m for r in rows)]
+    size = rows[0].image_size if rows else TABLE1_IMAGE_SIZE
+    return format_paper_table(
+        rows,
+        methods=methods,
+        datasets=datasets,
+        title=(
+            f"Table 1 (reproduction): compositing time of the proposed methods "
+            f"for the {size}x{size} test images"
+        ),
+    )

@@ -1,0 +1,57 @@
+"""Experiment T2 — regenerate the paper's Table 2.
+
+Same grid as Table 1 but at 768x768 pixels and — like the paper — only
+the three proposed methods (BSBR, BSLC, BSBRC); plain BS was dropped
+from the paper's second table.
+"""
+
+from __future__ import annotations
+
+from ..analysis.metrics import MethodMeasurement
+from ..analysis.tables import format_paper_table
+from ..cluster.model import SP2, MachineModel
+from ..volume.datasets import PAPER_DATASETS
+from .harness import run_grid
+
+__all__ = ["run_table2", "format_table2", "TABLE2_RANKS", "TABLE2_IMAGE_SIZE", "TABLE2_METHODS"]
+
+TABLE2_RANKS = (2, 4, 8, 16, 32, 64)
+TABLE2_IMAGE_SIZE = 768
+TABLE2_METHODS = ("bsbr", "bslc", "bsbrc")
+
+
+def run_table2(
+    *,
+    machine: MachineModel = SP2,
+    rank_counts=TABLE2_RANKS,
+    image_size: int = TABLE2_IMAGE_SIZE,
+    datasets=PAPER_DATASETS,
+    methods=TABLE2_METHODS,
+    volume_shape=None,
+    verbose: bool = False,
+) -> list[MethodMeasurement]:
+    """Run the Table 2 grid; pass smaller knobs for a quick variant."""
+    return run_grid(
+        datasets,
+        image_size,
+        rank_counts,
+        methods,
+        machine=machine,
+        volume_shape=volume_shape,
+        verbose=verbose,
+    )
+
+
+def format_table2(rows: list[MethodMeasurement]) -> str:
+    datasets = list(dict.fromkeys(row.dataset for row in rows))
+    methods = [m for m in TABLE2_METHODS if any(r.method == m for r in rows)]
+    size = rows[0].image_size if rows else TABLE2_IMAGE_SIZE
+    return format_paper_table(
+        rows,
+        methods=methods,
+        datasets=datasets,
+        title=(
+            f"Table 2 (reproduction): compositing time of the proposed methods "
+            f"for the {size}x{size} test samples"
+        ),
+    )

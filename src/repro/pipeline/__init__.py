@@ -1,0 +1,21 @@
+"""End-to-end sort-last-sparse pipeline."""
+
+from .config import RunConfig
+from .system import (
+    CompositingRun,
+    SortLastSystem,
+    SystemResult,
+    assemble_final,
+    run_compositing,
+    validate_ownership,
+)
+
+__all__ = [
+    "CompositingRun",
+    "RunConfig",
+    "SortLastSystem",
+    "SystemResult",
+    "assemble_final",
+    "run_compositing",
+    "validate_ownership",
+]

@@ -1,0 +1,110 @@
+"""Run configuration for the sort-last system and experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..cluster.model import PRESETS, SP2, MachineModel
+from ..errors import ConfigurationError
+from ..volume.datasets import DATASETS
+
+__all__ = ["RunConfig"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything needed to execute one sort-last run.
+
+    Attributes
+    ----------
+    dataset:
+        Name from :data:`repro.volume.datasets.DATASETS`.
+    image_size:
+        Final image side in pixels (square images, as in the paper's
+        384x384 / 768x768 experiments).
+    num_ranks:
+        Simulated processor count.  Powers of two run plain binary swap;
+        other counts use the folding extension (extra ranks pre-merge
+        into buddies before the swap).
+    method:
+        Compositing method registry name.
+    machine:
+        Machine model instance or preset name.
+    rot_x / rot_y / rot_z:
+        Viewpoint rotation in degrees (paper §3.2's rotation study).
+    volume_shape:
+        Optional override of the dataset's default voxel shape (used by
+        tests to shrink workloads).
+    balance_render_load:
+        When true, bisection planes fall at the visible-voxel weighted
+        median instead of the midpoint, equalising render work.
+    method_options:
+        Extra keyword options for the compositor factory (e.g.
+        ``{"section": 64}`` for BSLC ablations).
+    """
+
+    dataset: str = "engine_low"
+    image_size: int = 384
+    num_ranks: int = 8
+    method: str = "bsbrc"
+    machine: MachineModel = SP2
+    rot_x: float = 20.0
+    rot_y: float = 30.0
+    rot_z: float = 0.0
+    volume_shape: tuple[int, int, int] | None = None
+    step: float = 1.0
+    #: Weighted-median partitioning: balance visible-voxel render load
+    #: across ranks (the paper's future-work load-balancing scheme).
+    balance_render_load: bool = False
+    #: Rendering algorithm: "raycast" (paper's evaluation) or "splat"
+    #: (Westover splatting, the paper's future-work renderer).
+    renderer: str = "raycast"
+    method_options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASETS:
+            raise ConfigurationError(
+                f"unknown dataset {self.dataset!r}; available: {sorted(DATASETS)}"
+            )
+        if self.image_size < 2:
+            raise ConfigurationError(f"image_size must be >= 2, got {self.image_size}")
+        if self.num_ranks < 1:
+            raise ConfigurationError(f"num_ranks must be >= 1, got {self.num_ranks}")
+        # Non-power-of-two counts are supported through folding (the
+        # paper's future-work extension); no restriction here.
+        if isinstance(self.machine, str):
+            preset = PRESETS.get(self.machine)
+            if preset is None:
+                raise ConfigurationError(
+                    f"unknown machine preset {self.machine!r}; available: {sorted(PRESETS)}"
+                )
+            object.__setattr__(self, "machine", preset)
+        elif not isinstance(self.machine, MachineModel):
+            raise ConfigurationError(f"machine must be a MachineModel or preset name")
+        from ..compositing.registry import available_methods
+
+        if self.method.lower() not in available_methods():
+            raise ConfigurationError(
+                f"unknown method {self.method!r}; available: {available_methods()}"
+            )
+        if self.step <= 0:
+            raise ConfigurationError(f"step must be > 0, got {self.step}")
+        if self.renderer not in ("raycast", "splat"):
+            raise ConfigurationError(
+                f"renderer must be 'raycast' or 'splat', got {self.renderer!r}"
+            )
+
+    @property
+    def num_pixels(self) -> int:
+        return self.image_size * self.image_size
+
+    def with_(self, **kwargs) -> "RunConfig":
+        """Derive a modified copy (sweep helper)."""
+        return replace(self, **kwargs)
+
+    def label(self) -> str:
+        return (
+            f"{self.dataset}/{self.image_size}px/P{self.num_ranks}/"
+            f"{self.method}/{self.machine.name}"
+        )

@@ -1,0 +1,299 @@
+"""The sort-last-sparse system: partition → render → composite → gather.
+
+Two entry points:
+
+* :func:`run_compositing` — the paper's measurement unit: given already
+  rendered per-rank subimages, run just the compositing phase on the
+  simulated cluster and return per-rank outcomes plus the timing stats
+  that populate Tables 1-2.
+* :class:`SortLastSystem` — the full pipeline driven by a
+  :class:`~repro.pipeline.config.RunConfig`; renders per-rank subvolumes,
+  composites, gathers tiles to the display rank and assembles (and
+  optionally verifies) the final image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..cluster.collectives import gather
+from ..cluster.model import MachineModel
+from ..cluster.simulator import Simulator
+from ..cluster.stats import RunResult
+from ..compositing.base import CompositeOutcome, Compositor
+from ..compositing.registry import make_compositor
+from ..errors import CompositingError
+from ..render.camera import Camera
+from ..render.image import SubImage
+from ..render.raycast import render_subvolume
+from ..render.splat import splat_subvolume
+from ..render.reference import composite_sequential
+from ..volume.datasets import make_dataset
+from ..volume.folded import FoldedPartition, folded_depth_order, partition_folded
+from ..volume.partition import (
+    PartitionPlan,
+    depth_order,
+    recursive_bisect,
+    render_load_weights,
+)
+from .config import RunConfig
+
+__all__ = [
+    "CompositingRun",
+    "SystemResult",
+    "SortLastSystem",
+    "run_compositing",
+    "assemble_final",
+    "validate_ownership",
+]
+
+#: Stage bucket used for the final image gather (outside the paper's
+#: measured compositing stages, which are ``PRE_STAGE`` and ``0..log2P-1``).
+GATHER_STAGE = 1_000_000
+
+
+@dataclass
+class CompositingRun:
+    """Outcome of one simulated compositing phase."""
+
+    compositor: Compositor
+    outcomes: list[CompositeOutcome]
+    stats: RunResult
+
+    @property
+    def method(self) -> str:
+        return self.compositor.name
+
+
+def run_compositing(
+    images: Sequence[SubImage],
+    method: str | Compositor,
+    plan: PartitionPlan | FoldedPartition,
+    view_dir: np.ndarray,
+    model: MachineModel,
+    **method_options: Any,
+) -> CompositingRun:
+    """Composite pre-rendered subimages on the simulated cluster.
+
+    ``images[r]`` is rank ``r``'s rendered subimage; inputs are copied,
+    not mutated.  Returns outcomes plus the :class:`RunResult` whose
+    totals are exactly the compositing-phase ``T_comp``/``T_comm``.
+
+    Passing a :class:`~repro.volume.folded.FoldedPartition` (any rank
+    count) automatically wraps swap-structured methods in a
+    :class:`~repro.compositing.folding.FoldedCompositor`.
+    """
+    num_ranks = len(images)
+    if plan.num_ranks != num_ranks:
+        raise CompositingError(
+            f"{num_ranks} images supplied for a {plan.num_ranks}-rank plan"
+        )
+    compositor = (
+        make_compositor(method, **method_options) if isinstance(method, str) else method
+    )
+    if isinstance(plan, FoldedPartition):
+        from ..compositing.folding import FoldedCompositor
+
+        if not isinstance(compositor, FoldedCompositor):
+            compositor = FoldedCompositor(compositor)
+    view_dir = np.asarray(view_dir, dtype=np.float64)
+    outcomes: list[CompositeOutcome | None] = [None] * num_ranks
+
+    async def program(ctx):
+        local = images[ctx.rank].copy()
+        outcomes[ctx.rank] = await compositor.run(ctx, local, plan, view_dir)
+
+    stats = Simulator(num_ranks, model).run(program)
+    assert all(o is not None for o in outcomes)
+    return CompositingRun(
+        compositor=compositor,
+        outcomes=outcomes,  # type: ignore[arg-type]
+        stats=stats,
+    )
+
+
+def validate_ownership(
+    outcomes: Sequence[CompositeOutcome], height: int, width: int
+) -> None:
+    """Check that rank ownerships partition the ``height x width`` image
+    exactly once.
+
+    Methods where one rank ends with the whole image (binary tree) only
+    pass when a single outcome is supplied — empty ownerships contribute
+    nothing.
+    """
+    seen = np.zeros(height * width, dtype=np.int32)
+    for outcome in outcomes:
+        if outcome.owned_rect is not None:
+            rect = outcome.owned_rect
+            if rect.is_empty:
+                continue
+            flat = (
+                np.arange(rect.y0, rect.y1)[:, None] * width
+                + np.arange(rect.x0, rect.x1)[None, :]
+            ).ravel()
+            seen[flat] += 1
+        else:
+            seen[outcome.owned_indices] += 1  # type: ignore[index]
+    if not np.all(seen == 1):
+        missing = int((seen == 0).sum())
+        dup = int((seen > 1).sum())
+        raise CompositingError(
+            f"ownership is not a partition: {missing} unowned, {dup} multiply-owned pixels"
+        )
+
+
+def assemble_final(
+    outcomes: Sequence[CompositeOutcome], height: int, width: int
+) -> SubImage:
+    """Merge every rank's owned pixels into the display image."""
+    final = SubImage.blank(height, width)
+    flat_i = final.intensity.ravel()
+    flat_a = final.opacity.ravel()
+    for outcome in outcomes:
+        if outcome.owned_rect is not None:
+            rect = outcome.owned_rect
+            if rect.is_empty:
+                continue
+            rows, cols = rect.slices()
+            final.intensity[rows, cols] = outcome.image.intensity[rows, cols]
+            final.opacity[rows, cols] = outcome.image.opacity[rows, cols]
+        else:
+            idx = outcome.owned_indices
+            flat_i[idx] = outcome.image.intensity.ravel()[idx]
+            flat_a[idx] = outcome.image.opacity.ravel()[idx]
+    return final
+
+
+@dataclass
+class SystemResult:
+    """Everything the full pipeline produces."""
+
+    config: RunConfig
+    plan: PartitionPlan | FoldedPartition
+    camera: Camera
+    subimages: list[SubImage]
+    compositing: CompositingRun
+    final_image: SubImage
+
+    def reference_image(self) -> SubImage:
+        """Sequential depth-order composite of the rendered subimages."""
+        if isinstance(self.plan, FoldedPartition):
+            order = folded_depth_order(self.plan, self.camera.view_dir)
+        else:
+            order = depth_order(self.plan, self.camera.view_dir)
+        return composite_sequential(self.subimages, order)
+
+
+class SortLastSystem:
+    """Full three-phase sort-last-sparse pipeline on the simulated cluster."""
+
+    def __init__(self, config: RunConfig):
+        self.config = config
+
+    def run(self, *, gather_final: bool = True) -> SystemResult:
+        """Execute partition → render → composite (→ gather & assemble)."""
+        cfg = self.config
+        volume, transfer = make_dataset(cfg.dataset, cfg.volume_shape)
+        camera = Camera(
+            width=cfg.image_size,
+            height=cfg.image_size,
+            volume_shape=volume.shape,
+            rot_x=cfg.rot_x,
+            rot_y=cfg.rot_y,
+            rot_z=cfg.rot_z,
+            step=cfg.step,
+        )
+        weights = (
+            render_load_weights(volume.data, transfer)
+            if cfg.balance_render_load
+            else None
+        )
+        if cfg.num_ranks & (cfg.num_ranks - 1) == 0:
+            plan: PartitionPlan | FoldedPartition = recursive_bisect(
+                volume.shape, cfg.num_ranks, weights=weights
+            )
+        else:
+            # Paper §5 future work: any rank count via folding.  (Folded
+            # partitions always use midpoint splits; load balancing for
+            # the extras comes from folding the largest blocks.)
+            plan = partition_folded(volume.shape, cfg.num_ranks)
+
+        # Rendering phase: embarrassingly parallel, no communication —
+        # executed host-side once per rank (identical results to running
+        # it inside each rank's coroutine, without charging model time
+        # the paper does not measure).
+        render = render_subvolume if cfg.renderer == "raycast" else splat_subvolume
+        subimages = [
+            render(volume, transfer, camera, plan.extent(rank))
+            for rank in range(cfg.num_ranks)
+        ]
+
+        compositing = run_compositing(
+            subimages,
+            cfg.method,
+            plan,
+            camera.view_dir,
+            cfg.machine,
+            **cfg.method_options,
+        )
+
+        if gather_final:
+            final = self._gather_and_assemble(compositing, camera)
+        else:
+            final = assemble_final(compositing.outcomes, camera.height, camera.width)
+        return SystemResult(
+            config=cfg,
+            plan=plan,
+            camera=camera,
+            subimages=subimages,
+            compositing=compositing,
+            final_image=final,
+        )
+
+    def _gather_and_assemble(self, compositing: CompositingRun, camera: Camera) -> SubImage:
+        """Collect owned tiles to rank 0 through the simulated network."""
+        outcomes = compositing.outcomes
+        num_ranks = len(outcomes)
+        final_holder: list[SubImage | None] = [None]
+
+        async def program(ctx):
+            ctx.begin_stage(GATHER_STAGE)
+            outcome = outcomes[ctx.rank]
+            vals_i, vals_a = outcome.owned_values()
+            payload = (
+                outcome.owned_rect,
+                outcome.owned_indices,
+                vals_i.tobytes(),
+                vals_a.tobytes(),
+            )
+            collected = await gather(ctx, payload, root=0)
+            if ctx.rank == 0:
+                assert collected is not None
+                final = SubImage.blank(camera.height, camera.width)
+                flat_i = final.intensity.ravel()
+                flat_a = final.opacity.ravel()
+                for rect, indices, raw_i, raw_a in collected:
+                    vi = np.frombuffer(raw_i, dtype=np.float64)
+                    va = np.frombuffer(raw_a, dtype=np.float64)
+                    if rect is not None:
+                        if rect.is_empty:
+                            continue
+                        rows, cols = rect.slices()
+                        final.intensity[rows, cols] = vi.reshape(rect.height, rect.width)
+                        final.opacity[rows, cols] = va.reshape(rect.height, rect.width)
+                    else:
+                        flat_i[indices] = vi
+                        flat_a[indices] = va
+                final_holder[0] = final
+
+        # The gather runs on a fresh simulator: its traffic is not part
+        # of the compositing-phase stats (the paper measures compositing
+        # only), but it still flows through the simulated network.
+        Simulator(num_ranks, self.config.machine).run(program)
+        final = final_holder[0]
+        assert final is not None
+        return final

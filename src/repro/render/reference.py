@@ -1,0 +1,52 @@
+"""Sequential reference implementations (the compositing oracle).
+
+Every parallel compositing method must produce the same final image as
+folding the per-rank subimages together sequentially in depth order.
+These helpers provide that oracle plus the uniprocessor full-volume
+render used to validate the renderer itself.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..compositing.over import over_inplace
+from ..errors import CompositingError
+from .image import SubImage
+
+__all__ = ["composite_sequential", "luminance"]
+
+
+def composite_sequential(
+    subimages: Sequence[SubImage], front_to_back: Sequence[int]
+) -> SubImage:
+    """Composite ``subimages`` in the given front-to-back rank order.
+
+    Inputs are not mutated.  The fold runs back-to-front (equivalent by
+    associativity) so each step is a single in-place *over*.
+    """
+    if len(front_to_back) != len(subimages):
+        raise CompositingError(
+            f"order names {len(front_to_back)} ranks but {len(subimages)} images given"
+        )
+    if sorted(front_to_back) != list(range(len(subimages))):
+        raise CompositingError(f"order {front_to_back!r} is not a permutation")
+    if not subimages:
+        raise CompositingError("need at least one subimage")
+    shape = subimages[0].shape
+    for idx, img in enumerate(subimages):
+        if img.shape != shape:
+            raise CompositingError(f"subimage {idx} has shape {img.shape}, expected {shape}")
+
+    acc = SubImage.blank(*shape)
+    for rank in reversed(list(front_to_back)):
+        img = subimages[rank]
+        over_inplace(img.intensity, img.opacity, acc.intensity, acc.opacity)
+    return acc
+
+
+def luminance(image: SubImage, *, background: float = 0.0) -> np.ndarray:
+    """Displayable grayscale: premultiplied intensity over a background."""
+    return image.intensity + (1.0 - image.opacity) * background

@@ -1,0 +1,43 @@
+"""Volume-data substrate: grids, phantoms, transfer functions, partitioning."""
+
+from .datasets import (
+    DATASETS,
+    PAPER_DATASETS,
+    DatasetSpec,
+    make_cube,
+    make_dataset,
+    make_engine,
+    make_head,
+    make_sphere,
+)
+from .folded import FoldedPartition, core_count, folded_depth_order, partition_folded
+from .grid import VolumeGrid
+from .io import load_volume, read_pgm, save_volume, to_gray8, write_pgm
+from .partition import PartitionPlan, depth_order, recursive_bisect, render_load_weights
+from .transfer import TransferFunction
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "FoldedPartition",
+    "PAPER_DATASETS",
+    "PartitionPlan",
+    "TransferFunction",
+    "VolumeGrid",
+    "core_count",
+    "depth_order",
+    "folded_depth_order",
+    "load_volume",
+    "make_cube",
+    "make_dataset",
+    "make_engine",
+    "make_head",
+    "make_sphere",
+    "partition_folded",
+    "read_pgm",
+    "recursive_bisect",
+    "render_load_weights",
+    "save_volume",
+    "to_gray8",
+    "write_pgm",
+]

@@ -1,0 +1,239 @@
+"""Synthetic stand-ins for the paper's CT test samples.
+
+The original evaluation used four 8-bit CT volumes — *Engine_low*,
+*Engine_high* (the same engine with two opacity windows), *Head*
+(256x256x113) and *Cube* (256x256x110) — which are not available here.
+Each phantom below is an implicit-geometry field tuned to reproduce the
+property the paper actually exercises: the screen-space *sparsity
+structure* of per-processor subimages.
+
+* ``engine`` — hollow machined casing around dense internals (pistons,
+  crankshaft, bolts).  With a low opacity threshold the casing renders
+  (dense subimages, paper's *Engine_low*); with a high threshold only the
+  internals do (sparse, *Engine_high*).
+* ``head`` — nested ellipsoid shells (skin / skull / brain) plus eyes:
+  a dense, centered object like the CT head.
+* ``cube`` — a wireframe cube (thick edges + thin face grid lines):
+  projections span a *large but sparse* bounding rectangle, matching the
+  paper's description of Cube as the best case for BSBRC over BSBR.
+
+All generators are deterministic and fully vectorized; fields are in
+``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .grid import VolumeGrid
+from .transfer import TransferFunction
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "PAPER_DATASETS",
+    "make_dataset",
+    "make_engine",
+    "make_head",
+    "make_cube",
+    "make_sphere",
+]
+
+
+def _norm_coords(shape: tuple[int, int, int]):
+    """Open-grid normalized coordinates in [-1, 1] per axis (broadcastable)."""
+    nx, ny, nz = shape
+    xs = (np.arange(nx, dtype=np.float32) + 0.5) / nx * 2.0 - 1.0
+    ys = (np.arange(ny, dtype=np.float32) + 0.5) / ny * 2.0 - 1.0
+    zs = (np.arange(nz, dtype=np.float32) + 0.5) / nz * 2.0 - 1.0
+    return xs[:, None, None], ys[None, :, None], zs[None, None, :]
+
+
+def make_engine(shape: tuple[int, int, int] = (256, 256, 110)) -> VolumeGrid:
+    """Machined-part phantom: hollow casing + dense internals."""
+    X, Y, Z = _norm_coords(shape)
+    field = np.zeros(shape, dtype=np.float32)
+
+    # Hollow superellipsoid casing (moderate density ~0.30).
+    def _super(ax: float, ay: float, az: float) -> np.ndarray:
+        return (X / ax) ** 4 + (Y / ay) ** 4 + (Z / az) ** 4
+
+    outer = _super(0.84, 0.74, 0.92) <= 1.0
+    inner = _super(0.72, 0.62, 0.80) <= 1.0
+    field[outer & ~inner] = 0.30
+    field[inner] = 0.06  # faint interior air/oil
+
+    # Four piston cylinders along z (dense, ~0.85).
+    for cx, cy in ((-0.36, -0.30), (-0.36, 0.30), (0.36, -0.30), (0.36, 0.30)):
+        cyl = ((X - cx) ** 2 + (Y - cy) ** 2 <= 0.16**2) & (np.abs(Z) <= 0.60)
+        field[cyl] = 0.85
+
+    # Crankshaft along x (densest, ~0.92).
+    crank = (Y**2 + Z**2 <= 0.12**2) & (np.abs(X) <= 0.78)
+    field[crank] = 0.92
+
+    # Head bolts: small dense spheres on top.
+    for cx in (-0.5, 0.0, 0.5):
+        bolt = (X - cx) ** 2 + Y**2 + (Z - 0.75) ** 2 <= 0.10**2
+        field[bolt] = 0.95
+
+    return VolumeGrid(data=field, name="engine")
+
+
+def make_head(shape: tuple[int, int, int] = (256, 256, 113)) -> VolumeGrid:
+    """Nested-ellipsoid head phantom (skin / skull / brain / eyes)."""
+    X, Y, Z = _norm_coords(shape)
+    field = np.zeros(shape, dtype=np.float32)
+
+    r = np.sqrt((X / 0.70) ** 2 + (Y / 0.82) ** 2 + (Z / 0.90) ** 2)
+    skin = (r <= 1.0) & (r > 0.92)
+    skull = (r <= 0.92) & (r > 0.80)
+    brain = r <= 0.80
+    field[skin] = 0.28
+    field[skull] = 0.72
+    # Brain tissue with gyri-like modulation.
+    wrinkle = (
+        0.46
+        + 0.08 * np.sin(7.0 * np.pi * X) * np.sin(6.0 * np.pi * Y) * np.sin(5.0 * np.pi * Z)
+    ).astype(np.float32)
+    field = np.where(brain, np.broadcast_to(wrinkle, shape), field).astype(np.float32)
+
+    # Eyes: two dense spheres at the front.
+    for cx in (-0.28, 0.28):
+        eye = (X - cx) ** 2 + ((Y + 0.70) / 1.0) ** 2 + (Z - 0.18) ** 2 <= 0.12**2
+        field[eye] = 0.82
+    return VolumeGrid(data=np.clip(field, 0.0, 1.0), name="head")
+
+
+def make_cube(shape: tuple[int, int, int] = (256, 256, 110)) -> VolumeGrid:
+    """Wireframe cube: 12 thick edges + thin face grid lines.
+
+    Designed so per-processor subimages have **large, sparse** bounding
+    rectangles — the regime where BSBR degrades and BSBRC shines.
+    """
+    X, Y, Z = _norm_coords(shape)
+    field = np.zeros(shape, dtype=np.float32)
+    lo, hi = 0.72, 0.86
+    coords = (np.abs(X), np.abs(Y), np.abs(Z))
+    inside = (coords[0] <= hi) & (coords[1] <= hi) & (coords[2] <= hi)
+
+    # Thin grid lines on the six faces (sparse pattern).
+    for a in range(3):
+        on_face = (coords[a] >= lo) & (coords[a] <= hi)
+        b, c = (a + 1) % 3, (a + 2) % 3
+        grid_b = np.abs(np.sin(3.0 * np.pi * (X, Y, Z)[b])) <= 0.10
+        grid_c = np.abs(np.sin(3.0 * np.pi * (X, Y, Z)[c])) <= 0.10
+        lines = on_face & inside & (grid_b | grid_c)
+        field[np.broadcast_to(lines, shape)] = 0.55
+
+    # Twelve dense edges: two coordinates in the shell band.
+    for a in range(3):
+        b, c = (a + 1) % 3, (a + 2) % 3
+        edge = (
+            (coords[b] >= lo)
+            & (coords[b] <= hi)
+            & (coords[c] >= lo)
+            & (coords[c] <= hi)
+            & (coords[a] <= hi)
+        )
+        field[np.broadcast_to(edge, shape)] = 0.90
+    return VolumeGrid(data=field, name="cube")
+
+
+def make_sphere(shape: tuple[int, int, int] = (32, 32, 32), radius: float = 0.7) -> VolumeGrid:
+    """Simple dense ball — the unit-test phantom."""
+    if not (0.0 < radius <= 1.0):
+        raise ConfigurationError(f"radius must be in (0, 1], got {radius}")
+    X, Y, Z = _norm_coords(shape)
+    r = np.sqrt(X**2 + Y**2 + Z**2)
+    field = np.clip((radius - r) / radius, 0.0, 1.0) * 0.9
+    return VolumeGrid(data=field.astype(np.float32), name="sphere")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named (volume, transfer function) pair from the paper's table."""
+
+    name: str
+    volume_key: str
+    volume_factory: Callable[[tuple[int, int, int]], VolumeGrid]
+    default_shape: tuple[int, int, int]
+    transfer: TransferFunction
+    description: str = ""
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "engine_low": DatasetSpec(
+        name="engine_low",
+        volume_key="engine",
+        volume_factory=make_engine,
+        default_shape=(256, 256, 110),
+        transfer=TransferFunction(lo=0.14, hi=0.45, max_alpha=0.55, name="low-threshold"),
+        description="Engine with low opacity threshold — casing visible, dense subimages",
+    ),
+    "engine_high": DatasetSpec(
+        name="engine_high",
+        volume_key="engine",
+        volume_factory=make_engine,
+        default_shape=(256, 256, 110),
+        transfer=TransferFunction(lo=0.50, hi=0.88, max_alpha=0.70, name="high-threshold"),
+        description="Engine with high opacity threshold — internals only, sparse subimages",
+    ),
+    "head": DatasetSpec(
+        name="head",
+        volume_key="head",
+        volume_factory=make_head,
+        default_shape=(256, 256, 113),
+        transfer=TransferFunction(lo=0.20, hi=0.60, max_alpha=0.55, name="head"),
+        description="Nested-ellipsoid head — dense centered object",
+    ),
+    "cube": DatasetSpec(
+        name="cube",
+        volume_key="cube",
+        volume_factory=make_cube,
+        default_shape=(256, 256, 110),
+        transfer=TransferFunction(lo=0.40, hi=0.80, max_alpha=0.70, name="cube"),
+        description="Wireframe cube — large, sparse bounding rectangles",
+    ),
+    "sphere": DatasetSpec(
+        name="sphere",
+        volume_key="sphere",
+        volume_factory=make_sphere,
+        default_shape=(32, 32, 32),
+        transfer=TransferFunction(lo=0.15, hi=0.70, max_alpha=0.60, name="sphere"),
+        description="Unit-test ball phantom",
+    ),
+}
+
+#: The four datasets evaluated in the paper's Tables 1-2 / Figures 8-11.
+PAPER_DATASETS = ("engine_low", "engine_high", "head", "cube")
+
+
+@lru_cache(maxsize=8)
+def _cached_volume(volume_key: str, shape: tuple[int, int, int]) -> VolumeGrid:
+    factory = next(s.volume_factory for s in DATASETS.values() if s.volume_key == volume_key)
+    return factory(shape)
+
+
+def make_dataset(
+    name: str, shape: tuple[int, int, int] | None = None
+) -> tuple[VolumeGrid, TransferFunction]:
+    """Instantiate a named dataset (volume + its transfer function).
+
+    ``shape`` overrides the paper's default (for fast tests).  Volumes are
+    cached, so ``engine_low`` and ``engine_high`` share one field.
+    """
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    final_shape = tuple(shape) if shape is not None else spec.default_shape
+    if len(final_shape) != 3 or any(s < 2 for s in final_shape):
+        raise ConfigurationError(f"dataset shape must be 3 axes of >= 2, got {final_shape}")
+    return _cached_volume(spec.volume_key, final_shape), spec.transfer  # type: ignore[arg-type]

@@ -1,0 +1,69 @@
+"""Volume and image I/O helpers.
+
+Volumes round-trip through compressed ``.npz``; final images are written
+as binary PGM (grayscale, what the paper's 8-bit gray-level renderer
+produced) so results can be inspected with any image viewer and diffed
+byte-for-byte in tests.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .grid import VolumeGrid
+
+__all__ = ["save_volume", "load_volume", "write_pgm", "read_pgm", "to_gray8"]
+
+
+def save_volume(grid: VolumeGrid, path: str | os.PathLike) -> None:
+    """Write a volume to compressed ``.npz`` (fields: data, name)."""
+    np.savez_compressed(path, data=grid.data, name=np.asarray(grid.name))
+
+
+def load_volume(path: str | os.PathLike) -> VolumeGrid:
+    """Inverse of :func:`save_volume`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "data" not in archive:
+            raise ConfigurationError(f"{path!s} is not a saved volume (missing 'data')")
+        name = str(archive["name"]) if "name" in archive else "volume"
+        return VolumeGrid(data=archive["data"], name=name)
+
+
+def to_gray8(plane: np.ndarray, *, gain: float = 1.0) -> np.ndarray:
+    """Map a float intensity plane to uint8 grayscale with clipping."""
+    return np.clip(np.asarray(plane, dtype=np.float64) * gain * 255.0, 0.0, 255.0).astype(
+        np.uint8
+    )
+
+
+def write_pgm(path: str | os.PathLike, gray: np.ndarray) -> None:
+    """Write a uint8 grayscale image as binary PGM (P5)."""
+    gray = np.asarray(gray)
+    if gray.ndim != 2 or gray.dtype != np.uint8:
+        raise ConfigurationError(
+            f"write_pgm expects a 2-D uint8 array, got {gray.dtype} shape {gray.shape}"
+        )
+    height, width = gray.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        fh.write(gray.tobytes())
+
+
+def read_pgm(path: str | os.PathLike) -> np.ndarray:
+    """Read a binary PGM (P5) written by :func:`write_pgm`."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    parts = blob.split(b"\n", 3)
+    if len(parts) < 4 or parts[0] != b"P5":
+        raise ConfigurationError(f"{path!s} is not a binary PGM file")
+    width, height = (int(tok) for tok in parts[1].split())
+    maxval = int(parts[2])
+    if maxval != 255:
+        raise ConfigurationError(f"unsupported PGM maxval {maxval}")
+    pixels = np.frombuffer(parts[3][: width * height], dtype=np.uint8)
+    if pixels.size != width * height:
+        raise ConfigurationError(f"{path!s} truncated: {pixels.size} of {width * height} bytes")
+    return pixels.reshape(height, width).copy()

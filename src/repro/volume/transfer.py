@@ -1,0 +1,65 @@
+"""Transfer functions: scalar field value → per-sample opacity & emission.
+
+The paper renders 8-bit gray-level images: a pixel carries an intensity
+and an opacity (16 wire bytes).  Our transfer function is a classic
+windowed linear ramp — scalars below ``lo`` are fully transparent,
+scalars above ``hi`` reach ``max_alpha`` — which is exactly the knob that
+distinguishes *Engine_low* (low threshold → most material visible →
+dense subimages) from *Engine_high* (high threshold → only dense
+internals → sparse subimages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["TransferFunction"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransferFunction:
+    """Windowed linear opacity ramp with grayscale emission.
+
+    ``alpha(s) = 0`` for ``s < lo``, rising linearly to ``max_alpha`` at
+    ``s >= hi``.  Emission is the scalar value itself scaled by
+    ``brightness`` (the ray caster premultiplies by alpha).
+    """
+
+    lo: float
+    hi: float
+    max_alpha: float = 0.6
+    brightness: float = 1.0
+    name: str = "ramp"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.lo < self.hi <= 1.0 + 1e-9):
+            raise ConfigurationError(
+                f"require 0 <= lo < hi <= 1, got lo={self.lo}, hi={self.hi}"
+            )
+        if not (0.0 < self.max_alpha <= 1.0):
+            raise ConfigurationError(f"max_alpha must be in (0, 1], got {self.max_alpha}")
+        if self.brightness <= 0.0:
+            raise ConfigurationError(f"brightness must be > 0, got {self.brightness}")
+
+    def opacity(self, s: np.ndarray) -> np.ndarray:
+        """Per-sample opacity in ``[0, max_alpha]``."""
+        s = np.asarray(s, dtype=np.float64)
+        ramp = (s - self.lo) / (self.hi - self.lo)
+        return np.clip(ramp, 0.0, 1.0) * self.max_alpha
+
+    def emission(self, s: np.ndarray) -> np.ndarray:
+        """Per-sample emitted intensity (grayscale, not premultiplied)."""
+        return np.asarray(s, dtype=np.float64) * self.brightness
+
+    def classify(self, s: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(emission, opacity)`` for an array of samples."""
+        return self.emission(s), self.opacity(s)
+
+    def with_window(self, lo: float, hi: float) -> "TransferFunction":
+        return TransferFunction(
+            lo=lo, hi=hi, max_alpha=self.max_alpha, brightness=self.brightness, name=self.name
+        )

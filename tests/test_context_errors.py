@@ -1,0 +1,127 @@
+"""Tests for RankContext helpers, payload sizing, and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.context import payload_nbytes
+from repro.cluster.model import IDEALIZED, SP2
+from repro.cluster.simulator import Simulator
+from repro.errors import (
+    CompositingError,
+    ConfigurationError,
+    DeadlockError,
+    PartitionError,
+    RankFailedError,
+    RenderError,
+    ReproError,
+    SimulationError,
+    WireFormatError,
+)
+
+
+class TestPayloadNbytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abc") == 3
+
+    def test_bytearray_and_memoryview(self):
+        assert payload_nbytes(bytearray(5)) == 5
+        assert payload_nbytes(memoryview(b"abcd")) == 4
+
+    def test_numpy(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_pickle_fallback(self):
+        assert payload_nbytes({"a": 1}) > 0
+
+    def test_unpicklable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            payload_nbytes(lambda: None)
+
+
+class TestContextHelpers:
+    def test_identity_properties(self):
+        captured = {}
+
+        async def program(ctx):
+            captured["rank"] = ctx.rank
+            captured["size"] = ctx.size
+            captured["model"] = ctx.model.name
+            captured["repr"] = repr(ctx)
+
+        Simulator(1, SP2).run(program)
+        assert captured["rank"] == 0
+        assert captured["size"] == 1
+        assert captured["model"] == "sp2"
+        assert "rank=0" in captured["repr"]
+
+    def test_note_records_counter(self):
+        async def program(ctx):
+            ctx.begin_stage(3)
+            ctx.note("a_rec", 42)
+            ctx.note("a_rec", 8)
+            ctx.note("empty_recv_rect")
+
+        result = Simulator(1, IDEALIZED).run(program)
+        bucket = result.rank_stats[0].stages[3]
+        assert bucket.counters["a_rec"] == 50
+        assert bucket.counters["empty_recv_rect"] == 1
+        assert bucket.comp_time == 0.0  # notes are free
+
+    def test_note_zero_ignored(self):
+        async def program(ctx):
+            ctx.note("thing", 0)
+
+        result = Simulator(1, IDEALIZED).run(program)
+        assert "thing" not in result.rank_stats[0].stages[-1].counters
+
+    def test_current_stage_tracks(self):
+        async def program(ctx):
+            assert ctx.current_stage == -1
+            ctx.begin_stage(5)
+            assert ctx.current_stage == 5
+
+        Simulator(1, IDEALIZED).run(program)
+
+    def test_charge_pack(self):
+        async def program(ctx):
+            await ctx.charge_pack(10**6)
+
+        result = Simulator(1, SP2).run(program)
+        assert result.rank_stats[0].comp_time == pytest.approx(SP2.pack_time(10**6))
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            SimulationError,
+            WireFormatError,
+            PartitionError,
+            RenderError,
+            CompositingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_deadlock_carries_blocked_map(self):
+        err = DeadlockError({0: "RecvOp(src=1)", 1: "RecvOp(src=0)"})
+        assert err.blocked == {0: "RecvOp(src=1)", 1: "RecvOp(src=0)"}
+        assert "rank 0" in str(err)
+
+    def test_rank_failed_carries_original(self):
+        original = ValueError("x")
+        err = RankFailedError(3, original)
+        assert err.rank == 3
+        assert err.original is original
+        assert issubclass(RankFailedError, SimulationError)
+
+    def test_wire_format_is_value_error(self):
+        assert issubclass(WireFormatError, ValueError)

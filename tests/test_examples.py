@@ -1,0 +1,66 @@
+"""Smoke tests that keep the example scripts runnable.
+
+Every example must parse ``--help``; the two fastest also run end to end
+(the rest exercise the same library paths already covered elsewhere).
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "compare_methods.py",
+    "viewpoint_rotation.py",
+    "custom_dataset.py",
+    "scaling_study.py",
+    "timeline_gantt.py",
+]
+
+
+def run_example(name: str, argv: list[str]) -> None:
+    path = os.path.join(EXAMPLES_DIR, name)
+    old_argv = sys.argv
+    sys.argv = [path] + argv
+    try:
+        runpy.run_path(path, run_name="__main__")
+    except SystemExit as exit_info:
+        if exit_info.code not in (0, None):
+            raise AssertionError(f"{name} exited with {exit_info.code}")
+    finally:
+        sys.argv = old_argv
+
+
+class TestHelp:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_help_parses(self, name, capsys):
+        # argparse exits 0 on --help; run_example swallows clean exits.
+        run_example(name, ["--help"])
+        out = capsys.readouterr().out
+        assert "usage" in out.lower()
+
+
+class TestEndToEnd:
+    def test_quickstart(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_example("quickstart.py", ["--out", str(tmp_path / "q.pgm")])
+        out = capsys.readouterr().out
+        assert "T_total" in out
+        assert (tmp_path / "q.pgm").exists()
+
+    def test_custom_dataset(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_example(
+            "custom_dataset.py", ["--ranks", "4", "--out", str(tmp_path / "t.pgm")]
+        )
+        out = capsys.readouterr().out
+        assert "torus" in out
+        assert (tmp_path / "t.pgm").exists()
+
+    def test_timeline_gantt(self, capsys):
+        run_example("timeline_gantt.py", ["--ranks", "4", "--methods", "bsbr"])
+        out = capsys.readouterr().out
+        assert "legend" in out

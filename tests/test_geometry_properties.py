@@ -1,0 +1,129 @@
+"""Hypothesis property suites for camera geometry and the cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.model import SP2, MachineModel
+from repro.render.camera import Camera, rotation_matrix
+from repro.types import Axis, Rect
+
+COMMON = dict(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+angles = st.floats(-180.0, 180.0, allow_nan=False)
+
+
+class TestRotationProperties:
+    @given(ax=angles, ay=angles, az=angles)
+    @settings(**COMMON)
+    def test_always_special_orthogonal(self, ax, ay, az):
+        rot = rotation_matrix(ax, ay, az)
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-10)
+        assert np.linalg.det(rot) == pytest.approx(1.0, abs=1e-10)
+
+    @given(ax=angles, ay=angles, az=angles)
+    @settings(**COMMON)
+    def test_preserves_lengths(self, ax, ay, az):
+        rot = rotation_matrix(ax, ay, az)
+        vec = np.array([0.3, -1.7, 2.2])
+        assert np.linalg.norm(rot @ vec) == pytest.approx(np.linalg.norm(vec))
+
+    @given(ax=angles)
+    @settings(**COMMON)
+    def test_x_rotation_fixes_x_axis(self, ax):
+        rot = rotation_matrix(ax, 0, 0)
+        assert np.allclose(rot @ [1, 0, 0], [1, 0, 0], atol=1e-12)
+
+
+class TestCameraProperties:
+    @given(
+        ax=angles, ay=angles, az=angles,
+        y0=st.integers(0, 20), x0=st.integers(0, 20),
+        h=st.integers(1, 12), w=st.integers(1, 12),
+    )
+    @settings(**COMMON)
+    def test_pixel_origin_projection_roundtrip(self, ax, ay, az, y0, x0, h, w):
+        """project_points inverts pixel_origins for every viewpoint."""
+        camera = Camera(
+            width=40, height=40, volume_shape=(16, 16, 16),
+            rot_x=ax, rot_y=ay, rot_z=az,
+        )
+        rect = Rect(y0, x0, y0 + h, x0 + w)
+        origins = camera.pixel_origins(rect).reshape(-1, 3)
+        rows_cols = camera.project_points(origins)
+        expect_rows = np.repeat(np.arange(rect.y0, rect.y1), rect.width)
+        expect_cols = np.tile(np.arange(rect.x0, rect.x1), rect.height)
+        assert np.allclose(rows_cols[:, 0], expect_rows, atol=1e-8)
+        assert np.allclose(rows_cols[:, 1], expect_cols, atol=1e-8)
+
+    @given(ax=angles, ay=angles, az=angles, t=st.floats(-50, 50))
+    @settings(**COMMON)
+    def test_projection_invariant_along_view_dir(self, ax, ay, az, t):
+        """Orthographic: moving a point along the view direction does not
+        change its screen position."""
+        camera = Camera(
+            width=32, height=32, volume_shape=(16, 16, 16),
+            rot_x=ax, rot_y=ay, rot_z=az,
+        )
+        point = np.array([[4.0, 7.0, 2.0]])
+        shifted = point + t * camera.view_dir
+        assert np.allclose(
+            camera.project_points(point), camera.project_points(shifted), atol=1e-8
+        )
+
+    @given(ax=angles, ay=angles)
+    @settings(**COMMON)
+    def test_footprint_never_exceeds_frame(self, ax, ay):
+        camera = Camera(
+            width=24, height=24, volume_shape=(16, 16, 16), rot_x=ax, rot_y=ay
+        )
+        corners = np.array(
+            [[0, 0, 0], [16, 16, 16], [-100, 50, 3], [200, -7, 9]], dtype=float
+        )
+        rect = camera.footprint_rect(corners)
+        assert Rect.full(24, 24).contains(rect)
+
+
+class TestModelProperties:
+    sizes = st.integers(0, 10**7)
+
+    @given(a=sizes, b=sizes)
+    @settings(**COMMON)
+    def test_message_time_superadditive(self, a, b):
+        """Two messages cost at least one combined message (start-up)."""
+        combined = SP2.message_time(a + b)
+        split = SP2.message_time(a) + SP2.message_time(b)
+        assert split >= combined - 1e-12
+
+    @given(a=sizes, b=sizes)
+    @settings(**COMMON)
+    def test_costs_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert SP2.message_time(lo) <= SP2.message_time(hi)
+        assert SP2.over_time(lo) <= SP2.over_time(hi)
+        assert SP2.encode_time(lo) <= SP2.encode_time(hi)
+
+    @given(scale=st.floats(0.1, 10.0))
+    @settings(**COMMON)
+    def test_overrides_scale_linearly(self, scale):
+        model = SP2.with_overrides(tc=SP2.tc * scale)
+        assert model.transfer_time(1000) == pytest.approx(
+            SP2.transfer_time(1000) * scale
+        )
+
+
+class TestAxisEnum:
+    def test_values_are_indices(self):
+        assert [axis.value for axis in Axis] == [0, 1, 2]
+        assert Axis.X.value == 0 and Axis.Z.value == 2
+
+    def test_usable_as_extent_index(self):
+        from repro.types import Extent3
+
+        extent = Extent3.full((8, 10, 12))
+        assert extent.shape[Axis.Y.value] == 10

@@ -1,0 +1,79 @@
+"""Golden-image regression tests.
+
+The renderer, transfer functions and phantoms are all deterministic, so
+small reference renders are checked byte-for-byte against files in
+``tests/data/``.  Any drift in the datasets, camera maths, sampling
+grid or compositing of the final gray conversion shows up here first.
+
+To regenerate after an *intentional* change::
+
+    python - <<'PY'
+    from repro.volume import make_dataset, PAPER_DATASETS
+    from repro.render import Camera, render_full
+    from repro.render.reference import luminance
+    from repro.volume.io import to_gray8, write_pgm
+    for ds in PAPER_DATASETS:
+        vol, tf = make_dataset(ds, (32, 32, 16))
+        cam = Camera(width=48, height=48, volume_shape=vol.shape,
+                     rot_x=20, rot_y=30)
+        write_pgm(f"tests/data/golden_{ds}.pgm",
+                  to_gray8(luminance(render_full(vol, tf, cam)), gain=2.0))
+    PY
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera
+from repro.render.raycast import render_full
+from repro.render.reference import luminance
+from repro.volume.datasets import PAPER_DATASETS, make_dataset
+from repro.volume.io import read_pgm, to_gray8
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+
+def render_golden(dataset: str) -> np.ndarray:
+    volume, transfer = make_dataset(dataset, (32, 32, 16))
+    camera = Camera(
+        width=48, height=48, volume_shape=volume.shape, rot_x=20, rot_y=30
+    )
+    image = render_full(volume, transfer, camera)
+    return to_gray8(luminance(image), gain=2.0)
+
+
+@pytest.mark.parametrize("dataset", PAPER_DATASETS)
+def test_render_matches_golden(dataset):
+    golden = read_pgm(os.path.join(DATA_DIR, f"golden_{dataset}.pgm"))
+    fresh = render_golden(dataset)
+    assert fresh.shape == golden.shape
+    assert np.array_equal(fresh, golden), (
+        f"{dataset} render drifted from the checked-in golden image "
+        f"({int((fresh != golden).sum())} differing pixels); see the module "
+        "docstring for how to regenerate intentionally"
+    )
+
+
+@pytest.mark.parametrize("dataset", PAPER_DATASETS)
+def test_golden_images_nontrivial(dataset):
+    golden = read_pgm(os.path.join(DATA_DIR, f"golden_{dataset}.pgm"))
+    assert int(golden.max()) > 16  # visibly non-empty
+    assert int((golden > 0).sum()) > 50
+
+
+def test_parallel_composite_matches_golden():
+    """End to end: the full 8-rank BSBRC pipeline lands on the same
+    golden bytes as the direct sequential render."""
+    from repro.pipeline.config import RunConfig
+    from repro.pipeline.system import SortLastSystem
+
+    cfg = RunConfig(
+        dataset="engine_low", method="bsbrc", num_ranks=8,
+        image_size=48, volume_shape=(32, 32, 16),
+    )
+    result = SortLastSystem(cfg).run()
+    gray = to_gray8(luminance(result.final_image), gain=2.0)
+    golden = read_pgm(os.path.join(DATA_DIR, "golden_engine_low.pgm"))
+    assert np.array_equal(gray, golden)

@@ -1,0 +1,142 @@
+"""Tests for the experiment harness (render cache, grids, persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import MethodMeasurement
+from repro.cluster.model import SP2
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (
+    RenderedWorkload,
+    clear_workload_cache,
+    load_rows,
+    rows_from_json,
+    rows_to_json,
+    run_grid,
+    run_method,
+    save_rows,
+    workload,
+)
+from repro.render.raycast import render_subvolume
+from repro.volume.datasets import make_dataset
+
+SMALL = dict(volume_shape=(32, 32, 16), rotation=(20.0, 30.0, 0.0))
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return RenderedWorkload(
+        dataset="engine_low", image_size=48, max_ranks=16, **SMALL
+    )
+
+
+class TestRenderedWorkload:
+    def test_blocks_cropped(self, small_workload):
+        for rect, block_i, block_a in small_workload.blocks:
+            if rect.is_empty:
+                continue
+            assert block_i.shape == (rect.height, rect.width)
+            assert block_a.shape == block_i.shape
+
+    @pytest.mark.parametrize("num_ranks", [2, 4, 8, 16])
+    def test_assembly_equals_direct_render(self, small_workload, num_ranks):
+        """The cached-blocks fast path must reproduce direct rendering."""
+        volume, transfer = make_dataset("engine_low", SMALL["volume_shape"])
+        plan = small_workload.plan_for(num_ranks)
+        assembled = small_workload.subimages_for(num_ranks)
+        for rank in range(num_ranks):
+            direct = render_subvolume(
+                volume, transfer, small_workload.camera, plan.extent(rank)
+            )
+            assert assembled[rank].max_abs_diff(direct) < 1e-12
+
+    def test_rejects_larger_p(self, small_workload):
+        with pytest.raises(ConfigurationError):
+            small_workload.subimages_for(32)
+
+    def test_rejects_non_power_of_two(self, small_workload):
+        with pytest.raises(ConfigurationError):
+            small_workload.subimages_for(3)
+
+    def test_rejects_bad_max_ranks(self):
+        with pytest.raises(ConfigurationError):
+            RenderedWorkload(dataset="sphere", image_size=32, max_ranks=6)
+
+    def test_plan_cache_stable(self, small_workload):
+        assert small_workload.plan_for(4) is small_workload.plan_for(4)
+
+
+class TestWorkloadCache:
+    def test_cache_returns_same_object(self):
+        clear_workload_cache()
+        a = workload("sphere", 32, max_ranks=4, volume_shape=(16, 16, 16))
+        b = workload("sphere", 32, max_ranks=4, volume_shape=(16, 16, 16))
+        assert a is b
+
+    def test_cache_distinguishes_rotation(self):
+        clear_workload_cache()
+        a = workload("sphere", 32, max_ranks=4, volume_shape=(16, 16, 16))
+        b = workload(
+            "sphere", 32, max_ranks=4, volume_shape=(16, 16, 16),
+            rotation=(10.0, 0.0, 0.0),
+        )
+        assert a is not b
+
+    def test_clear(self):
+        a = workload("sphere", 32, max_ranks=4, volume_shape=(16, 16, 16))
+        clear_workload_cache()
+        b = workload("sphere", 32, max_ranks=4, volume_shape=(16, 16, 16))
+        assert a is not b
+
+
+class TestRunMethodAndGrid:
+    def test_run_method_row(self, small_workload):
+        row, run = run_method(small_workload, "bsbrc", 8, machine=SP2)
+        assert row.method == "bsbrc"
+        assert row.dataset == "engine_low"
+        assert row.num_ranks == 8
+        assert row.t_total > 0
+        assert row.mmax_bytes == run.stats.mmax_bytes
+
+    def test_grid_complete(self):
+        rows = run_grid(
+            ["engine_low", "cube"],
+            48,
+            [2, 4],
+            ["bs", "bsbrc"],
+            volume_shape=SMALL["volume_shape"],
+            max_ranks=4,
+        )
+        assert len(rows) == 2 * 2 * 2
+        keys = {(r.dataset, r.num_ranks, r.method) for r in rows}
+        assert ("cube", 4, "bsbrc") in keys
+
+    def test_grid_deterministic(self):
+        kwargs = dict(volume_shape=SMALL["volume_shape"], max_ranks=4)
+        rows_a = run_grid(["engine_low"], 48, [4], ["bsbrc"], **kwargs)
+        rows_b = run_grid(["engine_low"], 48, [4], ["bsbrc"], **kwargs)
+        assert rows_a == rows_b
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        rows = [
+            MethodMeasurement(
+                method="bs", dataset="cube", image_size=384, num_ranks=8,
+                t_comp=0.1, t_comm=0.02, mmax_bytes=1000, makespan=0.12,
+                bytes_total=5000, pixels_composited=10, pixels_encoded=0,
+            )
+        ]
+        assert rows_from_json(rows_to_json(rows)) == rows
+
+    def test_file_roundtrip(self, tmp_path):
+        rows = [
+            MethodMeasurement(
+                method="bslc", dataset="head", image_size=768, num_ranks=2,
+                t_comp=0.3, t_comm=0.01, mmax_bytes=77, makespan=0.31,
+                bytes_total=100, pixels_composited=5, pixels_encoded=9,
+            )
+        ]
+        path = tmp_path / "rows.json"
+        save_rows(rows, path)
+        assert load_rows(path) == rows

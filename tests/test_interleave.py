@@ -1,0 +1,110 @@
+"""Tests for the interleaved-section distribution (BSLC load balancing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compositing.interleave import initial_indices, split_interleaved
+from repro.errors import CompositingError
+
+
+class TestBasics:
+    def test_initial_indices(self):
+        idx = initial_indices(5)
+        assert idx.tolist() == [0, 1, 2, 3, 4]
+        assert idx.dtype == np.int64
+
+    def test_initial_negative_rejected(self):
+        with pytest.raises(CompositingError):
+            initial_indices(-1)
+
+    def test_section_one_alternates(self):
+        idx = initial_indices(6)
+        kept, sent = split_interleaved(idx, 1, keep_first=True)
+        assert kept.tolist() == [0, 2, 4]
+        assert sent.tolist() == [1, 3, 5]
+
+    def test_section_two_groups(self):
+        idx = initial_indices(8)
+        kept, sent = split_interleaved(idx, 2, keep_first=True)
+        assert kept.tolist() == [0, 1, 4, 5]
+        assert sent.tolist() == [2, 3, 6, 7]
+
+    def test_keep_first_false_swaps(self):
+        idx = initial_indices(6)
+        kept_a, sent_a = split_interleaved(idx, 1, keep_first=True)
+        kept_b, sent_b = split_interleaved(idx, 1, keep_first=False)
+        assert np.array_equal(kept_a, sent_b)
+        assert np.array_equal(sent_a, kept_b)
+
+    def test_bad_section(self):
+        with pytest.raises(CompositingError):
+            split_interleaved(initial_indices(4), 0, True)
+
+    def test_2d_indices_rejected(self):
+        with pytest.raises(CompositingError):
+            split_interleaved(np.zeros((2, 2), dtype=np.int64), 1, True)
+
+    def test_positions_not_values_drive_split(self):
+        """Splitting is positional: a strided owned set still halves evenly."""
+        idx = np.arange(0, 32, 2, dtype=np.int64)  # 16 owned pixels
+        kept, sent = split_interleaved(idx, 4, keep_first=True)
+        assert kept.size == 8 and sent.size == 8
+
+
+class TestPartitionProperties:
+    @given(n=st.integers(0, 500), section=st.integers(1, 64))
+    @settings(max_examples=150)
+    def test_exhaustive_disjoint(self, n, section):
+        idx = initial_indices(n)
+        kept, sent = split_interleaved(idx, section, keep_first=True)
+        merged = np.sort(np.concatenate([kept, sent]))
+        assert np.array_equal(merged, idx)
+        assert len(np.intersect1d(kept, sent)) == 0
+
+    @given(n=st.integers(2, 512), section=st.integers(1, 32))
+    @settings(max_examples=150)
+    def test_balanced_within_one_section(self, n, section):
+        idx = initial_indices(n)
+        kept, sent = split_interleaved(idx, section, keep_first=True)
+        assert abs(kept.size - sent.size) <= section
+
+    @given(levels=st.integers(1, 4), section=st.integers(1, 8))
+    @settings(max_examples=60)
+    def test_binary_swap_ownership_partitions(self, levels, section):
+        """Simulating every rank's keep decisions yields a partition of the
+        pixel set — the global invariant BSLC relies on."""
+        num_ranks = 1 << levels
+        num_pixels = 257  # deliberately not divisible by anything nice
+        owned = []
+        for rank in range(num_ranks):
+            idx = initial_indices(num_pixels)
+            for stage in range(levels):
+                keep_first = ((rank >> stage) & 1) == 0
+                idx, _ = split_interleaved(idx, section, keep_first)
+            owned.append(idx)
+        combined = np.sort(np.concatenate(owned))
+        assert np.array_equal(combined, np.arange(num_pixels))
+
+    @given(levels=st.integers(1, 4))
+    @settings(max_examples=30)
+    def test_partners_split_identical_sets(self, levels):
+        """Partners at stage k own identical sets at stage entry (they share
+        rank bits below k), so their splits are mutually consistent."""
+        num_ranks = 1 << levels
+        num_pixels = 128
+
+        def owned_at_stage(rank, stage):
+            idx = initial_indices(num_pixels)
+            for s in range(stage):
+                keep_first = ((rank >> s) & 1) == 0
+                idx, _ = split_interleaved(idx, 4, keep_first)
+            return idx
+
+        for stage in range(levels):
+            for rank in range(num_ranks):
+                partner = rank ^ (1 << stage)
+                assert np.array_equal(
+                    owned_at_stage(rank, stage), owned_at_stage(partner, stage)
+                )

@@ -1,0 +1,88 @@
+"""Unit tests for the machine cost model."""
+
+import pytest
+
+from repro.cluster.model import IDEALIZED, PRESETS, SP2, SP2_FAST_NET, SP2_SLOW_NET, MachineModel
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(name="bad", ts=-1.0, tc=0, to=0, tencode=0, tbound=0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(name="bad", ts=float("nan"), tc=0, to=0, tencode=0, tbound=0)
+
+    def test_zero_model_valid(self):
+        model = MachineModel(name="zero", ts=0, tc=0, to=0, tencode=0, tbound=0)
+        assert model.message_time(100) == 0.0
+
+
+class TestCosts:
+    def test_message_time_linear(self):
+        model = MachineModel(name="m", ts=1.0, tc=0.5, to=0, tencode=0, tbound=0)
+        assert model.message_time(0) == 1.0
+        assert model.message_time(10) == 6.0
+
+    def test_transfer_time_no_startup(self):
+        model = MachineModel(name="m", ts=1.0, tc=0.5, to=0, tencode=0, tbound=0)
+        assert model.transfer_time(10) == 5.0
+
+    def test_over_time(self):
+        assert SP2.over_time(1000) == pytest.approx(1000 * SP2.to)
+
+    def test_encode_time(self):
+        assert SP2.encode_time(1000) == pytest.approx(1000 * SP2.tencode)
+
+    def test_bound_time(self):
+        assert SP2.bound_time(1000) == pytest.approx(1000 * SP2.tbound)
+
+    def test_pack_time(self):
+        assert SP2.pack_time(1 << 20) == pytest.approx((1 << 20) * SP2.tpack)
+
+    @pytest.mark.parametrize(
+        "method", ["message_time", "transfer_time", "over_time", "encode_time",
+                   "bound_time", "pack_time"]
+    )
+    def test_negative_counts_rejected(self, method):
+        with pytest.raises(ConfigurationError):
+            getattr(SP2, method)(-1)
+
+
+class TestPresets:
+    def test_presets_registered(self):
+        for model in (SP2, SP2_FAST_NET, SP2_SLOW_NET, IDEALIZED):
+            assert PRESETS[model.name] is model
+
+    def test_sp2_calibration_regime(self):
+        # BS at P=2 on 384^2 should land near the paper's ~327 ms total.
+        num_pixels = 384 * 384
+        t_comp = SP2.over_time(num_pixels // 2)
+        t_comm = SP2.message_time(16 * (num_pixels // 2))
+        total_ms = (t_comp + t_comm) * 1e3
+        assert 280 <= total_ms <= 380
+
+    def test_fast_net_is_faster(self):
+        assert SP2_FAST_NET.tc < SP2.tc < SP2_SLOW_NET.tc
+
+    def test_idealized_is_free(self):
+        assert IDEALIZED.message_time(10**9) == 0.0
+        assert IDEALIZED.over_time(10**9) == 0.0
+
+
+class TestOverrides:
+    def test_with_overrides_replaces(self):
+        variant = SP2.with_overrides(to=1e-6, name="custom")
+        assert variant.to == 1e-6
+        assert variant.ts == SP2.ts
+        assert variant.name == "custom"
+
+    def test_with_overrides_keeps_original(self):
+        SP2.with_overrides(to=1e-6)
+        assert SP2.to == 4.0e-6
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SP2.ts = 0.0  # type: ignore[misc]

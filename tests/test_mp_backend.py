@@ -1,0 +1,147 @@
+"""Tests for the real-transport (multiprocessing) backend.
+
+Kept small and fast — the host has one core, so these validate
+correctness of the transport port, not performance.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import rendered_workload, reference_image
+from repro.cluster.mp_backend import MPRankContext, run_rank_programs_mp
+from repro.errors import ConfigurationError, SimulationError
+from repro.pipeline.mp import run_compositing_mp
+from repro.volume.folded import partition_folded
+from repro.volume.partition import recursive_bisect
+
+SMALL = dict(image_size=32, volume_shape=(32, 32, 16))
+
+
+# Programs must be module-level (picklable / fork-visible).
+async def _echo_program(ctx):
+    peer = ctx.rank ^ 1
+    reply = await ctx.sendrecv(peer, f"hello-from-{ctx.rank}", tag=1)
+    await ctx.barrier()
+    return reply
+
+
+async def _ring_program(ctx):
+    nxt = (ctx.rank + 1) % ctx.size
+    prv = (ctx.rank - 1) % ctx.size
+    if ctx.rank % 2 == 0:
+        await ctx.send(nxt, ctx.rank, tag=0)
+        value = await ctx.recv(prv, tag=0)
+    else:
+        value = await ctx.recv(prv, tag=0)
+        await ctx.send(nxt, ctx.rank, tag=0)
+    return value
+
+
+async def _counter_program(ctx):
+    await ctx.charge_over(123)
+    ctx.note("custom", 7)
+    return ctx.rank
+
+
+async def _failing_program(ctx):
+    if ctx.rank == 1:
+        raise ValueError("intentional")
+    await ctx.barrier()
+
+
+async def _yielding_program(ctx):
+    from repro.cluster.events import ComputeOp
+
+    await ComputeOp(1.0)  # simulator-only primitive
+
+
+class TestRawBackend:
+    def test_sendrecv_and_barrier(self):
+        result = run_rank_programs_mp(2, _echo_program, timeout=30)
+        assert result.returns == ["hello-from-1", "hello-from-0"]
+
+    def test_ring(self):
+        result = run_rank_programs_mp(4, _ring_program, timeout=30)
+        assert result.returns == [3, 0, 1, 2]
+
+    def test_counters_collected(self):
+        result = run_rank_programs_mp(2, _counter_program, timeout=30)
+        assert result.returns == [0, 1]
+        for counters in result.counters:
+            assert counters["over"] == 123
+            assert counters["custom"] == 7
+
+    def test_failure_surfaces(self):
+        with pytest.raises(SimulationError) as excinfo:
+            run_rank_programs_mp(2, _failing_program, timeout=15)
+        assert "rank 1" in str(excinfo.value)
+
+    def test_simulator_only_ops_rejected(self):
+        with pytest.raises(SimulationError):
+            run_rank_programs_mp(1, _yielding_program, timeout=15)
+
+    def test_bad_rank_count(self):
+        with pytest.raises(ConfigurationError):
+            run_rank_programs_mp(0, _echo_program)
+
+    def test_context_validation(self):
+        ctx = MPRankContext(0, 2, None, None, 1.0)
+        with pytest.raises(ConfigurationError):
+            ctx._check_peer(5)
+        with pytest.raises(ConfigurationError):
+            ctx.model
+
+
+class TestCompositingCrossValidation:
+    @pytest.mark.parametrize("method", ["bs", "bsbr", "bslc", "bsbrc"])
+    def test_matches_simulator_reference(self, method):
+        """The same compositor on a *real* transport produces the exact
+        image the simulator (and the sequential oracle) produce."""
+        subimages, plan, camera = rendered_workload(
+            "engine_low", 4, SMALL["image_size"], (20.0, 30.0, 0.0),
+            SMALL["volume_shape"],
+        )
+        reference = reference_image(
+            "engine_low", 4, SMALL["image_size"], (20.0, 30.0, 0.0),
+            SMALL["volume_shape"],
+        )
+        final = run_compositing_mp(
+            list(subimages), method, plan, camera.view_dir, timeout=45
+        )
+        assert final.max_abs_diff(reference) < 1e-9
+
+    def test_folded_non_pow2(self):
+        from repro.render.raycast import render_subvolume
+        from repro.render.reference import composite_sequential
+        from repro.volume.datasets import make_dataset
+        from repro.volume.folded import folded_depth_order
+
+        volume, transfer = make_dataset("engine_low", SMALL["volume_shape"])
+        from repro.render.camera import Camera
+
+        camera = Camera(
+            width=32, height=32, volume_shape=volume.shape, rot_x=20, rot_y=30
+        )
+        folded = partition_folded(volume.shape, 3)
+        subimages = [
+            render_subvolume(volume, transfer, camera, folded.extent(r))
+            for r in range(3)
+        ]
+        reference = composite_sequential(
+            subimages, folded_depth_order(folded, camera.view_dir)
+        )
+        final = run_compositing_mp(
+            subimages, "bsbrc", folded, camera.view_dir, timeout=45
+        )
+        assert final.max_abs_diff(reference) < 1e-9
+
+    def test_plan_size_mismatch(self):
+        subimages, plan, camera = rendered_workload(
+            "engine_low", 4, SMALL["image_size"], (20.0, 30.0, 0.0),
+            SMALL["volume_shape"],
+        )
+        wrong = recursive_bisect(SMALL["volume_shape"], 8)
+        from repro.errors import CompositingError
+
+        with pytest.raises(CompositingError):
+            run_compositing_mp(list(subimages), "bs", wrong, camera.view_dir)

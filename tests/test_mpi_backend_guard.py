@@ -1,0 +1,39 @@
+"""The MPI backend must degrade gracefully without mpi4py installed."""
+
+import pytest
+
+from repro.cluster.mpi_backend import MPIRankContext, require_mpi
+from repro.errors import ConfigurationError
+
+
+def mpi_available() -> bool:
+    try:
+        import mpi4py  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+@pytest.mark.skipif(mpi_available(), reason="mpi4py present; guard not reachable")
+class TestWithoutMpi4py:
+    def test_require_mpi_explains(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            require_mpi()
+        assert "mpi4py" in str(excinfo.value)
+
+    def test_context_construction_fails_cleanly(self):
+        with pytest.raises(ConfigurationError):
+            MPIRankContext()
+
+    def test_mpi_main_fails_cleanly(self):
+        from repro.pipeline.mpi_main import main
+
+        with pytest.raises(ConfigurationError):
+            main(["--dataset", "sphere", "--image-size", "32"])
+
+
+def test_module_imports_without_mpi():
+    """Importing the backend must never require mpi4py."""
+    import repro.cluster.mpi_backend  # noqa: F401
+    import repro.pipeline.mpi_main  # noqa: F401

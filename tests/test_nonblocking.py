@@ -1,0 +1,206 @@
+"""Tests for nonblocking communication (isend/irecv/wait) and direct-async."""
+
+import numpy as np
+import pytest
+
+from conftest import rendered_workload, reference_image
+from repro.cluster.events import Request, WaitOp
+from repro.cluster.model import IDEALIZED, MachineModel, SP2
+from repro.cluster.simulator import Simulator
+from repro.errors import DeadlockError, RankFailedError
+from repro.pipeline.system import assemble_final, run_compositing, validate_ownership
+
+UNIT = MachineModel(name="unit", ts=1.0, tc=0.001, to=1.0, tencode=1.0, tbound=1.0)
+
+
+def run(num_ranks, program, model=IDEALIZED):
+    return Simulator(num_ranks, model).run(program)
+
+
+class TestBasicSemantics:
+    def test_payload_delivery(self):
+        async def program(ctx):
+            peer = ctx.rank ^ 1
+            recv = await ctx.irecv(peer, tag=3)
+            send = await ctx.isend(peer, f"from-{ctx.rank}", tag=3)
+            data = await ctx.wait(recv)
+            await ctx.wait(send)
+            return data
+
+        result = run(2, program)
+        assert result.returns == ["from-1", "from-0"]
+
+    def test_isend_returns_request_immediately(self):
+        async def program(ctx):
+            if ctx.rank == 0:
+                request = await ctx.isend(1, b"x", tag=0)
+                assert isinstance(request, Request)
+                clock_before_wait = ctx.stats.comm_time
+                assert clock_before_wait == 0.0  # posting is free
+                await ctx.wait(request)
+            else:
+                await ctx.wait(await ctx.irecv(0, tag=0))
+
+        run(2, program, model=UNIT)
+
+    def test_full_overlap_costs_nothing(self):
+        async def program(ctx):
+            peer = ctx.rank ^ 1
+            recv = await ctx.irecv(peer, tag=0)
+            send = await ctx.isend(peer, b"x" * 2000, tag=0)
+            await ctx.compute(10.0)  # transfer (1 + 2 = 3) hides under this
+            await ctx.wait(recv)
+            await ctx.wait(send)
+
+        result = run(2, program, model=UNIT)
+        assert result.makespan == pytest.approx(10.0)
+        for rank_stats in result.rank_stats:
+            assert rank_stats.comm_time == 0.0
+            assert rank_stats.wait_time == 0.0
+
+    def test_no_overlap_charges_wait_as_comm(self):
+        async def program(ctx):
+            peer = ctx.rank ^ 1
+            recv = await ctx.irecv(peer, tag=0)
+            send = await ctx.isend(peer, b"x" * 2000, tag=0)
+            await ctx.wait(recv)  # waits the full Ts + 2000*Tc = 3
+            await ctx.wait(send)
+
+        result = run(2, program, model=UNIT)
+        assert result.makespan == pytest.approx(3.0)
+        assert result.rank_stats[0].comm_time == pytest.approx(3.0)
+
+    def test_byte_accounting(self):
+        async def program(ctx):
+            ctx.begin_stage(0)
+            peer = ctx.rank ^ 1
+            recv = await ctx.irecv(peer, tag=0)
+            await ctx.isend(peer, b"z" * 321, tag=0)
+            await ctx.wait(recv)
+
+        result = run(2, program)
+        assert result.rank_stats[0].bytes_recv == 321
+        assert result.rank_stats[0].bytes_sent == 321
+        assert result.rank_stats[0].msgs_recv == 1
+
+
+class TestLinkSerialization:
+    def test_concurrent_receives_serialize(self):
+        async def program(ctx):
+            if ctx.rank == 0:
+                reqs = [await ctx.irecv(src, tag=src) for src in (1, 2, 3)]
+                await ctx.wait_all(reqs)
+                return ctx.stats.comm_time
+            await ctx.wait(await ctx.isend(0, b"y" * 1000, tag=ctx.rank))
+
+        result = run(4, program, model=UNIT)
+        # Three transfers of Ts + 1000*Tc = 2.0 each on one link.
+        assert result.returns[0] == pytest.approx(6.0)
+
+    def test_distinct_receivers_parallel(self):
+        async def program(ctx):
+            if ctx.rank < 2:
+                await ctx.wait(await ctx.irecv(ctx.rank + 2, tag=0))
+            else:
+                await ctx.wait(await ctx.isend(ctx.rank - 2, b"y" * 1000, tag=0))
+
+        result = run(4, program, model=UNIT)
+        # Independent links: both transfers complete in one message time.
+        assert result.makespan == pytest.approx(2.0)
+
+
+class TestOrderingAndErrors:
+    def test_fifo_matching_per_channel(self):
+        async def program(ctx):
+            if ctx.rank == 0:
+                first = await ctx.irecv(1, tag=5)
+                second = await ctx.irecv(1, tag=5)
+                a = await ctx.wait(first)
+                b = await ctx.wait(second)
+                return (a, b)
+            r1 = await ctx.isend(0, "one", tag=5)
+            r2 = await ctx.isend(0, "two", tag=5)
+            await ctx.wait_all([r1, r2])
+
+        result = run(2, program)
+        assert result.returns[0] == ("one", "two")
+
+    def test_unmatched_wait_deadlocks(self):
+        async def program(ctx):
+            if ctx.rank == 0:
+                await ctx.wait(await ctx.irecv(1, tag=7))
+
+        with pytest.raises(DeadlockError):
+            run(2, program)
+
+    def test_mixed_blocking_nonblocking_never_match(self):
+        async def program(ctx):
+            if ctx.rank == 0:
+                await ctx.send(1, b"x", tag=0)  # blocking
+            else:
+                await ctx.wait(await ctx.irecv(0, tag=0))  # nonblocking
+
+        with pytest.raises(DeadlockError):
+            run(2, program)
+
+    def test_wait_requires_requests(self):
+        with pytest.raises(ValueError):
+            WaitOp(["not-a-request"])
+
+    def test_peer_out_of_range(self):
+        async def program(ctx):
+            await ctx.isend(9, b"x")
+
+        with pytest.raises(RankFailedError):
+            run(2, program)
+
+    def test_sender_may_exit_before_receiver_waits(self):
+        """Eager buffered semantics: the message outlives the sender."""
+
+        async def program(ctx):
+            if ctx.rank == 0:
+                await ctx.isend(1, b"parting-gift", tag=0)
+                return "gone"
+            await ctx.compute(5.0)
+            return await ctx.wait(await ctx.irecv(0, tag=0))
+
+        result = run(2, program, model=UNIT)
+        assert result.returns == ["gone", b"parting-gift"]
+
+
+class TestDirectSendAsync:
+    def test_matches_reference(self):
+        subimages, plan, camera = rendered_workload("engine_low", 8)
+        reference = reference_image("engine_low", 8)
+        run_async = run_compositing(
+            list(subimages), "direct-async", plan, camera.view_dir, SP2
+        )
+        final = assemble_final(run_async.outcomes, *reference.shape)
+        assert final.max_abs_diff(reference) < 1e-9
+        validate_ownership(run_async.outcomes, *reference.shape)
+
+    def test_same_bytes_as_blocking_direct(self):
+        subimages, plan, camera = rendered_workload("engine_high", 8)
+        blocking = run_compositing(list(subimages), "direct", plan, camera.view_dir, SP2)
+        nonblocking = run_compositing(
+            list(subimages), "direct-async", plan, camera.view_dir, SP2
+        )
+        for a, b in zip(blocking.stats.rank_stats, nonblocking.stats.rank_stats):
+            assert a.bytes_recv == b.bytes_recv
+            assert a.msgs_recv == b.msgs_recv
+
+    def test_no_rendezvous_wait(self):
+        """Posting all receives up front removes partner-alignment stalls."""
+        subimages, plan, camera = rendered_workload("engine_high", 8)
+        nonblocking = run_compositing(
+            list(subimages), "direct-async", plan, camera.view_dir, SP2
+        )
+        assert nonblocking.stats.t_wait_max == 0.0
+
+    def test_makespan_not_worse_than_blocking(self):
+        subimages, plan, camera = rendered_workload("engine_high", 8)
+        blocking = run_compositing(list(subimages), "direct", plan, camera.view_dir, SP2)
+        nonblocking = run_compositing(
+            list(subimages), "direct-async", plan, camera.view_dir, SP2
+        )
+        assert nonblocking.stats.makespan <= blocking.stats.makespan * 1.01

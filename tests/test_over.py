@@ -1,0 +1,123 @@
+"""Tests for the over operator (including hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compositing.over import is_blank, nonblank_mask, over, over_inplace, over_scalar
+
+pixel = st.tuples(
+    st.floats(0.0, 1.0, allow_nan=False),
+    st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+def planes(shape=(4, 5)):
+    return hnp.arrays(np.float64, shape, elements=st.floats(0.0, 1.0, width=64))
+
+
+class TestOverBasics:
+    def test_blank_front_is_identity(self):
+        back_i = np.array([0.3, 0.5])
+        back_a = np.array([0.2, 0.9])
+        out_i, out_a = over(np.zeros(2), np.zeros(2), back_i, back_a)
+        assert np.array_equal(out_i, back_i)
+        assert np.array_equal(out_a, back_a)
+
+    def test_blank_back_is_identity(self):
+        front_i = np.array([0.3, 0.5])
+        front_a = np.array([0.2, 0.9])
+        out_i, out_a = over(front_i, front_a, np.zeros(2), np.zeros(2))
+        assert np.array_equal(out_i, front_i)
+        assert np.array_equal(out_a, front_a)
+
+    def test_opaque_front_hides_back(self):
+        out_i, out_a = over(
+            np.array([0.7]), np.array([1.0]), np.array([0.9]), np.array([0.5])
+        )
+        assert out_i[0] == pytest.approx(0.7)
+        assert out_a[0] == pytest.approx(1.0)
+
+    def test_not_commutative(self):
+        f = (np.array([0.8]), np.array([0.8]))
+        b = (np.array([0.1]), np.array([0.3]))
+        ab = over(*f, *b)
+        ba = over(*b, *f)
+        assert not np.allclose(ab[0], ba[0])
+
+    def test_matches_scalar_reference(self):
+        rng = np.random.default_rng(0)
+        fi, fa, bi, ba = rng.uniform(0, 1, (4, 10))
+        out_i, out_a = over(fi, fa, bi, ba)
+        for k in range(10):
+            si, sa = over_scalar((fi[k], fa[k]), (bi[k], ba[k]))
+            assert out_i[k] == pytest.approx(si)
+            assert out_a[k] == pytest.approx(sa)
+
+
+class TestOverInplace:
+    def test_matches_functional(self):
+        rng = np.random.default_rng(1)
+        fi, fa, bi, ba = rng.uniform(0, 1, (4, 8))
+        expect_i, expect_a = over(fi, fa, bi, ba)
+        acc_i, acc_a = bi.copy(), ba.copy()
+        over_inplace(fi, fa, acc_i, acc_a)
+        assert np.allclose(acc_i, expect_i)
+        assert np.allclose(acc_a, expect_a)
+
+    def test_front_not_mutated(self):
+        fi = np.array([0.5])
+        fa = np.array([0.5])
+        over_inplace(fi, fa, np.array([0.1]), np.array([0.1]))
+        assert fi[0] == 0.5 and fa[0] == 0.5
+
+
+class TestOverProperties:
+    @given(a=pixel, b=pixel, c=pixel)
+    @settings(max_examples=200)
+    def test_associative(self, a, b, c):
+        left = over_scalar(over_scalar(a, b), c)
+        right = over_scalar(a, over_scalar(b, c))
+        assert left[0] == pytest.approx(right[0], abs=1e-12)
+        assert left[1] == pytest.approx(right[1], abs=1e-12)
+
+    @given(a=pixel, b=pixel)
+    @settings(max_examples=200)
+    def test_opacity_monotone_and_bounded(self, a, b):
+        _, alpha = over_scalar(a, b)
+        assert alpha >= max(a[1] - 1e-12, 0.0)
+        assert alpha <= 1.0 + 1e-12
+
+    @given(b=pixel)
+    def test_blank_is_left_identity(self, b):
+        assert over_scalar((0.0, 0.0), b) == pytest.approx(b)
+
+    @given(a=pixel)
+    def test_blank_is_right_identity(self, a):
+        assert over_scalar(a, (0.0, 0.0)) == pytest.approx(a)
+
+    @given(fi=planes(), fa=planes(), bi=planes(), ba=planes())
+    @settings(max_examples=50)
+    def test_vectorized_matches_scalar(self, fi, fa, bi, ba):
+        out_i, out_a = over(fi, fa, bi, ba)
+        idx = (1, 2)
+        si, sa = over_scalar((fi[idx], fa[idx]), (bi[idx], ba[idx]))
+        assert out_i[idx] == pytest.approx(si)
+        assert out_a[idx] == pytest.approx(sa)
+
+
+class TestMasks:
+    def test_blank_requires_both_zero(self):
+        intensity = np.array([0.0, 0.0, 0.5, 0.5])
+        opacity = np.array([0.0, 0.5, 0.0, 0.5])
+        assert is_blank(intensity, opacity).tolist() == [True, False, False, False]
+
+    def test_masks_complementary(self):
+        rng = np.random.default_rng(2)
+        intensity = rng.choice([0.0, 0.4], size=20)
+        opacity = rng.choice([0.0, 0.7], size=20)
+        assert np.array_equal(
+            nonblank_mask(intensity, opacity), ~is_blank(intensity, opacity)
+        )

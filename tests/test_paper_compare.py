@@ -1,0 +1,144 @@
+"""Tests for the transcribed paper data and the fidelity comparison."""
+
+import pytest
+
+from repro.analysis.metrics import MethodMeasurement
+from repro.experiments.compare import compare_to_paper, format_fidelity
+from repro.experiments.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    paper_cell,
+)
+
+RANKS = (2, 4, 8, 16, 32, 64)
+DATASETS = ("engine_low", "engine_high", "head", "cube")
+
+
+class TestPaperDataIntegrity:
+    def test_table1_complete(self):
+        assert len(PAPER_TABLE1) == 4 * 6 * 4
+        for dataset in DATASETS:
+            for p in RANKS:
+                for method in ("bs", "bsbr", "bslc", "bsbrc"):
+                    assert (dataset, p, method) in PAPER_TABLE1
+
+    def test_table2_complete(self):
+        assert len(PAPER_TABLE2) == 4 * 6 * 3
+        for key in PAPER_TABLE2:
+            assert key[2] in ("bsbr", "bslc", "bsbrc")
+
+    def test_columns_additive_within_rounding(self):
+        """The paper's T_total column equals T_comp + T_comm (ink noise
+        aside) — a transcription self-check."""
+        for cell in list(PAPER_TABLE1.values()) + list(PAPER_TABLE2.values()):
+            assert cell.t_total == pytest.approx(
+                cell.t_comp + cell.t_comm, abs=0.5
+            ), cell
+
+    def test_values_positive(self):
+        for cell in list(PAPER_TABLE1.values()) + list(PAPER_TABLE2.values()):
+            assert cell.t_comp > 0 and cell.t_comm > 0
+
+    def test_headline_claims_hold_in_paper_data(self):
+        """Sanity: the transcription reproduces the paper's own prose."""
+        for dataset in DATASETS:
+            for p in RANKS:
+                cells = {
+                    m: PAPER_TABLE1[(dataset, p, m)].t_total
+                    for m in ("bs", "bsbr", "bslc", "bsbrc")
+                }
+                assert cells["bs"] == max(cells.values())  # BS worst
+        # BSBRC best total at P=64 in Table 1, all datasets.
+        for dataset in DATASETS:
+            cells = {
+                m: PAPER_TABLE1[(dataset, 64, m)].t_total
+                for m in ("bsbr", "bslc", "bsbrc")
+            }
+            assert cells["bsbrc"] == min(cells.values())
+
+    def test_lookup_helper(self):
+        cell = paper_cell("cube", 64, "bsbrc")
+        assert cell is not None and cell.t_total == 66.03
+        assert paper_cell("cube", 64, "bs", image_size=768) is None
+        cell2 = paper_cell("head", 2, "bslc", image_size=768)
+        assert cell2 is not None and cell2.t_total == 386.68
+
+    def test_bslc_comm_smallest_in_paper_table1(self):
+        """'the BSLC method has the smallest communication time' — true
+        in the published data for every P >= 4."""
+        for dataset in DATASETS:
+            for p in (4, 8, 16, 32, 64):
+                comms = {
+                    m: PAPER_TABLE1[(dataset, p, m)].t_comm
+                    for m in ("bs", "bsbr", "bslc", "bsbrc")
+                }
+                assert comms["bslc"] == min(comms.values()), (dataset, p)
+
+
+def rows_from_paper(table, image_size):
+    """Turn the paper's own numbers into MethodMeasurement rows."""
+    rows = []
+    for (dataset, p, method), cell in table.items():
+        rows.append(
+            MethodMeasurement(
+                method=method, dataset=dataset, image_size=image_size,
+                num_ranks=p, t_comp=cell.t_comp / 1e3, t_comm=cell.t_comm / 1e3,
+                mmax_bytes=0, makespan=0.0, bytes_total=0,
+                pixels_composited=0, pixels_encoded=0,
+            )
+        )
+    return rows
+
+
+class TestCompare:
+    def test_paper_vs_itself_is_perfect(self):
+        rows = rows_from_paper(PAPER_TABLE1, 384)
+        report = compare_to_paper(rows)
+        assert report.winner_agreement == 1.0
+        assert report.pairwise_agreement == 1.0
+        assert report.spearman_total == pytest.approx(1.0, abs=1e-4)  # a repeated value ties
+        assert report.mismatched_winners == []
+        for q25, median, q75 in report.per_method_ratio.values():
+            assert q25 == pytest.approx(1.0, abs=1e-3)
+            assert median == pytest.approx(1.0, abs=1e-3)
+            assert q75 == pytest.approx(1.0, abs=1e-3)
+
+    def test_table2_vs_itself(self):
+        rows = rows_from_paper(PAPER_TABLE2, 768)
+        report = compare_to_paper(rows)
+        assert report.winner_agreement == 1.0
+        assert report.cells_compared == 72
+
+    def test_scrambled_rows_score_poorly(self):
+        rows = rows_from_paper(PAPER_TABLE1, 384)
+        # Invert every timing: losers become winners.
+        inverted = [
+            MethodMeasurement(
+                method=r.method, dataset=r.dataset, image_size=r.image_size,
+                num_ranks=r.num_ranks, t_comp=1.0 / max(r.t_comp, 1e-9),
+                t_comm=1.0 / max(r.t_comm, 1e-9), mmax_bytes=0, makespan=0.0,
+                bytes_total=0, pixels_composited=0, pixels_encoded=0,
+            )
+            for r in rows
+        ]
+        report = compare_to_paper(inverted)
+        assert report.winner_agreement < 0.3
+        assert report.spearman_total < 0.0
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            compare_to_paper([])
+
+    def test_no_overlap_rejected(self):
+        rows = rows_from_paper(PAPER_TABLE1, 384)
+        for row in rows:
+            object.__setattr__(row, "dataset", "not_in_paper")
+        with pytest.raises(ValueError):
+            compare_to_paper(rows)
+
+    def test_format_mentions_metrics(self):
+        rows = rows_from_paper(PAPER_TABLE1, 384)
+        text = format_fidelity(compare_to_paper(rows))
+        assert "winner agreement" in text
+        assert "Spearman" in text
+        assert "every cell" in text

@@ -1,0 +1,176 @@
+"""Tests for recursive-bisection partitioning and depth ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.types import Extent3
+from repro.volume.partition import depth_order, recursive_bisect
+
+
+def voxel_cover(plan):
+    """Boolean occupancy grid counting how many extents cover each voxel."""
+    counts = np.zeros(plan.shape, dtype=np.int32)
+    for rank in range(plan.num_ranks):
+        sx, sy, sz = plan.extent(rank).slices()
+        counts[sx, sy, sz] += 1
+    return counts
+
+
+class TestRecursiveBisect:
+    @pytest.mark.parametrize("num_ranks", [1, 2, 4, 8, 16, 32, 64])
+    def test_exact_partition(self, num_ranks):
+        plan = recursive_bisect((32, 32, 16), num_ranks)
+        assert plan.num_ranks == num_ranks
+        assert (voxel_cover(plan) == 1).all()
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(PartitionError):
+            recursive_bisect((32, 32, 32), 6)
+
+    def test_too_small_volume_rejected(self):
+        with pytest.raises(PartitionError):
+            recursive_bisect((1, 1, 1), 8)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(PartitionError):
+            recursive_bisect((0, 4, 4), 2)
+
+    def test_unknown_axis_policy(self):
+        with pytest.raises(PartitionError):
+            recursive_bisect((8, 8, 8), 2, axis_policy="spiral")
+
+    def test_cycle_policy_axes(self):
+        plan = recursive_bisect((32, 32, 32), 8, axis_policy="cycle")
+        # Levels 0,1,2 use axes x,y,z; stage k corresponds to level 2-k.
+        for rank in range(8):
+            assert plan.stage_axes[rank] == (2, 1, 0)
+
+    def test_longest_policy_splits_longest(self):
+        plan = recursive_bisect((64, 16, 16), 2)
+        a, b = plan.extent(0), plan.extent(1)
+        assert a.shape == (32, 16, 16)
+        assert b.shape == (32, 16, 16)
+
+    @pytest.mark.parametrize("num_ranks", [2, 8, 16])
+    def test_blocks_balanced(self, num_ranks):
+        plan = recursive_bisect((64, 64, 32), num_ranks)
+        sizes = [plan.extent(r).num_voxels for r in range(num_ranks)]
+        assert max(sizes) <= 2 * min(sizes)
+
+    def test_single_rank_trivial(self):
+        plan = recursive_bisect((8, 8, 8), 1)
+        assert plan.extent(0) == Extent3.full((8, 8, 8))
+        assert plan.num_stages == 0
+
+
+class TestStageStructure:
+    @pytest.mark.parametrize("num_ranks", [2, 4, 8, 16, 32])
+    def test_partners_share_stage_axis(self, num_ranks):
+        plan = recursive_bisect((64, 64, 32), num_ranks)
+        for stage in range(plan.num_stages):
+            for rank in range(num_ranks):
+                partner = rank ^ (1 << stage)
+                assert plan.separating_axis(rank, stage) == plan.separating_axis(
+                    partner, stage
+                )
+
+    @pytest.mark.parametrize("num_ranks", [2, 4, 8, 16])
+    def test_plane_actually_separates_groups(self, num_ranks):
+        """At stage k the extents of the two pair groups must not overlap
+        along the recorded axis — the property front/back relies on."""
+        plan = recursive_bisect((64, 64, 32), num_ranks)
+        for stage in range(plan.num_stages):
+            for rank in range(num_ranks):
+                partner = rank ^ (1 << stage)
+                axis = plan.separating_axis(rank, stage)
+                group_a = [
+                    r for r in range(num_ranks)
+                    if (r | ((1 << (stage + 1)) - 1)) == (rank | ((1 << (stage + 1)) - 1))
+                    and ((r >> stage) & 1) == ((rank >> stage) & 1)
+                ]
+                group_b = [
+                    r for r in range(num_ranks)
+                    if (r | ((1 << (stage + 1)) - 1)) == (partner | ((1 << (stage + 1)) - 1))
+                    and ((r >> stage) & 1) == ((partner >> stage) & 1)
+                ]
+                lo_a = min(getattr(plan.extent(r), f"{'xyz'[axis]}0") for r in group_a)
+                hi_a = max(getattr(plan.extent(r), f"{'xyz'[axis]}1") for r in group_a)
+                lo_b = min(getattr(plan.extent(r), f"{'xyz'[axis]}0") for r in group_b)
+                hi_b = max(getattr(plan.extent(r), f"{'xyz'[axis]}1") for r in group_b)
+                assert hi_a <= lo_b or hi_b <= lo_a
+
+    @pytest.mark.parametrize("num_ranks", [2, 8, 32])
+    def test_rank_is_low_matches_extents(self, num_ranks):
+        plan = recursive_bisect((64, 64, 32), num_ranks)
+        for stage in range(plan.num_stages):
+            for rank in range(num_ranks):
+                partner = rank ^ (1 << stage)
+                axis = plan.separating_axis(rank, stage)
+                mine = plan.extent(rank).center[axis]
+                theirs = plan.extent(partner).center[axis]
+                if plan.rank_is_low(rank, stage):
+                    assert mine < theirs
+                else:
+                    assert mine > theirs
+
+    @given(
+        num_ranks=st.sampled_from([2, 4, 8, 16]),
+        vx=st.floats(-1, 1),
+        vy=st.floats(-1, 1),
+        vz=st.floats(-1, 1),
+    )
+    @settings(max_examples=100)
+    def test_front_back_antisymmetric(self, num_ranks, vx, vy, vz):
+        plan = recursive_bisect((32, 32, 16), num_ranks)
+        view = np.array([vx, vy, vz])
+        for stage in range(plan.num_stages):
+            for rank in range(num_ranks):
+                partner = rank ^ (1 << stage)
+                assert plan.local_in_front(rank, stage, view) != plan.local_in_front(
+                    partner, stage, view
+                )
+
+    def test_describe_lists_all_ranks(self):
+        plan = recursive_bisect((16, 16, 8), 4)
+        text = plan.describe()
+        assert "rank   0" in text and "rank   3" in text
+
+
+class TestDepthOrder:
+    def test_is_permutation(self):
+        plan = recursive_bisect((32, 32, 16), 8)
+        order = depth_order(plan, np.array([0.3, -0.5, 0.8]))
+        assert sorted(order) == list(range(8))
+
+    def test_axis_aligned_view(self):
+        plan = recursive_bisect((32, 32, 32), 2, axis_policy="cycle")
+        # cycle policy: root split along x; viewing down +x puts low-x first.
+        order = depth_order(plan, np.array([1.0, 0.0, 0.0]))
+        assert order == [0, 1]
+        order = depth_order(plan, np.array([-1.0, 0.0, 0.0]))
+        assert order == [1, 0]
+
+    @given(
+        vx=st.floats(-1, 1), vy=st.floats(-1, 1), vz=st.floats(-1, 1),
+        num_ranks=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=100)
+    def test_consistent_with_pairwise_decision(self, vx, vy, vz, num_ranks):
+        """Whenever the pairwise decision says rank is in front of its
+        stage partner AND the view is not perpendicular to the separating
+        plane, the global order must agree."""
+        view = np.array([vx, vy, vz])
+        plan = recursive_bisect((32, 32, 16), num_ranks)
+        order = depth_order(plan, view)
+        pos = {r: i for i, r in enumerate(order)}
+        for stage in range(plan.num_stages):
+            for rank in range(num_ranks):
+                partner = rank ^ (1 << stage)
+                axis = plan.separating_axis(rank, stage)
+                if abs(view[axis]) < 1e-9:
+                    continue  # side-by-side: order is irrelevant
+                if plan.local_in_front(rank, stage, view):
+                    assert pos[rank] < pos[partner]

@@ -1,0 +1,122 @@
+"""Tests for RunConfig and the end-to-end SortLastSystem."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.model import IDEALIZED, SP2
+from repro.errors import ConfigurationError
+from repro.pipeline.config import RunConfig
+from repro.pipeline.system import SortLastSystem
+
+SMALL = dict(volume_shape=(32, 32, 16), image_size=48, num_ranks=4)
+
+
+class TestRunConfig:
+    def test_defaults_valid(self):
+        cfg = RunConfig()
+        assert cfg.method == "bsbrc"
+        assert cfg.machine is SP2
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(dataset="nope")
+
+    def test_non_power_of_two_ranks_allowed(self):
+        # Folding extension: any count >= 1 is valid configuration.
+        assert RunConfig(num_ranks=6).num_ranks == 6
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(num_ranks=0)
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(method="magic")
+
+    def test_machine_preset_by_name(self):
+        cfg = RunConfig(machine="idealized")
+        assert cfg.machine is IDEALIZED
+
+    def test_unknown_machine_preset(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(machine="cray")
+
+    def test_bad_image_size(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(image_size=1)
+
+    def test_bad_step(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(step=0)
+
+    def test_with_derives(self):
+        cfg = RunConfig(num_ranks=4)
+        other = cfg.with_(num_ranks=8, method="bs")
+        assert other.num_ranks == 8 and other.method == "bs"
+        assert cfg.num_ranks == 4
+
+    def test_label_mentions_everything(self):
+        label = RunConfig(dataset="cube", num_ranks=16, method="bslc").label()
+        assert "cube" in label and "P16" in label and "bslc" in label
+
+    def test_num_pixels(self):
+        assert RunConfig(image_size=100).num_pixels == 10000
+
+
+class TestSortLastSystem:
+    @pytest.mark.parametrize("method", ["bs", "bsbr", "bslc", "bsbrc"])
+    def test_end_to_end_matches_reference(self, method):
+        cfg = RunConfig(dataset="engine_low", method=method, **SMALL)
+        result = SortLastSystem(cfg).run()
+        assert result.final_image.max_abs_diff(result.reference_image()) < 1e-9
+
+    def test_gather_path_equals_local_assembly(self):
+        cfg = RunConfig(dataset="head", method="bsbrc", **SMALL)
+        gathered = SortLastSystem(cfg).run(gather_final=True)
+        local = SortLastSystem(cfg).run(gather_final=False)
+        assert gathered.final_image.max_abs_diff(local.final_image) == 0.0
+
+    def test_gather_path_for_index_ownership(self):
+        cfg = RunConfig(dataset="head", method="bslc", **SMALL)
+        gathered = SortLastSystem(cfg).run(gather_final=True)
+        local = SortLastSystem(cfg).run(gather_final=False)
+        assert gathered.final_image.max_abs_diff(local.final_image) == 0.0
+
+    def test_result_carries_stats(self):
+        cfg = RunConfig(dataset="engine_low", method="bsbrc", **SMALL)
+        result = SortLastSystem(cfg).run()
+        stats = result.compositing.stats
+        assert stats.t_total > 0
+        assert stats.mmax_bytes > 0
+        assert result.compositing.method == "bsbrc"
+        assert len(result.subimages) == cfg.num_ranks
+
+    def test_method_options_forwarded(self):
+        cfg = RunConfig(
+            dataset="engine_low", method="bslc", method_options={"section": 16}, **SMALL
+        )
+        result = SortLastSystem(cfg).run()
+        assert result.final_image.max_abs_diff(result.reference_image()) < 1e-9
+
+    def test_viewpoint_changes_result(self):
+        base = RunConfig(dataset="engine_low", method="bsbrc", **SMALL)
+        img_a = SortLastSystem(base).run().final_image
+        img_b = SortLastSystem(base.with_(rot_y=80.0)).run().final_image
+        assert img_a.max_abs_diff(img_b) > 1e-6
+
+    def test_machine_model_affects_time_not_pixels(self):
+        base = RunConfig(dataset="engine_low", method="bsbrc", **SMALL)
+        slow = base.with_(machine="sp2-slow-net")
+        res_a = SortLastSystem(base).run()
+        res_b = SortLastSystem(slow).run()
+        assert res_a.final_image.max_abs_diff(res_b.final_image) == 0.0
+        assert res_b.compositing.stats.t_comm > res_a.compositing.stats.t_comm
+
+    def test_single_rank_degenerates_gracefully(self):
+        cfg = RunConfig(
+            dataset="sphere", method="bs", volume_shape=(16, 16, 16),
+            image_size=32, num_ranks=1,
+        )
+        result = SortLastSystem(cfg).run()
+        assert result.final_image.max_abs_diff(result.reference_image()) < 1e-12
+        assert result.compositing.stats.t_comm == 0.0

@@ -1,0 +1,169 @@
+"""Hypothesis property suite over the whole compositing stack.
+
+These generate arbitrary sparse images, processor counts, viewpoints and
+method options, and assert the master invariant (parallel composite ==
+sequential depth-order composite) plus cross-method agreement on bytes
+and results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.model import IDEALIZED
+from repro.pipeline.system import assemble_final, run_compositing, validate_ownership
+from repro.render.image import SubImage
+from repro.render.reference import composite_sequential
+from repro.volume.partition import depth_order, recursive_bisect
+
+COMMON = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def build_images(seed, num_ranks, height, width, density):
+    rng = np.random.default_rng(seed)
+    images = []
+    for _ in range(num_ranks):
+        mask = rng.random((height, width)) < density
+        opacity = np.where(mask, rng.uniform(0.05, 0.95, (height, width)), 0.0)
+        intensity = np.where(mask, rng.uniform(0.0, 1.0, (height, width)) * opacity, 0.0)
+        images.append(SubImage(intensity=intensity, opacity=opacity))
+    return images
+
+
+workload_strategy = st.tuples(
+    st.integers(0, 10_000),               # seed
+    st.sampled_from([2, 4, 8]),           # num_ranks
+    st.integers(8, 40),                   # height
+    st.integers(8, 40),                   # width
+    st.floats(0.0, 1.0),                  # density
+    st.tuples(st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1)),  # view
+)
+
+
+def run_case(method, seed, num_ranks, height, width, density, view, **options):
+    images = build_images(seed, num_ranks, height, width, density)
+    plan = recursive_bisect((32, 32, 16), num_ranks)
+    view_dir = np.asarray(view)
+    reference = composite_sequential(images, depth_order(plan, view_dir))
+    run = run_compositing(images, method, plan, view_dir, IDEALIZED, **options)
+    final = assemble_final(run.outcomes, height, width)
+    return final, reference, run
+
+
+class TestMasterInvariant:
+    @given(case=workload_strategy)
+    @settings(**COMMON)
+    def test_bs(self, case):
+        final, reference, _ = run_case("bs", *case)
+        assert final.max_abs_diff(reference) < 1e-9
+
+    @given(case=workload_strategy)
+    @settings(**COMMON)
+    def test_bsbr(self, case):
+        final, reference, run = run_case("bsbr", *case)
+        assert final.max_abs_diff(reference) < 1e-9
+        validate_ownership(run.outcomes, *final.shape)
+
+    @given(case=workload_strategy, section=st.sampled_from([1, 3, 16, 128]))
+    @settings(**COMMON)
+    def test_bslc(self, case, section):
+        final, reference, run = run_case("bslc", *case, section=section)
+        assert final.max_abs_diff(reference) < 1e-9
+        validate_ownership(run.outcomes, *final.shape)
+
+    @given(case=workload_strategy, policy=st.sampled_from(["longest", "alternate", "rows"]))
+    @settings(**COMMON)
+    def test_bsbrc(self, case, policy):
+        final, reference, run = run_case("bsbrc", *case, split_policy=policy)
+        assert final.max_abs_diff(reference) < 1e-9
+        validate_ownership(run.outcomes, *final.shape)
+
+    @given(case=workload_strategy)
+    @settings(**COMMON)
+    def test_direct(self, case):
+        final, reference, _ = run_case("direct", *case)
+        assert final.max_abs_diff(reference) < 1e-9
+
+    @given(case=workload_strategy)
+    @settings(**COMMON)
+    def test_pipeline(self, case):
+        final, reference, _ = run_case("pipeline", *case)
+        assert final.max_abs_diff(reference) < 1e-9
+
+    @given(case=workload_strategy)
+    @settings(**COMMON)
+    def test_tree(self, case):
+        final, reference, _ = run_case("tree", *case)
+        assert final.max_abs_diff(reference) < 1e-9
+
+
+class TestCrossMethodAgreement:
+    @given(case=workload_strategy)
+    @settings(**COMMON)
+    def test_all_swap_methods_identical_output(self, case):
+        """BS and its sparse variants must agree bitwise — they perform the
+        identical over operations, just ship different bytes."""
+        finals = {}
+        for method in ("bs", "bsbr", "bsbrc"):
+            final, _, _ = run_case(method, *case)
+            finals[method] = final
+        assert finals["bs"].max_abs_diff(finals["bsbr"]) == 0.0
+        assert finals["bs"].max_abs_diff(finals["bsbrc"]) == 0.0
+
+    @given(case=workload_strategy)
+    @settings(**COMMON)
+    def test_sparse_methods_never_ship_more_than_bs(self, case):
+        """Per-rank received bytes: BSBR/BSBRC <= BS + header overhead."""
+        _, _, run_bs = run_case("bs", *case)
+        _, _, run_bsbr = run_case("bsbr", *case)
+        _, _, run_bsbrc = run_case("bsbrc", *case)
+        num_ranks = case[1]
+        stages = num_ranks.bit_length() - 1
+        header_slack = 8 * stages
+        code_slack = 2 * (case[2] * case[3] + 2 * stages)  # worst-case RLE
+        for rank in range(num_ranks):
+            bs_bytes = run_bs.stats.rank_stats[rank].bytes_recv
+            assert (
+                run_bsbr.stats.rank_stats[rank].bytes_recv
+                <= bs_bytes + header_slack
+            )
+            assert (
+                run_bsbrc.stats.rank_stats[rank].bytes_recv
+                <= bs_bytes + header_slack + code_slack
+            )
+
+
+class TestExtremes:
+    @pytest.mark.parametrize("method", ["bs", "bsbr", "bslc", "bsbrc", "direct", "tree", "pipeline"])
+    def test_fully_opaque_images(self, method):
+        images = []
+        for rank in range(4):
+            img = SubImage.blank(16, 16)
+            img.intensity[:] = 0.1 * (rank + 1)
+            img.opacity[:] = 1.0
+            images.append(img)
+        plan = recursive_bisect((16, 16, 16), 4)
+        view = np.array([0.2, 0.3, -0.9])
+        reference = composite_sequential(images, depth_order(plan, view))
+        run = run_compositing(images, method, plan, view, IDEALIZED)
+        final = assemble_final(run.outcomes, 16, 16)
+        assert final.max_abs_diff(reference) < 1e-12
+
+    @pytest.mark.parametrize("method", ["bsbr", "bsbrc"])
+    def test_single_nonblank_pixel(self, method):
+        """Tiny bounding rects travel across all stages correctly."""
+        images = [SubImage.blank(16, 16) for _ in range(8)]
+        images[5].intensity[3, 11] = 0.7
+        images[5].opacity[3, 11] = 0.4
+        plan = recursive_bisect((32, 32, 16), 8)
+        view = np.array([0.1, -0.5, -0.8])
+        reference = composite_sequential(images, depth_order(plan, view))
+        run = run_compositing(images, method, plan, view, IDEALIZED)
+        final = assemble_final(run.outcomes, 16, 16)
+        assert final.max_abs_diff(reference) == 0.0
+        assert final.nonblank_count() == 1

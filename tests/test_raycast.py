@@ -1,0 +1,150 @@
+"""Tests for the ray-casting renderer and the block-composite invariant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RenderError
+from repro.render.camera import Camera
+from repro.render.raycast import render_full, render_subvolume
+from repro.render.reference import composite_sequential
+from repro.types import Extent3
+from repro.volume.datasets import make_dataset, make_sphere
+from repro.volume.partition import depth_order, recursive_bisect
+
+
+def camera_for(volume, size=48, **kwargs):
+    return Camera(width=size, height=size, volume_shape=volume.shape, **kwargs)
+
+
+class TestRenderBasics:
+    def test_sphere_renders_centered_disc(self):
+        volume, transfer = make_dataset("sphere", (24, 24, 24))
+        cam = camera_for(volume)
+        image = render_full(volume, transfer, cam)
+        assert image.nonblank_count() > 0
+        rect = image.bounding_rect()
+        # Centered object: bounding rect roughly centered in the image.
+        assert abs((rect.y0 + rect.y1) / 2 - cam.height / 2) < 3
+        assert abs((rect.x0 + rect.x1) / 2 - cam.width / 2) < 3
+
+    def test_opacity_in_unit_range(self):
+        volume, transfer = make_dataset("engine_low", (24, 24, 12))
+        image = render_full(volume, transfer, camera_for(volume))
+        assert float(image.opacity.min()) >= 0.0
+        assert float(image.opacity.max()) <= 1.0
+        assert float(image.intensity.min()) >= 0.0
+
+    def test_empty_extent_gives_blank(self):
+        volume, transfer = make_dataset("sphere", (16, 16, 16))
+        image = render_subvolume(
+            volume, transfer, camera_for(volume), Extent3(0, 0, 0, 0, 16, 16)
+        )
+        assert image.nonblank_count() == 0
+
+    def test_blank_outside_footprint(self):
+        volume, transfer = make_dataset("sphere", (32, 32, 32))
+        cam = camera_for(volume, rot_x=15, rot_y=25)
+        extent = Extent3(0, 0, 0, 8, 8, 8)  # one corner block
+        image = render_subvolume(volume, transfer, cam, extent)
+        footprint = cam.footprint_rect(extent.corners())
+        mask = image.nonblank_mask()
+        outside = mask.copy()
+        rows, cols = footprint.slices()
+        outside[rows, cols] = False
+        assert not outside.any()
+
+    def test_camera_volume_mismatch_rejected(self):
+        volume, transfer = make_dataset("sphere", (16, 16, 16))
+        cam = Camera(width=32, height=32, volume_shape=(8, 8, 8))
+        with pytest.raises(RenderError):
+            render_subvolume(volume, transfer, cam, volume.full_extent())
+
+    def test_transparent_transfer_gives_blank(self):
+        volume, transfer = make_dataset("sphere", (16, 16, 16))
+        opaque_free = transfer.with_window(0.99, 1.0)
+        image = render_full(volume, opaque_free, camera_for(volume))
+        assert image.nonblank_count() == 0
+
+    def test_deterministic(self):
+        volume, transfer = make_dataset("head", (24, 24, 12))
+        cam = camera_for(volume, rot_x=30)
+        a = render_full(volume, transfer, cam)
+        b = render_full(volume, transfer, cam)
+        assert np.array_equal(a.intensity, b.intensity)
+        assert np.array_equal(a.opacity, b.opacity)
+
+
+class TestBlockCompositeInvariant:
+    """Compositing block renders front-to-back == rendering the union."""
+
+    @pytest.mark.parametrize("dataset", ["sphere", "engine_low", "cube"])
+    @pytest.mark.parametrize("num_ranks", [2, 8])
+    def test_blocks_equal_full(self, dataset, num_ranks):
+        volume, transfer = make_dataset(dataset, (32, 32, 16))
+        cam = camera_for(volume, rot_x=20, rot_y=30)
+        plan = recursive_bisect(volume.shape, num_ranks)
+        subimages = [
+            render_subvolume(volume, transfer, cam, plan.extent(r))
+            for r in range(num_ranks)
+        ]
+        combined = composite_sequential(subimages, depth_order(plan, cam.view_dir))
+        full = render_full(volume, transfer, cam)
+        assert combined.max_abs_diff(full) < 1e-12
+
+    @pytest.mark.parametrize(
+        "rotation", [(0, 0, 0), (90, 0, 0), (0, 90, 0), (45, 0, 0), (33, -48, 15)]
+    )
+    def test_blocks_equal_full_across_viewpoints(self, rotation):
+        volume, transfer = make_dataset("engine_high", (32, 32, 16))
+        cam = camera_for(
+            volume, rot_x=rotation[0], rot_y=rotation[1], rot_z=rotation[2]
+        )
+        plan = recursive_bisect(volume.shape, 4)
+        subimages = [
+            render_subvolume(volume, transfer, cam, plan.extent(r)) for r in range(4)
+        ]
+        combined = composite_sequential(subimages, depth_order(plan, cam.view_dir))
+        full = render_full(volume, transfer, cam)
+        assert combined.max_abs_diff(full) < 1e-12
+
+    def test_non_unit_step(self):
+        volume, transfer = make_dataset("sphere", (32, 32, 32))
+        cam = camera_for(volume, rot_x=20, rot_y=30, step=0.5)
+        plan = recursive_bisect(volume.shape, 4)
+        subimages = [
+            render_subvolume(volume, transfer, cam, plan.extent(r)) for r in range(4)
+        ]
+        combined = composite_sequential(subimages, depth_order(plan, cam.view_dir))
+        full = render_full(volume, transfer, cam)
+        assert combined.max_abs_diff(full) < 1e-12
+
+
+class TestSparsityCharacter:
+    """The phantoms must reproduce the sparsity regimes the paper relies on."""
+
+    def test_engine_high_subimages_sparser(self):
+        shape = (48, 48, 24)
+        vol_low, tf_low = make_dataset("engine_low", shape)
+        _, tf_high = make_dataset("engine_high", shape)
+        cam = camera_for(vol_low, size=64, rot_x=20, rot_y=30)
+        low = render_full(vol_low, tf_low, cam)
+        high = render_full(vol_low, tf_high, cam)
+        assert high.nonblank_count() < low.nonblank_count()
+
+    def test_cube_rect_sparse(self):
+        """Cube: large bounding rectangle, low density inside it."""
+        volume, transfer = make_dataset("cube", (48, 48, 24))
+        cam = camera_for(volume, size=64, rot_x=20, rot_y=30)
+        image = render_full(volume, transfer, cam)
+        rect = image.bounding_rect()
+        density = image.nonblank_count() / rect.area
+        assert rect.area > 0.3 * image.num_pixels  # wide footprint
+        assert density < 0.7  # but sparse inside
+
+    def test_head_rect_dense(self):
+        volume, transfer = make_dataset("head", (48, 48, 24))
+        cam = camera_for(volume, size=64, rot_x=20, rot_y=30)
+        image = render_full(volume, transfer, cam)
+        rect = image.bounding_rect()
+        density = image.nonblank_count() / rect.area
+        assert density > 0.6

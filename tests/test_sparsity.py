@@ -1,0 +1,128 @@
+"""Tests for the sparsity analytics module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sparsity import (
+    SubimageSparsity,
+    measure_sparsity,
+    sparsity_table,
+    wire_cost_estimates,
+)
+from repro.render.image import SubImage
+from repro.types import PIXEL_BYTES, RECT_INFO_BYTES, Rect
+
+
+def image_with_block(h=20, w=20, rect=Rect(5, 5, 10, 10), alpha=0.5):
+    image = SubImage.blank(h, w)
+    rows, cols = rect.slices()
+    image.opacity[rows, cols] = alpha
+    image.intensity[rows, cols] = alpha
+    return image
+
+
+class TestMeasure:
+    def test_blank_image(self):
+        profile = measure_sparsity(SubImage.blank(10, 10))
+        assert profile.nonblank == 0
+        assert profile.rect.is_empty
+        assert profile.nonblank_fraction == 0.0
+        assert profile.rect_density == 0.0
+        assert profile.runs == 1  # one all-blank run
+
+    def test_solid_block(self):
+        profile = measure_sparsity(image_with_block())
+        assert profile.nonblank == 25
+        assert profile.rect == Rect(5, 5, 10, 10)
+        assert profile.rect_density == 1.0
+        assert profile.nonblank_fraction == 25 / 400
+
+    def test_full_frame(self):
+        image = SubImage.blank(8, 8)
+        image.opacity[:] = 0.3
+        profile = measure_sparsity(image)
+        assert profile.rect_fraction == 1.0
+        assert profile.rect_density == 1.0
+        assert profile.runs == 2  # zero-length blank lead-in + one run
+
+    def test_checkerboard_has_short_runs(self):
+        image = SubImage.blank(16, 16)
+        image.opacity[::2, ::2] = 0.5
+        image.opacity[1::2, 1::2] = 0.5
+        profile = measure_sparsity(image)
+        assert profile.mean_run_length <= 2.0
+
+    def test_coherent_rows_have_long_runs(self):
+        image = image_with_block(rect=Rect(0, 0, 10, 20))  # full-width band
+        profile = measure_sparsity(image)
+        assert profile.mean_run_length > 50
+
+
+class TestWireCosts:
+    def test_bs_is_frame_size(self):
+        profile = measure_sparsity(image_with_block())
+        costs = wire_cost_estimates(profile)
+        assert costs["bs"] == 400 * PIXEL_BYTES
+
+    def test_dense_rect_bsbr_wins_over_bslc(self):
+        """A perfectly dense small rect: BSBR ships exactly the pixels +
+        8 bytes, BSLC adds run codes."""
+        profile = measure_sparsity(image_with_block())
+        costs = wire_cost_estimates(profile)
+        assert costs["bsbr"] == RECT_INFO_BYTES + 25 * PIXEL_BYTES
+        assert costs["bsbr"] <= costs["bslc"] + RECT_INFO_BYTES
+
+    def test_sparse_wide_rect_bslc_wins(self):
+        """Diagonal dots: huge rect, few pixels — BSBR's worst case."""
+        image = SubImage.blank(32, 32)
+        for k in range(0, 32, 4):
+            image.opacity[k, k] = 0.5
+        profile = measure_sparsity(image)
+        costs = wire_cost_estimates(profile)
+        assert costs["bslc"] < costs["bsbr"]
+        assert costs["bsbrc"] < costs["bsbr"]
+
+    def test_ordering_bs_always_worst_for_nonfull_images(self):
+        profile = measure_sparsity(image_with_block())
+        costs = wire_cost_estimates(profile)
+        assert costs["bs"] == max(costs.values())
+
+
+class TestTable:
+    def test_renders_all_rows(self):
+        images = [image_with_block(), SubImage.blank(20, 20)]
+        text = sparsity_table(["a", "b"], images, title="T")
+        assert text.startswith("T\n")
+        assert "a" in text and "b" in text
+        assert "cheapest wire" in text
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            sparsity_table(["only-one"], [])
+
+    def test_dataset_characterization(self):
+        """The paper's qualitative dataset descriptions hold numerically."""
+        from repro.render.camera import Camera
+        from repro.render.raycast import render_full
+        from repro.volume.datasets import make_dataset
+
+        profiles = {}
+        for dataset in ("engine_low", "engine_high", "cube"):
+            volume, transfer = make_dataset(dataset, (48, 48, 24))
+            camera = Camera(
+                width=64, height=64, volume_shape=volume.shape, rot_x=20, rot_y=30
+            )
+            profiles[dataset] = measure_sparsity(render_full(volume, transfer, camera))
+
+        # Engine_high is sparser than engine_low (same geometry, higher
+        # threshold).
+        assert (
+            profiles["engine_high"].nonblank_fraction
+            < profiles["engine_low"].nonblank_fraction
+        )
+        # Cube has the wide-but-sparse rectangle and the worst coherence.
+        assert profiles["cube"].rect_density < profiles["engine_low"].rect_density
+        assert (
+            profiles["cube"].mean_run_length
+            < profiles["engine_low"].mean_run_length
+        )

@@ -1,0 +1,56 @@
+"""Tests for the per-stage breakdown experiment."""
+
+import pytest
+
+from repro.experiments.harness import clear_workload_cache
+from repro.experiments.stages import format_stage_breakdown, run_stage_breakdown
+
+QUICK = dict(image_size=48, volume_shape=(32, 32, 16), max_ranks=8)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_workload_cache()
+    yield
+    clear_workload_cache()
+
+
+class TestBreakdown:
+    def test_stage_count(self):
+        breakdown = run_stage_breakdown(method="bsbrc", num_ranks=8, **QUICK)
+        assert [b.stage for b in breakdown] == [0, 1, 2]
+
+    def test_bs_bytes_halve_per_stage(self):
+        """Eq. (2) read off the simulation: BS stage bytes are exactly
+        16 * A/2^(k+1) for every rank (mean == max)."""
+        breakdown = run_stage_breakdown(method="bs", num_ranks=8, **QUICK)
+        num_pixels = 48 * 48
+        for b in breakdown:
+            expected = 16 * (num_pixels // (2 ** (b.stage + 1)))
+            assert b.max_bytes_recv == expected
+            assert b.mean_bytes_recv == pytest.approx(expected)
+
+    def test_bsbrc_over_matches_a_opaque(self):
+        breakdown = run_stage_breakdown(method="bsbrc", num_ranks=8, **QUICK)
+        for b in breakdown:
+            assert b.mean_over_pixels == pytest.approx(b.mean_a_opaque)
+
+    def test_bslc_encode_halves(self):
+        """Eq. (5): the encode scan shrinks by ~2x each stage."""
+        breakdown = run_stage_breakdown(method="bslc", num_ranks=8, **QUICK)
+        encodes = [b.mean_encode_pixels for b in breakdown]
+        for earlier, later in zip(encodes, encodes[1:]):
+            assert later == pytest.approx(earlier / 2, rel=0.25)
+
+    def test_sparse_methods_below_bs_bytes(self):
+        bs = run_stage_breakdown(method="bs", num_ranks=8, **QUICK)
+        bsbrc = run_stage_breakdown(method="bsbrc", num_ranks=8, **QUICK)
+        for a, b in zip(bs, bsbrc):
+            assert b.mean_bytes_recv <= a.mean_bytes_recv
+
+    def test_format(self):
+        breakdown = run_stage_breakdown(method="bsbr", num_ranks=8, **QUICK)
+        text = format_stage_breakdown(breakdown, title="T")
+        assert text.startswith("T\n")
+        assert "a_rec" in text and "empty rects" in text
+        assert text.count("\n") >= 4

@@ -1,0 +1,127 @@
+"""Tests for communication schedules (binary swap, tree, ring)."""
+
+import pytest
+
+from repro.cluster.topology import (
+    binary_swap_partner,
+    binary_swap_schedule,
+    binary_tree_schedule,
+    is_power_of_two,
+    keeps_low_half,
+    log2_int,
+    ring_next,
+    ring_prev,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(1 << k) for k in range(12))
+        assert not any(is_power_of_two(n) for n in (0, -1, 3, 5, 6, 7, 12, 100))
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(64) == 6
+
+    def test_log2_int_rejects(self):
+        with pytest.raises(ConfigurationError):
+            log2_int(12)
+
+
+class TestBinarySwap:
+    @pytest.mark.parametrize("size", [2, 4, 8, 16, 32, 64])
+    def test_partner_is_involution(self, size):
+        for stage in range(log2_int(size)):
+            for rank in range(size):
+                partner = binary_swap_partner(rank, stage, size)
+                assert partner != rank
+                assert binary_swap_partner(partner, stage, size) == rank
+
+    @pytest.mark.parametrize("size", [2, 8, 64])
+    def test_each_stage_is_perfect_matching(self, size):
+        for stage in range(log2_int(size)):
+            partners = {binary_swap_partner(r, stage, size) for r in range(size)}
+            assert partners == set(range(size))
+
+    def test_schedule_visits_distinct_partners(self):
+        sched = binary_swap_schedule(5, 16)
+        assert len(sched) == 4
+        assert len(set(sched)) == 4
+        assert sched == [4, 7, 1, 13]
+
+    def test_stage_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            binary_swap_partner(0, 3, 8)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            binary_swap_partner(8, 0, 8)
+
+    def test_keeps_low_half_complementary(self):
+        for size in (2, 8, 32):
+            for stage in range(log2_int(size)):
+                for rank in range(size):
+                    partner = binary_swap_partner(rank, stage, size)
+                    assert keeps_low_half(rank, stage) != keeps_low_half(partner, stage)
+
+    @pytest.mark.parametrize("size", [2, 4, 8, 16])
+    def test_final_ownership_unique(self, size):
+        """Following keep decisions through all stages assigns each rank a
+        unique leaf of the halving tree (a distinct final image region)."""
+        paths = set()
+        for rank in range(size):
+            path = tuple(keeps_low_half(rank, s) for s in range(log2_int(size)))
+            paths.add(path)
+        assert len(paths) == size
+
+
+class TestBinaryTree:
+    @pytest.mark.parametrize("size", [2, 4, 8, 16])
+    def test_every_nonzero_rank_sends_once(self, size):
+        senders = {}
+        for rank in range(size):
+            steps = binary_tree_schedule(rank, size)
+            sends = [s for s in steps if s.role == "send"]
+            if rank == 0:
+                assert not sends
+            else:
+                assert len(sends) == 1
+                senders[rank] = sends[0].peer
+
+        # Every send goes to a rank that is still alive at that stage.
+        for rank, peer in senders.items():
+            assert 0 <= peer < rank
+
+    @pytest.mark.parametrize("size", [2, 4, 8, 16])
+    def test_recv_matches_send(self, size):
+        """For each stage, receivers' peers are exactly that stage's senders."""
+        by_stage_send = {}
+        by_stage_recv = {}
+        for rank in range(size):
+            for step in binary_tree_schedule(rank, size):
+                key = (step.stage, step.role)
+                bucket = by_stage_send if step.role == "send" else by_stage_recv
+                bucket.setdefault(step.stage, set()).add((rank, step.peer))
+        for stage, sends in by_stage_send.items():
+            recvs = by_stage_recv.get(stage, set())
+            assert {(peer, rank) for rank, peer in sends} == recvs
+
+    def test_rank0_receives_log_times(self):
+        steps = binary_tree_schedule(0, 16)
+        assert [s.role for s in steps] == ["recv"] * 4
+
+
+class TestRing:
+    def test_ring_next_prev_inverse(self):
+        for size in (1, 2, 5, 8):
+            for rank in range(size):
+                assert ring_prev(ring_next(rank, size), size) == rank
+
+    def test_ring_wraps(self):
+        assert ring_next(7, 8) == 0
+        assert ring_prev(0, 8) == 7
+
+    def test_ring_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_next(0, 0)

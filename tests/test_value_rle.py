@@ -1,0 +1,157 @@
+"""Tests for the value-based RLE codec and the bslcv comparator method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import rendered_workload, reference_image
+from repro.cluster.model import SP2
+from repro.compositing.rle import MAX_RUN
+from repro.compositing.value_rle import (
+    VALUE_RUN_BYTES,
+    pack_value_runs,
+    unpack_value_runs,
+    value_rle_decode,
+    value_rle_encode,
+)
+from repro.errors import WireFormatError
+from repro.pipeline.system import assemble_final, run_compositing, validate_ownership
+
+
+class TestValueRLECodec:
+    def test_empty(self):
+        run_i, run_a, counts = value_rle_encode(np.empty(0), np.empty(0))
+        assert counts.size == 0
+        out_i, out_a = value_rle_decode(run_i, run_a, counts, 0)
+        assert out_i.size == 0
+
+    def test_constant_sequence_is_one_run(self):
+        intensity = np.full(100, 0.5)
+        opacity = np.full(100, 0.25)
+        run_i, run_a, counts = value_rle_encode(intensity, opacity)
+        assert counts.tolist() == [100]
+        assert run_i[0] == 0.5 and run_a[0] == 0.25
+
+    def test_distinct_values_one_run_each(self):
+        intensity = np.array([0.1, 0.2, 0.3])
+        opacity = np.array([0.5, 0.5, 0.5])
+        _, _, counts = value_rle_encode(intensity, opacity)
+        assert counts.tolist() == [1, 1, 1]
+
+    def test_opacity_difference_breaks_run(self):
+        intensity = np.array([0.4, 0.4])
+        opacity = np.array([0.1, 0.2])
+        _, _, counts = value_rle_encode(intensity, opacity)
+        assert counts.tolist() == [1, 1]
+
+    def test_long_run_split(self):
+        n = MAX_RUN + 5
+        intensity = np.zeros(n)
+        _, _, counts = value_rle_encode(intensity, intensity)
+        assert counts.tolist() == [MAX_RUN, 5]
+
+    def test_decode_validates_total(self):
+        with pytest.raises(WireFormatError):
+            value_rle_decode(np.array([0.1]), np.array([0.2]), np.array([3], np.uint16), 4)
+
+    def test_decode_validates_lengths(self):
+        with pytest.raises(WireFormatError):
+            value_rle_decode(np.array([0.1, 0.2]), np.array([0.2]), np.array([1], np.uint16), 1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WireFormatError):
+            value_rle_encode(np.zeros(3), np.zeros(4))
+
+    @given(
+        seed=st.integers(0, 5000),
+        n=st.integers(0, 400),
+        quantize=st.sampled_from([0, 4, 16]),
+    )
+    @settings(max_examples=120)
+    def test_roundtrip(self, seed, n, quantize):
+        rng = np.random.default_rng(seed)
+        intensity = rng.uniform(0, 1, n)
+        opacity = rng.uniform(0, 1, n)
+        if quantize:
+            intensity = np.round(intensity * quantize) / quantize
+            opacity = np.round(opacity * quantize) / quantize
+        run_i, run_a, counts = value_rle_encode(intensity, opacity)
+        out_i, out_a = value_rle_decode(run_i, run_a, counts, n)
+        assert np.array_equal(out_i, intensity)
+        assert np.array_equal(out_a, opacity)
+
+    @given(seed=st.integers(0, 5000), n=st.integers(1, 300))
+    @settings(max_examples=80)
+    def test_wire_roundtrip(self, seed, n):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(n) < 0.3
+        intensity = np.where(mask, rng.uniform(0.1, 1, n), 0.0)
+        opacity = np.where(mask, rng.uniform(0.1, 1, n), 0.0)
+        msg = pack_value_runs(intensity, opacity)
+        out_i, out_a = unpack_value_runs(msg.buffer, n)
+        assert np.array_equal(out_i, intensity)
+        assert np.array_equal(out_a, opacity)
+        nruns = int.from_bytes(msg.buffer[:4], "little")
+        assert msg.accounted_bytes == nruns * VALUE_RUN_BYTES
+
+    def test_truncated_rejected(self):
+        with pytest.raises(WireFormatError):
+            unpack_value_runs(b"\x02\x00\x00\x00\x01", 2)
+
+
+class TestPaperArgument:
+    """Reproduce §3.3's claim: value RLE loses to mask RLE on float
+    volume pixels, wins on quantized (surface-rendering-like) pixels."""
+
+    def test_float_pixels_value_rle_larger(self):
+        rng = np.random.default_rng(0)
+        n = 4096
+        mask = rng.random(n) < 0.3
+        intensity = np.where(mask, rng.uniform(0.1, 1, n), 0.0)
+        opacity = np.where(mask, rng.uniform(0.1, 1, n), 0.0)
+        from repro.compositing.wire import pack_bslc
+
+        value_bytes = pack_value_runs(intensity, opacity).accounted_bytes
+        mask_bytes = pack_bslc(
+            intensity, opacity, np.arange(n, dtype=np.int64)
+        ).accounted_bytes
+        assert value_bytes > mask_bytes
+
+    def test_quantized_flat_pixels_value_rle_smaller(self):
+        """Integer-like images with long constant foreground runs — the
+        surface-rendering case A&P designed for."""
+        n = 4096
+        intensity = np.zeros(n)
+        opacity = np.zeros(n)
+        intensity[1000:3000] = 0.5  # one long flat foreground span
+        opacity[1000:3000] = 1.0
+        from repro.compositing.wire import pack_bslc
+
+        value_bytes = pack_value_runs(intensity, opacity).accounted_bytes
+        mask_bytes = pack_bslc(
+            intensity, opacity, np.arange(n, dtype=np.int64)
+        ).accounted_bytes
+        assert value_bytes < mask_bytes
+
+
+class TestBslcvMethod:
+    def test_matches_reference(self):
+        subimages, plan, camera = rendered_workload("engine_low", 8)
+        reference = reference_image("engine_low", 8)
+        run = run_compositing(list(subimages), "bslcv", plan, camera.view_dir, SP2)
+        final = assemble_final(run.outcomes, *reference.shape)
+        assert final.max_abs_diff(reference) < 1e-9
+        validate_ownership(run.outcomes, *reference.shape)
+
+    def test_ships_more_than_mask_bslc_on_volume_data(self):
+        """The §3.3 argument, end to end on rendered float images."""
+        subimages, plan, camera = rendered_workload("engine_low", 8)
+        value_run = run_compositing(list(subimages), "bslcv", plan, camera.view_dir, SP2)
+        mask_run = run_compositing(list(subimages), "bslc", plan, camera.view_dir, SP2)
+        assert value_run.stats.mmax_bytes > mask_run.stats.mmax_bytes
+
+    def test_registered(self):
+        from repro.compositing.registry import available_methods
+
+        assert "bslcv" in available_methods()

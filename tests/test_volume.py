@@ -1,0 +1,209 @@
+"""Tests for the volume substrate: grid, transfer functions, datasets, IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.volume.datasets import (
+    DATASETS,
+    PAPER_DATASETS,
+    make_cube,
+    make_dataset,
+    make_engine,
+    make_head,
+    make_sphere,
+)
+from repro.volume.grid import VolumeGrid
+from repro.volume.io import load_volume, read_pgm, save_volume, to_gray8, write_pgm
+from repro.volume.transfer import TransferFunction
+
+
+class TestVolumeGrid:
+    def test_basic_properties(self):
+        grid = VolumeGrid(data=np.zeros((4, 5, 6), dtype=np.float32), name="z")
+        assert grid.shape == (4, 5, 6)
+        assert grid.num_voxels == 120
+        assert np.allclose(grid.center, [2, 2.5, 3])
+        assert grid.diagonal == pytest.approx(np.sqrt(16 + 25 + 36))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            VolumeGrid(data=np.zeros((4, 4), dtype=np.float32))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            VolumeGrid(data=np.full((2, 2, 2), 1.5, dtype=np.float32))
+
+    def test_rejects_nan(self):
+        data = np.zeros((2, 2, 2), dtype=np.float32)
+        data[0, 0, 0] = np.nan
+        with pytest.raises(ConfigurationError):
+            VolumeGrid(data=data)
+
+    def test_rejects_integers(self):
+        with pytest.raises(ConfigurationError):
+            VolumeGrid(data=np.zeros((2, 2, 2), dtype=np.int32))
+
+    def test_converts_float64(self):
+        grid = VolumeGrid(data=np.zeros((2, 2, 2), dtype=np.float64))
+        assert grid.data.dtype == np.float32
+
+    def test_from_field_clamps(self):
+        grid = VolumeGrid.from_field(np.full((2, 2, 2), 3.0))
+        assert float(grid.data.max()) == 1.0
+
+    def test_describe_mentions_name(self):
+        grid = make_sphere((8, 8, 8))
+        assert "sphere" in grid.describe()
+
+
+class TestTransferFunction:
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransferFunction(lo=0.5, hi=0.5)
+        with pytest.raises(ConfigurationError):
+            TransferFunction(lo=-0.1, hi=0.5)
+        with pytest.raises(ConfigurationError):
+            TransferFunction(lo=0.1, hi=0.5, max_alpha=0.0)
+
+    def test_opacity_window(self):
+        tf = TransferFunction(lo=0.2, hi=0.6, max_alpha=0.8)
+        s = np.array([0.0, 0.2, 0.4, 0.6, 1.0])
+        alpha = tf.opacity(s)
+        assert alpha[0] == 0.0 and alpha[1] == 0.0
+        assert alpha[2] == pytest.approx(0.4)
+        assert alpha[3] == pytest.approx(0.8)
+        assert alpha[4] == pytest.approx(0.8)
+
+    def test_emission_scales(self):
+        tf = TransferFunction(lo=0.1, hi=0.9, brightness=2.0)
+        assert tf.emission(np.array([0.5]))[0] == pytest.approx(1.0)
+
+    def test_classify_returns_pair(self):
+        tf = TransferFunction(lo=0.1, hi=0.9)
+        e, a = tf.classify(np.array([0.5]))
+        assert e.shape == a.shape == (1,)
+
+    def test_with_window(self):
+        tf = TransferFunction(lo=0.1, hi=0.9, max_alpha=0.7)
+        tighter = tf.with_window(0.5, 0.8)
+        assert tighter.lo == 0.5 and tighter.max_alpha == 0.7
+
+    def test_higher_threshold_more_transparent(self):
+        low = TransferFunction(lo=0.14, hi=0.45)
+        high = TransferFunction(lo=0.50, hi=0.88)
+        s = np.linspace(0, 1, 101)
+        assert (high.opacity(s) <= low.opacity(s) + 1e-12).all()
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_instantiates_small(self, name):
+        volume, transfer = make_dataset(name, (24, 24, 12))
+        assert volume.shape == (24, 24, 12)
+        assert isinstance(transfer, TransferFunction)
+        assert 0.0 <= float(volume.data.min()) <= float(volume.data.max()) <= 1.0
+
+    def test_paper_datasets_registered(self):
+        assert set(PAPER_DATASETS) <= set(DATASETS)
+        assert PAPER_DATASETS == ("engine_low", "engine_high", "head", "cube")
+
+    def test_default_shapes_match_paper(self):
+        assert DATASETS["engine_low"].default_shape == (256, 256, 110)
+        assert DATASETS["head"].default_shape == (256, 256, 113)
+        assert DATASETS["cube"].default_shape == (256, 256, 110)
+
+    def test_engine_volumes_shared(self):
+        v1, _ = make_dataset("engine_low", (24, 24, 12))
+        v2, _ = make_dataset("engine_high", (24, 24, 12))
+        assert v1 is v2
+
+    def test_engine_high_sparser_than_low(self):
+        """The whole point of the two windows: the high threshold leaves
+        far fewer potentially-visible voxels."""
+        volume, tf_low = make_dataset("engine_low", (48, 48, 24))
+        _, tf_high = make_dataset("engine_high", (48, 48, 24))
+        visible_low = (tf_low.opacity(volume.data) > 0).mean()
+        visible_high = (tf_high.opacity(volume.data) > 0).mean()
+        assert visible_high < visible_low / 2
+
+    def test_cube_is_sparse_but_wide(self):
+        volume = make_cube((48, 48, 24))
+        occupied = volume.data > 0.3
+        assert 0.005 < occupied.mean() < 0.25  # sparse occupancy
+        xs, ys, zs = np.nonzero(occupied)
+        # ...yet spanning most of the volume extent.
+        assert xs.max() - xs.min() > 48 * 0.6
+        assert ys.max() - ys.min() > 48 * 0.6
+
+    def test_head_denser_than_cube(self):
+        head = make_head((48, 48, 24))
+        cube = make_cube((48, 48, 24))
+        assert (head.data > 0.2).mean() > (cube.data > 0.2).mean()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("nope")
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("head", (4, 4))
+        with pytest.raises(ConfigurationError):
+            make_dataset("head", (4, 4, 1))
+
+    def test_deterministic(self):
+        a = make_engine((24, 24, 12))
+        b = make_engine((24, 24, 12))
+        assert np.array_equal(a.data, b.data)
+
+    def test_sphere_radius_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_sphere((8, 8, 8), radius=0.0)
+
+
+class TestIO:
+    def test_volume_roundtrip(self, tmp_path):
+        grid = make_sphere((8, 8, 8))
+        path = tmp_path / "vol.npz"
+        save_volume(grid, path)
+        loaded = load_volume(path)
+        assert loaded.name == "sphere"
+        assert np.array_equal(loaded.data, grid.data)
+
+    def test_load_rejects_non_volume(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_volume(path)
+
+    def test_pgm_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        gray = rng.integers(0, 256, (10, 14), dtype=np.uint8)
+        path = tmp_path / "img.pgm"
+        write_pgm(path, gray)
+        assert np.array_equal(read_pgm(path), gray)
+
+    def test_write_pgm_rejects_float(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2)))
+
+    def test_read_pgm_rejects_other_formats(self, tmp_path):
+        path = tmp_path / "x.pgm"
+        path.write_bytes(b"P6\n2 2\n255\n" + b"\x00" * 12)
+        with pytest.raises(ConfigurationError):
+            read_pgm(path)
+
+    def test_read_pgm_rejects_truncated(self, tmp_path):
+        path = tmp_path / "x.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n\x00\x00")
+        with pytest.raises(ConfigurationError):
+            read_pgm(path)
+
+    def test_to_gray8_clips(self):
+        plane = np.array([[-1.0, 0.5, 9.0]])
+        gray = to_gray8(plane)
+        assert gray.tolist() == [[0, 127, 255]]
+        assert gray.dtype == np.uint8
+
+    def test_to_gray8_gain(self):
+        assert to_gray8(np.array([[0.25]]), gain=2.0)[0, 0] == 127

@@ -1,0 +1,131 @@
+"""Tests for weighted-median (render-load balanced) partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.pipeline.config import RunConfig
+from repro.pipeline.system import SortLastSystem
+from repro.volume.datasets import make_dataset
+from repro.volume.partition import (
+    depth_order,
+    recursive_bisect,
+    render_load_weights,
+)
+
+
+def visible_loads(plan, volume, transfer):
+    loads = []
+    for rank in range(plan.num_ranks):
+        sx, sy, sz = plan.extent(rank).slices()
+        loads.append(float((transfer.opacity(volume.data[sx, sy, sz]) > 0).sum()))
+    return loads
+
+
+class TestWeightedSplit:
+    def test_uniform_weights_equal_midpoint(self):
+        shape = (32, 32, 16)
+        uniform = np.ones(shape)
+        weighted = recursive_bisect(shape, 8, weights=uniform)
+        plain = recursive_bisect(shape, 8)
+        assert weighted.extents == plain.extents
+
+    def test_weights_shape_checked(self):
+        with pytest.raises(PartitionError):
+            recursive_bisect((16, 16, 16), 2, weights=np.ones((8, 8, 8)))
+
+    def test_negative_weights_rejected(self):
+        weights = np.ones((16, 16, 16))
+        weights[0, 0, 0] = -1.0
+        with pytest.raises(PartitionError):
+            recursive_bisect((16, 16, 16), 2, weights=weights)
+
+    def test_zero_weights_fall_back_to_midpoint(self):
+        shape = (16, 16, 16)
+        plan = recursive_bisect(shape, 2, weights=np.zeros(shape))
+        assert plan.extents == recursive_bisect(shape, 2).extents
+
+    def test_concentrated_mass_shifts_plane(self):
+        shape = (32, 8, 8)
+        weights = np.zeros(shape)
+        weights[:8] = 1.0  # all mass in the first quarter along x
+        plan = recursive_bisect(shape, 2, weights=weights)
+        low, high = plan.extent(0), plan.extent(1)
+        # The plane moves toward the mass: low block much thinner than 16.
+        assert low.shape[0] < 10
+        assert low.shape[0] + high.shape[0] == 32
+
+    def test_both_halves_nonempty_even_for_edge_mass(self):
+        shape = (16, 8, 8)
+        weights = np.zeros(shape)
+        weights[0] = 100.0  # everything in the first slab
+        plan = recursive_bisect(shape, 2, weights=weights)
+        assert plan.extent(0).num_voxels > 0
+        assert plan.extent(1).num_voxels > 0
+
+    @pytest.mark.parametrize("num_ranks", [2, 4, 8, 16])
+    def test_still_an_exact_partition(self, num_ranks):
+        volume, transfer = make_dataset("engine_high", (32, 32, 16))
+        weights = render_load_weights(volume.data, transfer)
+        plan = recursive_bisect(volume.shape, num_ranks, weights=weights)
+        counts = np.zeros(volume.shape, dtype=np.int32)
+        for rank in range(num_ranks):
+            sx, sy, sz = plan.extent(rank).slices()
+            counts[sx, sy, sz] += 1
+        assert (counts == 1).all()
+
+    def test_depth_order_still_valid(self):
+        volume, transfer = make_dataset("engine_high", (32, 32, 16))
+        weights = render_load_weights(volume.data, transfer)
+        plan = recursive_bisect(volume.shape, 8, weights=weights)
+        order = depth_order(plan, np.array([0.3, -0.5, 0.8]))
+        assert sorted(order) == list(range(8))
+
+
+class TestLoadBalanceEffect:
+    def test_reduces_imbalance_on_sparse_data(self):
+        volume, transfer = make_dataset("engine_high", (64, 64, 28))
+        weights = render_load_weights(volume.data, transfer)
+        plain = recursive_bisect(volume.shape, 8)
+        balanced = recursive_bisect(volume.shape, 8, weights=weights)
+        loads_plain = visible_loads(plain, volume, transfer)
+        loads_balanced = visible_loads(balanced, volume, transfer)
+
+        def imbalance(loads):
+            return max(loads) / max(1.0, min(loads))
+
+        assert imbalance(loads_balanced) < imbalance(loads_plain) / 2
+
+    def test_weights_helper_positive(self):
+        volume, transfer = make_dataset("cube", (24, 24, 12))
+        weights = render_load_weights(volume.data, transfer)
+        assert (weights > 0).all()  # epsilon keeps empty space splittable
+        assert weights.shape == volume.shape
+
+
+class TestEndToEndBalanced:
+    @pytest.mark.parametrize("method", ["bs", "bsbrc", "bslc"])
+    def test_pipeline_correct_with_balancing(self, method):
+        cfg = RunConfig(
+            dataset="engine_high",
+            method=method,
+            num_ranks=8,
+            image_size=48,
+            volume_shape=(32, 32, 16),
+            balance_render_load=True,
+        )
+        result = SortLastSystem(cfg).run()
+        assert result.final_image.max_abs_diff(result.reference_image()) < 1e-9
+
+    def test_balancing_changes_partition(self):
+        base = RunConfig(
+            dataset="engine_high",
+            num_ranks=8,
+            image_size=48,
+            volume_shape=(32, 32, 16),
+        )
+        plain = SortLastSystem(base).run()
+        balanced = SortLastSystem(base.with_(balance_render_load=True)).run()
+        assert plain.plan.extents != balanced.plan.extents
+        # Same final image regardless of where the planes fall.
+        assert plain.final_image.max_abs_diff(balanced.final_image) < 1e-9

@@ -1,0 +1,119 @@
+"""Adversarial fuzzing of the wire-format parsers.
+
+A compositing message arrives from another rank; a robust system must
+treat it as untrusted input.  For any corruption — truncation, garbage
+extension, random byte flips — every ``unpack_*`` must either succeed or
+raise :class:`WireFormatError`.  Raw ``IndexError``/``ValueError``
+escapes from numpy are parser bugs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compositing.value_rle import unpack_value_runs
+from repro.compositing.wire import (
+    pack_bs,
+    pack_bsbr,
+    pack_bsbrc,
+    pack_bslc,
+    unpack_bs,
+    unpack_bsbr,
+    unpack_bsbrc,
+    unpack_bslc,
+)
+from repro.errors import WireFormatError
+from repro.types import Rect
+
+COMMON = dict(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def sample_planes(seed=0, h=10, w=8, density=0.4):
+    rng = np.random.default_rng(seed)
+    mask = rng.random((h, w)) < density
+    intensity = np.where(mask, rng.uniform(0.1, 1, (h, w)), 0.0)
+    opacity = np.where(mask, rng.uniform(0.1, 1, (h, w)), 0.0)
+    return intensity, opacity
+
+
+def corrupt(buf: bytes, mode: int, position: int, value: int) -> bytes:
+    """Deterministic corruption: truncate, extend, or flip a byte."""
+    if not buf:
+        return bytes([value])
+    mode = mode % 3
+    position = position % max(1, len(buf))
+    if mode == 0:  # truncate
+        return buf[:position]
+    if mode == 1:  # extend
+        return buf + bytes([value]) * (1 + position % 9)
+    mutated = bytearray(buf)
+    mutated[position] ^= max(1, value % 256)
+    return bytes(mutated)
+
+
+def assert_parses_or_rejects(parser, *args):
+    try:
+        parser(*args)
+    except WireFormatError:
+        pass  # the contract: malformed input is *diagnosed*
+    # Any other exception type propagates and fails the test.
+
+
+class TestCorruptionSafety:
+    @given(mode=st.integers(0, 2), pos=st.integers(0, 10_000), val=st.integers(0, 255))
+    @settings(**COMMON)
+    def test_bs(self, mode, pos, val):
+        intensity, opacity = sample_planes()
+        half = Rect(0, 0, 5, 8)
+        msg = pack_bs(intensity, opacity, half)
+        assert_parses_or_rejects(unpack_bs, corrupt(msg.buffer, mode, pos, val), half)
+
+    @given(mode=st.integers(0, 2), pos=st.integers(0, 10_000), val=st.integers(0, 255))
+    @settings(**COMMON)
+    def test_bsbr(self, mode, pos, val):
+        intensity, opacity = sample_planes(1)
+        msg = pack_bsbr(intensity, opacity, Rect(1, 1, 8, 7))
+        assert_parses_or_rejects(unpack_bsbr, corrupt(msg.buffer, mode, pos, val))
+
+    @given(mode=st.integers(0, 2), pos=st.integers(0, 10_000), val=st.integers(0, 255))
+    @settings(**COMMON)
+    def test_bslc(self, mode, pos, val):
+        intensity, opacity = sample_planes(2)
+        indices = np.arange(40, dtype=np.int64)
+        msg = pack_bslc(intensity.ravel(), opacity.ravel(), indices)
+        assert_parses_or_rejects(
+            unpack_bslc, corrupt(msg.buffer, mode, pos, val), 40
+        )
+
+    @given(mode=st.integers(0, 2), pos=st.integers(0, 10_000), val=st.integers(0, 255))
+    @settings(**COMMON)
+    def test_bsbrc(self, mode, pos, val):
+        intensity, opacity = sample_planes(3)
+        msg = pack_bsbrc(intensity, opacity, Rect(0, 0, 10, 8))
+        assert_parses_or_rejects(unpack_bsbrc, corrupt(msg.buffer, mode, pos, val))
+
+    @given(mode=st.integers(0, 2), pos=st.integers(0, 10_000), val=st.integers(0, 255))
+    @settings(**COMMON)
+    def test_value_runs(self, mode, pos, val):
+        intensity, opacity = sample_planes(4)
+        from repro.compositing.value_rle import pack_value_runs
+
+        msg = pack_value_runs(intensity.ravel(), opacity.ravel())
+        assert_parses_or_rejects(
+            unpack_value_runs, corrupt(msg.buffer, mode, pos, val), intensity.size
+        )
+
+    @given(raw=st.binary(max_size=64))
+    @settings(**COMMON)
+    def test_random_garbage(self, raw):
+        """Arbitrary short blobs must never crash any parser."""
+        assert_parses_or_rejects(unpack_bsbr, raw)
+        assert_parses_or_rejects(unpack_bsbrc, raw)
+        assert_parses_or_rejects(unpack_bslc, raw, 16)
+        assert_parses_or_rejects(unpack_value_runs, raw, 16)
+        assert_parses_or_rejects(unpack_bs, raw, Rect(0, 0, 2, 2))
