@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results quick clean
+.PHONY: install test bench bench-quick verify results quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,15 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Seconds-fast hot-path speedup report (no baseline write).
+bench-quick:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpaths.py --smoke
+
+# What CI gates on: the tier-1 suite plus the hot-path regression check.
+verify:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpaths.py --smoke --check
 
 results:
 	$(PYTHON) -m repro.experiments --out results all

@@ -21,6 +21,12 @@ Layouts (little-endian)
   ``float64 pixels[nonblank][2]`` in owned-sequence order.
 * **BSBRC**   ``int16 rect[4]`` then (if non-empty) ``uint32 ncodes``,
   codes, and non-blank pixels of the rect in row-major order.
+
+Unpack helpers hand back **read-only views** into the message buffer
+wherever the caller only reads the pixels (the flat BSLC/BSBRC paths);
+the rect-shaped paths reshape, which materializes a writable plane.
+Pack helpers avoid dtype round-trip copies (``astype(..., copy=False)``)
+— on a little-endian host every wire dtype is the native layout.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import perf
 from ..errors import WireFormatError
 from ..types import PIXEL_BYTES, RECT_INFO_BYTES, RLE_CODE_BYTES, Rect
 from .over import nonblank_mask
@@ -77,16 +84,28 @@ class WireMessage:
 def _pixels_to_bytes(intensity: np.ndarray, opacity: np.ndarray) -> bytes:
     """Interleave (intensity, opacity) float64 pairs, 16 bytes per pixel."""
     stacked = np.empty((intensity.size, 2), dtype=_PIXEL_DTYPE)
+    # asarray is a no-copy passthrough for the float64 planes the
+    # renderer produces; the strided column assignments are the single
+    # interleaving pass.
     stacked[:, 0] = np.asarray(intensity, dtype=np.float64).ravel()
     stacked[:, 1] = np.asarray(opacity, dtype=np.float64).ravel()
+    perf.incr("wire.packed_pixel_bytes", stacked.nbytes)
     return stacked.tobytes()
 
 def _pixels_from_bytes(buf: bytes, npixels: int) -> tuple[np.ndarray, np.ndarray]:
+    """Zero-copy views of the (intensity, opacity) columns of ``buf``.
+
+    The returned arrays are **read-only strided views** into the message
+    buffer (``np.frombuffer``); every compositing method only reads the
+    received pixels, so no defensive copy is made.  Callers that need a
+    writable/contiguous plane reshape (which copies) or copy explicitly.
+    """
     expected = npixels * PIXEL_BYTES
     if len(buf) != expected:
         raise WireFormatError(f"pixel block is {len(buf)} bytes, expected {expected}")
+    perf.incr("wire.unpacked_pixel_bytes", expected)
     flat = np.frombuffer(buf, dtype=_PIXEL_DTYPE).reshape(npixels, 2)
-    return flat[:, 0].copy(), flat[:, 1].copy()
+    return flat[:, 0], flat[:, 1]
 
 
 def pack_pixels_rect(intensity: np.ndarray, opacity: np.ndarray, rect: Rect) -> bytes:
@@ -120,7 +139,7 @@ def unpack_bs(msg: bytes, half: Rect) -> tuple[np.ndarray, np.ndarray]:
 def pack_bsbr(intensity: np.ndarray, opacity: np.ndarray, send_rect: Rect) -> WireMessage:
     """Rect info always ships (8 B); pixels only when non-empty (eq. (4))."""
     send_rect = send_rect.normalized()
-    header = send_rect.as_int16_array().astype(_RECT_DTYPE).tobytes()
+    header = send_rect.as_int16_array().astype(_RECT_DTYPE, copy=False).tobytes()
     if send_rect.is_empty:
         return WireMessage(buffer=header, accounted_bytes=RECT_INFO_BYTES)
     body = pack_pixels_rect(intensity, opacity, send_rect)
@@ -161,7 +180,7 @@ def pack_bslc(
     codes = rle_encode_mask(mask)
     pixels = _pixels_to_bytes(vals_i[mask], vals_a[mask])
     header = np.asarray([codes.size], dtype=_LEN_DTYPE).tobytes()
-    buf = header + codes.astype(_CODE_DTYPE).tobytes() + pixels
+    buf = header + codes.astype(_CODE_DTYPE, copy=False).tobytes() + pixels
     accounted = codes.size * RLE_CODE_BYTES + int(mask.sum()) * PIXEL_BYTES
     return WireMessage(buffer=buf, accounted_bytes=accounted)
 
@@ -193,19 +212,21 @@ def unpack_bslc(msg: bytes, seq_len: int) -> tuple[np.ndarray, np.ndarray, np.nd
 def pack_bsbrc(intensity: np.ndarray, opacity: np.ndarray, send_rect: Rect) -> WireMessage:
     """Rect info (8 B) + codes + non-blank pixels of the rect (eq. (8))."""
     send_rect = send_rect.normalized()
-    header = send_rect.as_int16_array().astype(_RECT_DTYPE).tobytes()
+    header = send_rect.as_int16_array().astype(_RECT_DTYPE, copy=False).tobytes()
     if send_rect.is_empty:
         return WireMessage(buffer=header, accounted_bytes=RECT_INFO_BYTES)
     rows, cols = send_rect.slices()
     block_i = np.asarray(intensity[rows, cols], dtype=np.float64)
     block_a = np.asarray(opacity[rows, cols], dtype=np.float64)
-    mask = nonblank_mask(block_i, block_a).ravel()
-    codes = rle_encode_mask(mask)
-    pixels = _pixels_to_bytes(block_i.ravel()[mask], block_a.ravel()[mask])
+    mask2d = nonblank_mask(block_i, block_a)
+    codes = rle_encode_mask(mask2d.ravel())
+    # 2-D boolean gather yields the non-blank pixels in row-major order
+    # directly from the sliced views — no flattened intermediate copy.
+    pixels = _pixels_to_bytes(block_i[mask2d], block_a[mask2d])
     len_field = np.asarray([codes.size], dtype=_LEN_DTYPE).tobytes()
-    buf = header + len_field + codes.astype(_CODE_DTYPE).tobytes() + pixels
+    buf = header + len_field + codes.astype(_CODE_DTYPE, copy=False).tobytes() + pixels
     accounted = (
-        RECT_INFO_BYTES + codes.size * RLE_CODE_BYTES + int(mask.sum()) * PIXEL_BYTES
+        RECT_INFO_BYTES + codes.size * RLE_CODE_BYTES + int(mask2d.sum()) * PIXEL_BYTES
     )
     return WireMessage(buffer=buf, accounted_bytes=accounted)
 

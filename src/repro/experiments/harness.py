@@ -9,6 +9,18 @@ Because every block is sampled on the camera's global ``t`` grid and
 the rank's subvolume to float rounding (property-tested in
 ``tests/test_harness.py``).
 
+Two cache levels back the render-once discipline:
+
+* an **in-process** dict (``workload(...)``), as before, and
+* an optional **on-disk** cache shared *across* processes: set the
+  ``REPRO_CACHE_DIR`` environment variable (or pass ``cache_dir=``) and
+  rendered block sets are stored as ``.npz`` keyed by a SHA-256 content
+  hash of (cache version, renderer, dataset, image size, viewpoint,
+  volume shape, step, max_ranks).  Repeat benchmark / CLI runs then skip
+  the render phase entirely.  The cache is off by default, so tests
+  never read stale pixels; bump ``_CACHE_VERSION`` when the renderer
+  output changes intentionally.
+
 Results are plain :class:`~repro.analysis.metrics.MethodMeasurement`
 rows with JSON persistence so EXPERIMENTS.md can be regenerated without
 re-running.
@@ -16,14 +28,17 @@ re-running.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+from zipfile import BadZipFile as zipfile_error
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from .. import perf
 from ..analysis.metrics import MethodMeasurement, measure
 from ..cluster.model import SP2, MachineModel
 from ..cluster.topology import is_power_of_two, log2_int
@@ -41,6 +56,8 @@ __all__ = [
     "RenderedWorkload",
     "workload",
     "clear_workload_cache",
+    "render_cache_dir",
+    "CACHE_ENV",
     "run_method",
     "run_grid",
     "rows_to_json",
@@ -52,6 +69,71 @@ __all__ = [
 #: Default viewpoint used by the tables (a generic two-axis rotation so
 #: subimage footprints overlap, as in the paper's experiments).
 DEFAULT_ROTATION = (20.0, 30.0, 0.0)
+
+#: Environment variable naming the on-disk render cache directory.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Bump whenever the renderer's output or the cache layout changes.
+_CACHE_VERSION = 1
+
+
+def render_cache_dir() -> str | None:
+    """Active on-disk cache directory, or ``None`` when caching is off."""
+    value = os.environ.get(CACHE_ENV, "").strip()
+    return value or None
+
+
+def _workload_cache_path(cache_dir: str, key_fields: tuple) -> str:
+    digest = hashlib.sha256(repr(key_fields).encode("utf-8")).hexdigest()[:24]
+    return os.path.join(cache_dir, f"workload_{digest}.npz")
+
+
+def _load_cached_blocks(
+    path: str, max_ranks: int
+) -> list[tuple[Rect, np.ndarray, np.ndarray]] | None:
+    """Read a cached block set; ``None`` on any miss/corruption."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            rects = archive["rects"]
+            if rects.shape != (max_ranks, 4):
+                return None
+            blocks: list[tuple[Rect, np.ndarray, np.ndarray]] = []
+            for n in range(max_ranks):
+                rect = Rect(*(int(v) for v in rects[n]))
+                if rect.is_empty:
+                    blocks.append((rect, np.empty((0, 0)), np.empty((0, 0))))
+                else:
+                    blocks.append((rect, archive[f"i{n}"], archive[f"a{n}"]))
+            return blocks
+    except (OSError, KeyError, ValueError, zipfile_error):
+        return None
+
+
+def _store_cached_blocks(
+    path: str, blocks: list[tuple[Rect, np.ndarray, np.ndarray]]
+) -> None:
+    """Atomically persist a rendered block set next to ``path``."""
+    arrays: dict[str, np.ndarray] = {
+        "rects": np.asarray(
+            [[r.y0, r.x0, r.y1, r.x1] for r, _, _ in blocks], dtype=np.int64
+        )
+    }
+    for n, (rect, block_i, block_a) in enumerate(blocks):
+        if not rect.is_empty:
+            arrays[f"i{n}"] = block_i
+            arrays[f"a{n}"] = block_a
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    # Must end in .npz or np.savez appends the suffix and breaks the rename.
+    tmp = path + ".tmp.npz"
+    try:
+        np.savez_compressed(tmp, **arrays)
+        os.replace(tmp, path)
+    except OSError:
+        # Cache is best-effort; never fail the render over it.
+        if os.path.exists(tmp):
+            os.remove(tmp)
 
 
 @dataclass
@@ -65,6 +147,8 @@ class RenderedWorkload:
     rotation: tuple[float, float, float] = DEFAULT_ROTATION
     volume_shape: tuple[int, int, int] | None = None
     step: float = 1.0
+    #: On-disk cache directory; ``None`` reads ``REPRO_CACHE_DIR``.
+    cache_dir: str | None = None
 
     camera: Camera = field(init=False)
     plan_max: PartitionPlan = field(init=False)
@@ -86,17 +170,46 @@ class RenderedWorkload:
             step=self.step,
         )
         self.plan_max = recursive_bisect(volume.shape, self.max_ranks)
+
+        cache_dir = self.cache_dir if self.cache_dir is not None else render_cache_dir()
+        cache_path = None
+        if cache_dir is not None:
+            key = (
+                _CACHE_VERSION,
+                "raycast",
+                self.dataset,
+                self.image_size,
+                self.max_ranks,
+                tuple(self.rotation),
+                tuple(volume.shape),
+                self.step,
+            )
+            cache_path = _workload_cache_path(cache_dir, key)
+            cached = _load_cached_blocks(cache_path, self.max_ranks)
+            if cached is not None:
+                perf.incr("harness.disk_cache_hits")
+                self.blocks = cached
+                self._plan_cache[self.max_ranks] = self.plan_max
+                return
+            perf.incr("harness.disk_cache_misses")
+
         self.blocks = []
-        for block in range(self.max_ranks):
-            img = render_subvolume(volume, transfer, self.camera, self.plan_max.extent(block))
-            rect = img.bounding_rect()
-            if rect.is_empty:
-                self.blocks.append((rect, np.empty((0, 0)), np.empty((0, 0))))
-            else:
-                rows, cols = rect.slices()
-                self.blocks.append(
-                    (rect, img.intensity[rows, cols].copy(), img.opacity[rows, cols].copy())
+        with perf.timer("harness.render_blocks"):
+            for block in range(self.max_ranks):
+                img = render_subvolume(
+                    volume, transfer, self.camera, self.plan_max.extent(block)
                 )
+                rect = img.bounding_rect()
+                if rect.is_empty:
+                    self.blocks.append((rect, np.empty((0, 0)), np.empty((0, 0))))
+                else:
+                    rows, cols = rect.slices()
+                    self.blocks.append(
+                        (rect, img.intensity[rows, cols].copy(), img.opacity[rows, cols].copy())
+                    )
+        if cache_path is not None:
+            _store_cached_blocks(cache_path, self.blocks)
+            perf.incr("harness.disk_cache_stores")
         self._plan_cache[self.max_ranks] = self.plan_max
 
     # ---- per-P assembly ------------------------------------------------------
@@ -155,8 +268,13 @@ def workload(
     rotation: tuple[float, float, float] = DEFAULT_ROTATION,
     volume_shape: tuple[int, int, int] | None = None,
     step: float = 1.0,
+    cache_dir: str | None = None,
 ) -> RenderedWorkload:
-    """Fetch (rendering if needed) a cached :class:`RenderedWorkload`."""
+    """Fetch (rendering if needed) a cached :class:`RenderedWorkload`.
+
+    ``cache_dir`` opts into the cross-process on-disk cache explicitly;
+    by default the ``REPRO_CACHE_DIR`` environment variable governs it.
+    """
     key = (dataset, image_size, max_ranks, tuple(rotation), volume_shape, step)
     found = _WORKLOADS.get(key)
     if found is None:
@@ -167,8 +285,11 @@ def workload(
             rotation=tuple(rotation),  # type: ignore[arg-type]
             volume_shape=volume_shape,
             step=step,
+            cache_dir=cache_dir,
         )
         _WORKLOADS[key] = found
+    else:
+        perf.incr("harness.memory_cache_hits")
     return found
 
 

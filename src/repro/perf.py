@@ -1,0 +1,114 @@
+"""Lightweight performance counters and timers for the hot paths.
+
+The renderer, the codecs and the experiment harness account their work
+here so that benchmarks (``benchmarks/bench_hotpaths.py``) and curious
+users can see *where* time and bytes go without attaching a profiler.
+
+Design constraints:
+
+* **Near-zero overhead when idle.**  Counters are plain dict adds and
+  are bumped at call/chunk granularity, never per pixel or per sample
+  element.  Timers call ``time.perf_counter``/``time.process_time``
+  twice per timed region, so they wrap whole renders or harness stages,
+  not inner loops.
+* **Process-global, explicitly resettable.**  A module-level registry
+  keeps the API to three verbs: :func:`incr`, :func:`timer`,
+  :func:`report` (plus :func:`reset`).  Thread safety is not a goal —
+  the simulator is single-process by design.
+
+Example
+-------
+>>> from repro import perf
+>>> perf.reset()
+>>> with perf.timer("render"):
+...     perf.incr("rays", 1024)
+>>> rep = perf.report()
+>>> rep["counters"]["rays"]
+1024
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "incr",
+    "timer",
+    "counter",
+    "report",
+    "reset",
+    "format_report",
+]
+
+#: name -> accumulated count (ints or floats).
+_COUNTERS: dict[str, float] = {}
+#: name -> [wall_seconds, cpu_seconds, calls].
+_TIMERS: dict[str, list[float]] = {}
+
+
+def incr(name: str, amount: float = 1) -> None:
+    """Add ``amount`` to counter ``name`` (creating it at zero)."""
+    _COUNTERS[name] = _COUNTERS.get(name, 0) + amount
+
+
+def counter(name: str) -> float:
+    """Current value of counter ``name`` (0 if never bumped)."""
+    return _COUNTERS.get(name, 0)
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Accumulate wall and CPU time of the ``with`` body under ``name``."""
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        yield
+    finally:
+        wall1 = time.perf_counter()
+        cpu1 = time.process_time()
+        slot = _TIMERS.get(name)
+        if slot is None:
+            slot = [0.0, 0.0, 0]
+            _TIMERS[name] = slot
+        slot[0] += wall1 - wall0
+        slot[1] += cpu1 - cpu0
+        slot[2] += 1
+
+
+def report() -> dict:
+    """Snapshot of all counters and timers (JSON-serializable)."""
+    return {
+        "counters": dict(_COUNTERS),
+        "timers": {
+            name: {"wall_s": slot[0], "cpu_s": slot[1], "calls": slot[2]}
+            for name, slot in _TIMERS.items()
+        },
+    }
+
+
+def reset() -> None:
+    """Zero every counter and timer."""
+    _COUNTERS.clear()
+    _TIMERS.clear()
+
+
+def format_report() -> str:
+    """Human-readable one-line-per-entry rendering of :func:`report`."""
+    lines = ["perf counters:"]
+    if not _COUNTERS and not _TIMERS:
+        return "perf counters: (empty)"
+    for name in sorted(_COUNTERS):
+        value = _COUNTERS[name]
+        shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+        lines.append(f"  {name:40s} {shown}")
+    if _TIMERS:
+        lines.append("perf timers:")
+        for name in sorted(_TIMERS):
+            wall, cpu, calls = _TIMERS[name]
+            lines.append(
+                f"  {name:40s} wall {wall * 1e3:10.2f} ms  "
+                f"cpu {cpu * 1e3:10.2f} ms  calls {calls}"
+            )
+    return "\n".join(lines)

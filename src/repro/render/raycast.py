@@ -14,6 +14,35 @@ Sampling uses trilinear interpolation of the *global* field
 slab, while interpolation near block faces may read neighbour voxels —
 the ghost-cell data a real distributed renderer exchanges during the
 partitioning phase.
+
+Marching strategy
+-----------------
+The production marcher (:func:`_march_chunked`) batches ``chunk_steps``
+global sample steps into a single ``map_coordinates`` call over a
+*compacted* active-ray set:
+
+* **Chunked sampling** — one interpolation call per chunk instead of one
+  per step amortizes the per-call overhead and the per-step Python work.
+* **Active-ray compaction** — rays are physically removed from the
+  working arrays once they exit their slab interval, so late steps touch
+  only the rays that still need them (no full-frame boolean masks).
+* **Early-ray termination** — a ray whose accumulated opacity reaches
+  the termination threshold is retired.  The default (exact) setting
+  retires a ray only when its transmittance is *exactly* zero, which is
+  bit-identical to marching on (every further contribution is ``+0.0``).
+  An aggressive threshold < 1 trades a bounded opacity error for speed
+  (see DESIGN.md "Performance notes").
+* **Empty-space skipping** — a dilated block-maximum occupancy grid
+  (:meth:`~repro.volume.grid.VolumeGrid.occupancy_max`) bounds every
+  voxel a trilinear stencil can read.  Samples whose bound sits at or
+  below the transfer function's zero-opacity threshold have ``alpha``
+  exactly ``0``, so their interpolation is skipped outright — also
+  bit-identical.
+
+Per ray, the chunked marcher performs the identical sequence of float
+operations as the per-step reference (:func:`_march_reference`), so the
+two produce bit-identical images; ``tests/test_raycast_equivalence.py``
+locks that in.
 """
 
 from __future__ import annotations
@@ -21,6 +50,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import ndimage
 
+from .. import perf
 from ..errors import RenderError
 from ..types import Extent3
 from ..volume.grid import VolumeGrid
@@ -28,9 +58,20 @@ from ..volume.transfer import TransferFunction
 from .camera import Camera
 from .image import SubImage
 
-__all__ = ["render_subvolume", "render_full"]
+__all__ = ["render_subvolume", "render_full", "DEFAULT_CHUNK_STEPS"]
 
 _EPS = 1e-12
+
+#: Global sample steps batched per ``map_coordinates`` call.
+DEFAULT_CHUNK_STEPS = 8
+
+#: Edge length of the occupancy-grid blocks used for empty-space skipping.
+_OCC_BLOCK = 8
+#: Safety margin subtracted from the transfer zero threshold before
+#: comparing against block bounds: float32 interpolation may exceed the
+#: exact convex-combination bound by rounding ulps, so only blocks whose
+#: bound is *comfortably* below the threshold are skipped.
+_OCC_MARGIN = 1e-5
 
 
 def render_subvolume(
@@ -38,15 +79,37 @@ def render_subvolume(
     transfer: TransferFunction,
     camera: Camera,
     extent: Extent3 | None = None,
+    *,
+    early_termination: float | None = None,
+    chunk_steps: int = DEFAULT_CHUNK_STEPS,
+    march: str = "chunked",
 ) -> SubImage:
     """Ray-cast ``extent`` of ``volume`` into a full-frame subimage.
 
     ``extent`` defaults to the whole volume.  The returned image is blank
     outside the extent's screen footprint.
+
+    ``early_termination`` is the accumulated-opacity threshold at which a
+    ray stops marching.  ``None`` (the default) means *exact*: rays stop
+    only at zero transmittance, which cannot change the result.  Values
+    in ``(0, 1)`` opt into lossy early termination (opacity error bounded
+    by ``1 - early_termination`` per pixel).  ``chunk_steps`` controls
+    how many global sample steps are interpolated per batch; it never
+    affects the result.  ``march`` selects the marcher: ``"chunked"``
+    (production) or ``"reference"`` (the plain per-step loop kept as the
+    equivalence/benchmark oracle; ignores the other two knobs).
     """
     if tuple(camera.volume_shape) != volume.shape:
         raise RenderError(
             f"camera built for volume shape {camera.volume_shape}, got {volume.shape}"
+        )
+    if march not in ("chunked", "reference"):
+        raise RenderError(f"unknown marcher {march!r}; use 'chunked' or 'reference'")
+    if chunk_steps < 1:
+        raise RenderError(f"chunk_steps must be >= 1, got {chunk_steps}")
+    if early_termination is not None and not (0.0 < early_termination <= 1.0):
+        raise RenderError(
+            f"early_termination must be in (0, 1], got {early_termination}"
         )
     if extent is None:
         extent = volume.full_extent()
@@ -82,18 +145,35 @@ def render_subvolume(
     acc_a = np.zeros(origins.shape[0], dtype=np.float64)
     sampled = kmax >= kmin
     if sampled.any():
-        _march(
-            volume.data,
-            transfer,
-            origins,
-            view_dir,
-            step,
-            t_half,
-            kmin,
-            kmax,
-            acc_i,
-            acc_a,
-        )
+        perf.incr("raycast.march_calls")
+        perf.incr("raycast.rays", int(sampled.sum()))
+        with perf.timer("raycast.march"):
+            if march == "reference":
+                _march_reference(
+                    volume.data, transfer, origins, view_dir, step, t_half,
+                    kmin, kmax, acc_i, acc_a,
+                )
+            else:
+                # Empty-space skipping needs a provable zero-opacity
+                # threshold; transfer functions without one (duck-typed
+                # stand-ins) simply march unskipped.
+                zero_lo = getattr(transfer, "zero_alpha_below", None)
+                occupancy = (
+                    volume.occupancy_max(_OCC_BLOCK)
+                    if zero_lo is not None and zero_lo > _OCC_MARGIN
+                    else None
+                )
+                _march_chunked(
+                    volume.data, transfer, origins, view_dir, step, t_half,
+                    kmin, kmax, acc_i, acc_a,
+                    chunk_steps=chunk_steps,
+                    opacity_limit=(
+                        1.0 if early_termination is None else float(early_termination)
+                    ),
+                    occupancy=occupancy,
+                    occ_block=_OCC_BLOCK,
+                    occ_threshold=(0.0 if zero_lo is None else float(zero_lo) - _OCC_MARGIN),
+                )
 
     # Scatter accumulated pixels back into the full frame.
     h, w = footprint.height, footprint.width
@@ -109,10 +189,13 @@ def render_subvolume(
 
 
 def render_full(
-    volume: VolumeGrid, transfer: TransferFunction, camera: Camera
+    volume: VolumeGrid,
+    transfer: TransferFunction,
+    camera: Camera,
+    **march_options,
 ) -> SubImage:
     """Render the entire volume (the sequential reference image)."""
-    return render_subvolume(volume, transfer, camera, volume.full_extent())
+    return render_subvolume(volume, transfer, camera, volume.full_extent(), **march_options)
 
 
 # --------------------------------------------------------------------------
@@ -143,7 +226,254 @@ def _slab_interval(
     return tmin, tmax, valid
 
 
-def _march(
+def _march_chunked(
+    data: np.ndarray,
+    transfer: TransferFunction,
+    origins: np.ndarray,
+    view_dir: np.ndarray,
+    step: float,
+    t_half: float,
+    kmin: np.ndarray,
+    kmax: np.ndarray,
+    acc_i: np.ndarray,
+    acc_a: np.ndarray,
+    *,
+    chunk_steps: int,
+    opacity_limit: float,
+    occupancy: np.ndarray | None = None,
+    occ_block: int = _OCC_BLOCK,
+    occ_threshold: float = 0.0,
+) -> None:
+    """Chunked front-to-back accumulation over the global sample grid.
+
+    Bit-identical to :func:`_march_reference`: each ray sees the same
+    samples in the same order with the same float expressions; batching
+    only regroups *independent* per-ray work.  Rays whose interval does
+    not cover a sampled step get ``alpha = 0`` there, and ``x + 0.0 == x``
+    exactly for the non-negative accumulators.  Samples pruned by the
+    ``occupancy`` bound would have had ``alpha`` exactly ``0``, so
+    pruning them is equally exact.
+    """
+    unit_correction = step != 1.0
+    exact = opacity_limit >= 1.0
+
+    # Compacted working set: global positions `idx` plus per-ray state.
+    idx = np.flatnonzero(kmax >= kmin)
+    o_c = origins[idx]
+    kn_c = kmin[idx]
+    kx_c = kmax[idx]
+
+    if occupancy is not None:
+        # Tighten each ray's interval to its occupied span and drop
+        # rays that never touch an occupied block.  Their accumulators
+        # stay exactly 0.0 — the same value the reference computes by
+        # adding +0.0 at every step.
+        alive, kn2, kx2 = _occupied_span(
+            data.shape, occupancy, occ_block, occ_threshold,
+            o_c, view_dir, step, t_half, kn_c, kx_c,
+        )
+        perf.incr("raycast.empty_rays", int(idx.size - alive.sum()))
+        if not alive.all():
+            idx = idx[alive]
+            o_c = o_c[alive]
+            if idx.size == 0:
+                return
+        kn_c = kn2[alive]
+        kx_c = kx2[alive]
+
+    ai_c = np.zeros(idx.size, dtype=np.float64)
+    aa_c = np.zeros(idx.size, dtype=np.float64)
+
+    k_lo = int(kn_c.min())
+    k_hi = int(kx_c.max())
+
+    for c0 in range(k_lo, k_hi + 1, chunk_steps):
+        c1 = min(c0 + chunk_steps, k_hi + 1)
+
+        # Retire rays that exited their slab or saturated.  Exact mode
+        # retires only at transmittance == 0 (further adds are +0.0);
+        # aggressive mode retires at the configured opacity threshold.
+        saturated = (aa_c == 1.0) if exact else (aa_c >= opacity_limit)
+        done = (kx_c < c0) | saturated
+        if done.any():
+            retired = np.flatnonzero(done)
+            perf.incr("raycast.terminated_rays", int(saturated[retired].sum()))
+            gone = idx[retired]
+            acc_i[gone] = ai_c[retired]
+            acc_a[gone] = aa_c[retired]
+            keep = ~done
+            idx = idx[keep]
+            o_c = o_c[keep]
+            kn_c = kn_c[keep]
+            kx_c = kx_c[keep]
+            ai_c = ai_c[keep]
+            aa_c = aa_c[keep]
+            if idx.size == 0:
+                return
+
+        # Rays whose interval overlaps this chunk (others not started yet).
+        started = kn_c < c1
+        if not started.any():
+            continue
+        whole = bool(started.all())
+        sel = slice(None) if whole else np.flatnonzero(started)
+        o_s = o_c if whole else o_c[sel]
+        kn_s = kn_c if whole else kn_c[sel]
+        kx_s = kx_c if whole else kx_c[sel]
+
+        ks = np.arange(c0, c1, dtype=np.int64)
+        # Same scalar expression as the reference: t_k = -t_half + (k+0.5)*step,
+        # then offset t_k * view_dir[axis] added to each origin component.
+        # Axis-major (3, nk, m) layout keeps every row contiguous (for
+        # the occupancy gather and map_coordinates) and step-major
+        # (nk, m) slices contiguous for the accumulation loop below.
+        ts = -t_half + (ks.astype(np.float64) + 0.5) * step
+        nk = ks.size
+        m = o_s.shape[0]
+        coords = np.empty((3, nk, m), dtype=np.float64)
+        for a in range(3):
+            coords[a] = (o_s[:, a][None, :] + (ts * view_dir[a])[:, None]) - 0.5
+        coords = coords.reshape(3, nk * m)  # voxel-center grid
+
+        # Steps outside a ray's [kmin, kmax] interval contribute nothing
+        # (the reference never samples them either).
+        valid = (kn_s[None, :] <= ks[:, None]) & (ks[:, None] <= kx_s[None, :])
+        live = valid.ravel()
+        if occupancy is not None:
+            # Empty-space skipping.  A trilinear stencil reads voxels
+            # floor(c) and floor(c)+1 per axis (after boundary clamping);
+            # floor(clip(c)) lands inside the sample's occupancy block
+            # and the +1 neighbour is covered by the grid's one-block
+            # dilation.  A block bound at or below the zero-opacity
+            # threshold (minus the rounding margin) forces alpha == 0,
+            # so the interpolation can be skipped without changing the
+            # accumulators.  Integer floor-then-divide is exact, unlike
+            # float division by the block size.
+            bx = np.clip(coords[0], 0.0, data.shape[0] - 1.0).astype(np.intp) // occ_block
+            by = np.clip(coords[1], 0.0, data.shape[1] - 1.0).astype(np.intp) // occ_block
+            bz = np.clip(coords[2], 0.0, data.shape[2] - 1.0).astype(np.intp) // occ_block
+            live = live & (occupancy[bx, by, bz] > occ_threshold)
+
+        n_live = int(np.count_nonzero(live))
+        perf.incr("raycast.chunks")
+        perf.incr("raycast.samples", n_live)
+        perf.incr("raycast.samples_skipped", nk * m - n_live)
+        if n_live == 0:
+            continue  # every contribution this chunk is exactly +0.0
+
+        samples_live = ndimage.map_coordinates(
+            data,
+            coords if n_live == nk * m else coords[:, live],
+            order=1,
+            mode="nearest",
+            prefilter=False,
+        ).astype(np.float64)
+        # Classify only the computed samples — ufuncs are elementwise,
+        # so compacted classification matches the reference bit for bit.
+        # Skipped positions keep alpha = emission = 0.0 exactly, which
+        # is what the reference would have computed (or never touched).
+        em_live, al_live = transfer.classify(samples_live)
+        if unit_correction:
+            al_live = 1.0 - np.power(1.0 - al_live, step)
+        if n_live == nk * m:
+            emission = em_live.reshape(nk, m)
+            alpha = al_live.reshape(nk, m)
+        else:
+            emission = np.zeros(nk * m, dtype=np.float64)
+            alpha = np.zeros(nk * m, dtype=np.float64)
+            emission[live] = em_live
+            alpha[live] = al_live
+            emission = emission.reshape(nk, m)
+            alpha = alpha.reshape(nk, m)
+
+        # Front-to-back over, one global step at a time, on compacted
+        # arrays.  Expressions mirror the reference exactly (left-assoc
+        # trans * emission * alpha) to keep bit-identical accumulation.
+        ai_s = ai_c if whole else ai_c[sel]
+        aa_s = aa_c if whole else aa_c[sel]
+        for j in range(nk):
+            alpha_j = alpha[j]
+            if not alpha_j.any():
+                continue  # all contributions are exactly +0.0
+            trans = 1.0 - aa_s
+            ai_s += trans * emission[j] * alpha_j
+            aa_s += trans * alpha_j
+        if not whole:
+            ai_c[sel] = ai_s
+            aa_c[sel] = aa_s
+
+    acc_i[idx] = ai_c
+    acc_a[idx] = aa_c
+
+
+def _occupied_span(
+    data_shape: tuple[int, ...],
+    occupancy: np.ndarray,
+    occ_block: int,
+    occ_threshold: float,
+    o_c: np.ndarray,
+    view_dir: np.ndarray,
+    step: float,
+    t_half: float,
+    kn_c: np.ndarray,
+    kx_c: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Tighten each ray's step interval to its occupied span.
+
+    Tests the occupancy bound every ``stride`` steps.  A dead test at
+    step ``k'`` proves every step within ``stride - 1`` of it dead: the
+    sample position moves at most ``(stride - 1) * step <= 7`` voxels
+    per axis, its trilinear stencil adds one more, and the occupancy
+    grid's one-block (8-voxel) dilation absorbs both.  Returns
+    ``(alive, kn2, kx2)``: rays with no live test are provably all-zero;
+    the rest get ``[first_live - (stride-1), last_live + (stride-1)]``
+    clamped to the original interval.  Cost is one cheap integer gather
+    per ``stride`` steps per ray — no interpolation.
+    """
+    stride = max(1, 1 + int(7.0 // step))
+    m = o_c.shape[0]
+    first_k = np.full(m, -1, dtype=np.int64)
+    last_k = np.full(m, -1, dtype=np.int64)
+
+    act = np.arange(m)  # positions into the full per-ray arrays
+    kt = kn_c.copy()
+    kx_a = kx_c
+    o_a = o_c
+    while act.size:
+        tt = -t_half + (kt.astype(np.float64) + 0.5) * step
+        bx = np.clip(o_a[:, 0] + tt * view_dir[0] - 0.5, 0.0, data_shape[0] - 1.0)
+        by = np.clip(o_a[:, 1] + tt * view_dir[1] - 0.5, 0.0, data_shape[1] - 1.0)
+        bz = np.clip(o_a[:, 2] + tt * view_dir[2] - 0.5, 0.0, data_shape[2] - 1.0)
+        live = (
+            occupancy[
+                bx.astype(np.intp) // occ_block,
+                by.astype(np.intp) // occ_block,
+                bz.astype(np.intp) // occ_block,
+            ]
+            > occ_threshold
+        )
+        if live.any():
+            hit = act[live]
+            k_hit = kt[live]
+            last_k[hit] = k_hit
+            unset = first_k[hit] < 0
+            if unset.any():
+                first_k[hit[unset]] = k_hit[unset]
+        kt = kt + stride
+        keep = kt <= kx_a
+        if not keep.all():
+            act = act[keep]
+            kt = kt[keep]
+            kx_a = kx_a[keep]
+            o_a = o_a[keep]
+
+    alive = first_k >= 0
+    kn2 = np.maximum(kn_c, first_k - (stride - 1))
+    kx2 = np.minimum(kx_c, last_k + (stride - 1))
+    return alive, kn2, kx2
+
+
+def _march_reference(
     data: np.ndarray,
     transfer: TransferFunction,
     origins: np.ndarray,
@@ -155,7 +485,11 @@ def _march(
     acc_i: np.ndarray,
     acc_a: np.ndarray,
 ) -> None:
-    """Front-to-back accumulation over the shared global sample grid."""
+    """Per-step reference marcher (the original implementation).
+
+    Kept as the bit-level oracle for the chunked marcher and as the
+    "before" side of ``benchmarks/bench_hotpaths.py``.
+    """
     k_lo = int(kmin.min())
     k_hi = int(kmax.max())
     # Per-sample opacity correction for non-unit step lengths.

@@ -15,7 +15,15 @@ import numpy as np
 from ..errors import ConfigurationError
 from .grid import VolumeGrid
 
-__all__ = ["save_volume", "load_volume", "write_pgm", "read_pgm", "to_gray8"]
+__all__ = [
+    "save_volume",
+    "load_volume",
+    "write_pgm",
+    "read_pgm",
+    "write_ppm",
+    "read_ppm",
+    "to_gray8",
+]
 
 
 def save_volume(grid: VolumeGrid, path: str | os.PathLike) -> None:
@@ -52,18 +60,66 @@ def write_pgm(path: str | os.PathLike, gray: np.ndarray) -> None:
         fh.write(gray.tobytes())
 
 
-def read_pgm(path: str | os.PathLike) -> np.ndarray:
-    """Read a binary PGM (P5) written by :func:`write_pgm`."""
+#: Appended to size-mismatch errors: the one corruption mode that has
+#: actually bitten this repo (git newline-normalizing a binary fixture).
+_CORRUPTION_HINT = (
+    "likely cause: the binary file was corrupted by a text checkout "
+    "(newline normalization rewrites 0x0D/0x0A pixel bytes) — ensure "
+    ".gitattributes marks *.pgm/*.ppm as binary and re-fetch or "
+    "regenerate the file"
+)
+
+
+def _read_netpbm(path: str | os.PathLike, magic: bytes, channels: int) -> np.ndarray:
     with open(path, "rb") as fh:
         blob = fh.read()
     parts = blob.split(b"\n", 3)
-    if len(parts) < 4 or parts[0] != b"P5":
-        raise ConfigurationError(f"{path!s} is not a binary PGM file")
-    width, height = (int(tok) for tok in parts[1].split())
-    maxval = int(parts[2])
+    if len(parts) < 4 or parts[0] != magic:
+        raise ConfigurationError(
+            f"{path!s} is not a binary {magic.decode()} netpbm file"
+        )
+    try:
+        width, height = (int(tok) for tok in parts[1].split())
+        maxval = int(parts[2])
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{path!s} has an unreadable netpbm header ({exc}); {_CORRUPTION_HINT}"
+        ) from exc
     if maxval != 255:
-        raise ConfigurationError(f"unsupported PGM maxval {maxval}")
-    pixels = np.frombuffer(parts[3][: width * height], dtype=np.uint8)
-    if pixels.size != width * height:
-        raise ConfigurationError(f"{path!s} truncated: {pixels.size} of {width * height} bytes")
-    return pixels.reshape(height, width).copy()
+        raise ConfigurationError(f"unsupported netpbm maxval {maxval}")
+    expected = width * height * channels
+    pixels = np.frombuffer(parts[3][:expected], dtype=np.uint8)
+    if pixels.size != expected:
+        raise ConfigurationError(
+            f"{path!s} truncated: {pixels.size} of {expected} pixel bytes; "
+            f"{_CORRUPTION_HINT}"
+        )
+    shape = (height, width) if channels == 1 else (height, width, channels)
+    return pixels.reshape(shape).copy()
+
+
+def read_pgm(path: str | os.PathLike) -> np.ndarray:
+    """Read a binary PGM (P5) written by :func:`write_pgm`.
+
+    Raises :class:`ConfigurationError` on malformed or truncated files,
+    naming the likely cause (binary file mangled by a text checkout).
+    """
+    return _read_netpbm(path, b"P5", 1)
+
+
+def write_ppm(path: str | os.PathLike, rgb: np.ndarray) -> None:
+    """Write a uint8 RGB image as binary PPM (P6)."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3 or rgb.dtype != np.uint8:
+        raise ConfigurationError(
+            f"write_ppm expects an (h, w, 3) uint8 array, got {rgb.dtype} shape {rgb.shape}"
+        )
+    height, width = rgb.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        fh.write(rgb.tobytes())
+
+
+def read_ppm(path: str | os.PathLike) -> np.ndarray:
+    """Read a binary PPM (P6) written by :func:`write_ppm`."""
+    return _read_netpbm(path, b"P6", 3)

@@ -45,6 +45,16 @@ class TransferFunction:
         if self.brightness <= 0.0:
             raise ConfigurationError(f"brightness must be > 0, got {self.brightness}")
 
+    @property
+    def zero_alpha_below(self) -> float:
+        """Scalar threshold at or below which opacity is *exactly* zero.
+
+        The ray caster uses this for empty-space skipping: samples whose
+        conservative upper bound is at or below this value contribute
+        nothing, so their interpolation can be skipped bit-identically.
+        """
+        return self.lo
+
     def opacity(self, s: np.ndarray) -> np.ndarray:
         """Per-sample opacity in ``[0, max_alpha]``."""
         s = np.asarray(s, dtype=np.float64)

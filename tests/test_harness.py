@@ -3,13 +3,16 @@
 import numpy as np
 import pytest
 
+from repro import perf
 from repro.analysis.metrics import MethodMeasurement
 from repro.cluster.model import SP2
 from repro.errors import ConfigurationError
 from repro.experiments.harness import (
+    CACHE_ENV,
     RenderedWorkload,
     clear_workload_cache,
     load_rows,
+    render_cache_dir,
     rows_from_json,
     rows_to_json,
     run_grid,
@@ -87,6 +90,72 @@ class TestWorkloadCache:
         clear_workload_cache()
         b = workload("sphere", 32, max_ranks=4, volume_shape=(16, 16, 16))
         assert a is not b
+
+
+class TestDiskCache:
+    KW = dict(dataset="engine_low", image_size=48, max_ranks=4, **SMALL)
+
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert render_cache_dir() is None
+        monkeypatch.setenv(CACHE_ENV, "   ")
+        assert render_cache_dir() is None
+
+    def test_env_var_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        assert render_cache_dir() == str(tmp_path)
+
+    def _blocks_equal(self, a, b):
+        assert len(a.blocks) == len(b.blocks)
+        for (ra, ia, aa), (rb, ib, ab) in zip(a.blocks, b.blocks):
+            assert ra == rb
+            if not ra.is_empty:
+                assert np.array_equal(ia, ib)
+                assert np.array_equal(aa, ab)
+
+    def test_hit_returns_identical_blocks(self, tmp_path):
+        perf.reset()
+        cold = RenderedWorkload(cache_dir=str(tmp_path), **self.KW)
+        assert perf.counter("harness.disk_cache_misses") == 1
+        assert perf.counter("harness.disk_cache_stores") == 1
+        warm = RenderedWorkload(cache_dir=str(tmp_path), **self.KW)
+        assert perf.counter("harness.disk_cache_hits") == 1
+        self._blocks_equal(cold, warm)
+
+    def test_warm_workload_composites_like_cold(self, tmp_path):
+        cold = RenderedWorkload(cache_dir=str(tmp_path), **self.KW)
+        warm = RenderedWorkload(cache_dir=str(tmp_path), **self.KW)
+        for rank, (a, b) in enumerate(
+            zip(cold.subimages_for(4), warm.subimages_for(4))
+        ):
+            assert a.max_abs_diff(b) == 0.0, f"rank {rank} differs"
+
+    def test_key_distinguishes_parameters(self, tmp_path):
+        RenderedWorkload(cache_dir=str(tmp_path), **self.KW)
+        perf.reset()
+        other = dict(self.KW, image_size=56)
+        RenderedWorkload(cache_dir=str(tmp_path), **other)
+        assert perf.counter("harness.disk_cache_hits") == 0
+        assert perf.counter("harness.disk_cache_misses") == 1
+
+    def test_corrupt_entry_is_a_graceful_miss(self, tmp_path):
+        RenderedWorkload(cache_dir=str(tmp_path), **self.KW)
+        entries = list(tmp_path.glob("workload_*.npz"))
+        assert len(entries) == 1
+        entries[0].write_bytes(b"not an npz archive")
+        perf.reset()
+        again = RenderedWorkload(cache_dir=str(tmp_path), **self.KW)
+        assert perf.counter("harness.disk_cache_misses") == 1
+        assert perf.counter("harness.disk_cache_stores") == 1
+        fresh = RenderedWorkload(cache_dir=str(tmp_path), **self.KW)
+        self._blocks_equal(again, fresh)
+
+    def test_env_var_used_when_no_explicit_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        perf.reset()
+        RenderedWorkload(**self.KW)
+        assert perf.counter("harness.disk_cache_stores") == 1
+        assert list(tmp_path.glob("workload_*.npz"))
 
 
 class TestRunMethodAndGrid:

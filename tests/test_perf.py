@@ -1,0 +1,111 @@
+"""Tests for the perf counter/timer layer."""
+
+import json
+import time
+
+import pytest
+
+from repro import perf
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+class TestCounters:
+    def test_incr_defaults_to_one(self):
+        perf.incr("a")
+        perf.incr("a")
+        assert perf.counter("a") == 2
+
+    def test_incr_amount(self):
+        perf.incr("bytes", 100)
+        perf.incr("bytes", 23)
+        assert perf.counter("bytes") == 123
+
+    def test_unknown_counter_is_zero(self):
+        assert perf.counter("never-bumped") == 0
+
+    def test_reset_zeroes(self):
+        perf.incr("a", 5)
+        perf.reset()
+        assert perf.counter("a") == 0
+        assert perf.report() == {"counters": {}, "timers": {}}
+
+
+class TestTimers:
+    def test_timer_accumulates_wall_cpu_calls(self):
+        for _ in range(3):
+            with perf.timer("work"):
+                time.sleep(0.002)
+        row = perf.report()["timers"]["work"]
+        assert row["calls"] == 3
+        assert row["wall_s"] >= 3 * 0.002
+        assert row["cpu_s"] >= 0.0
+
+    def test_timer_records_on_exception(self):
+        with pytest.raises(ValueError):
+            with perf.timer("boom"):
+                raise ValueError("x")
+        assert perf.report()["timers"]["boom"]["calls"] == 1
+
+
+class TestReport:
+    def test_report_is_json_serializable(self):
+        perf.incr("rays", 1024)
+        with perf.timer("render"):
+            pass
+        payload = json.dumps(perf.report())
+        assert "rays" in payload and "render" in payload
+
+    def test_report_snapshot_is_detached(self):
+        perf.incr("a")
+        snap = perf.report()
+        perf.incr("a")
+        assert snap["counters"]["a"] == 1
+
+    def test_format_report_empty(self):
+        assert perf.format_report() == "perf counters: (empty)"
+
+    def test_format_report_lists_entries(self):
+        perf.incr("rle.codes", 42)
+        with perf.timer("render"):
+            pass
+        text = perf.format_report()
+        assert "rle.codes" in text
+        assert "42" in text
+        assert "render" in text
+        assert "calls 1" in text
+
+
+class TestInstrumentation:
+    def test_rle_codecs_count(self):
+        import numpy as np
+
+        from repro.compositing.rle import rle_decode_mask, rle_encode_mask
+
+        mask = np.zeros(64, dtype=bool)
+        mask[10:20] = True
+        codes = rle_encode_mask(mask)
+        rle_decode_mask(codes, mask.size)
+        counters = perf.report()["counters"]
+        assert counters["rle.encode_calls"] == 1
+        assert counters["rle.decode_calls"] == 1
+        assert counters["rle.codes"] == codes.size
+
+    def test_raycast_counts_samples(self):
+        from repro.render.camera import Camera
+        from repro.render.raycast import render_full
+        from repro.volume.datasets import make_dataset
+
+        volume, transfer = make_dataset("head", (24, 24, 12))
+        camera = Camera(
+            width=24, height=24, volume_shape=volume.shape, rot_x=20.0, rot_y=30.0
+        )
+        render_full(volume, transfer, camera)
+        counters = perf.report()["counters"]
+        assert counters.get("raycast.chunks", 0) > 0
+        assert counters.get("raycast.samples", 0) > 0

@@ -1,0 +1,207 @@
+"""Bit-identity of the chunked marcher against the per-step reference.
+
+The whole compositing test pyramid rests on renders being exactly
+reproducible, so the production marcher (chunked sampling + active-ray
+compaction + occupancy-based empty-space skipping + exact early
+termination) is pinned to the original per-step loop bit for bit — not
+approximately — across every paper dataset, viewpoint, subvolume shape
+and chunk size.
+"""
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.errors import RenderError
+from repro.render.camera import Camera
+from repro.render.raycast import DEFAULT_CHUNK_STEPS, render_full, render_subvolume
+from repro.types import Extent3
+from repro.volume.datasets import PAPER_DATASETS, make_dataset
+from repro.volume.grid import VolumeGrid
+from repro.volume.transfer import TransferFunction
+
+SHAPE = (32, 32, 16)
+
+
+def _identical(a, b):
+    return np.array_equal(a.intensity, b.intensity) and np.array_equal(
+        a.opacity, b.opacity
+    )
+
+
+def _camera(volume, size=40, rot_x=20.0, rot_y=30.0):
+    return Camera(
+        width=size, height=size, volume_shape=volume.shape, rot_x=rot_x, rot_y=rot_y
+    )
+
+
+class TestChunkedMatchesReference:
+    @pytest.mark.parametrize("dataset", PAPER_DATASETS)
+    @pytest.mark.parametrize("chunk_steps", [1, 3, DEFAULT_CHUNK_STEPS, 64])
+    def test_full_volume(self, dataset, chunk_steps):
+        volume, transfer = make_dataset(dataset, SHAPE)
+        camera = _camera(volume)
+        ref = render_full(volume, transfer, camera, march="reference")
+        opt = render_full(volume, transfer, camera, chunk_steps=chunk_steps)
+        assert _identical(ref, opt)
+
+    @pytest.mark.parametrize("dataset", PAPER_DATASETS)
+    def test_subvolume_extents(self, dataset):
+        volume, transfer = make_dataset(dataset, SHAPE)
+        camera = _camera(volume)
+        nx, ny, nz = volume.shape
+        extents = [
+            Extent3(0, nx // 2, 0, ny, 0, nz),
+            Extent3(nx // 2, nx, 0, ny // 2, nz // 3, nz),
+            Extent3(1, 2, 1, 2, 1, 2),
+            volume.full_extent(),
+        ]
+        for extent in extents:
+            ref = render_subvolume(volume, transfer, camera, extent, march="reference")
+            opt = render_subvolume(volume, transfer, camera, extent)
+            assert _identical(ref, opt), f"extent {extent} diverged"
+
+    @pytest.mark.parametrize("rotation", [(0.0, 0.0), (-35.0, 110.0), (90.0, 45.0)])
+    def test_viewpoints(self, rotation):
+        volume, transfer = make_dataset("engine_high", SHAPE)
+        camera = _camera(volume, rot_x=rotation[0], rot_y=rotation[1])
+        ref = render_full(volume, transfer, camera, march="reference")
+        opt = render_full(volume, transfer, camera)
+        assert _identical(ref, opt)
+
+    def test_duck_typed_transfer_without_zero_threshold(self):
+        """A classify-only transfer object disables empty-space skipping
+        but must still match the reference exactly."""
+
+        class Plain:
+            def classify(self, s):
+                s = np.asarray(s, dtype=np.float64)
+                return s, np.clip(s - 0.1, 0.0, 1.0) * 0.5
+
+        volume = make_dataset("head", SHAPE)[0]
+        transfer = Plain()
+        camera = _camera(volume)
+        ref = render_full(volume, transfer, camera, march="reference")
+        opt = render_full(volume, transfer, camera)
+        assert _identical(ref, opt)
+
+    def test_default_settings_are_exact(self):
+        """The documented contract: no knob needs touching for
+        bit-identical output."""
+        volume, transfer = make_dataset("cube", SHAPE)
+        camera = _camera(volume)
+        ref = render_full(volume, transfer, camera, march="reference")
+        opt = render_full(volume, transfer, camera)
+        assert _identical(ref, opt)
+
+
+class TestEarlyTermination:
+    def _opaque_scene(self):
+        volume = VolumeGrid(data=np.full(SHAPE, 0.9, dtype=np.float32), name="wall")
+        transfer = TransferFunction(lo=0.1, hi=0.3, max_alpha=1.0)
+        return volume, transfer
+
+    def test_exact_termination_is_bit_identical(self):
+        volume, transfer = self._opaque_scene()
+        camera = _camera(volume)
+        ref = render_full(volume, transfer, camera, march="reference")
+        opt = render_full(volume, transfer, camera)  # default: exact
+        assert _identical(ref, opt)
+
+    def test_exact_termination_retires_rays(self):
+        volume, transfer = self._opaque_scene()
+        camera = _camera(volume)
+        perf.reset()
+        render_full(volume, transfer, camera, chunk_steps=4)
+        assert perf.counter("raycast.terminated_rays") > 0
+
+    def test_aggressive_threshold_error_is_bounded(self):
+        volume, transfer = make_dataset("head", SHAPE)
+        camera = _camera(volume)
+        exact = render_full(volume, transfer, camera)
+        threshold = 0.95
+        lossy = render_full(volume, transfer, camera, early_termination=threshold)
+        # Stopping at accumulated opacity >= T leaves at most the
+        # remaining transmittance 1 - T unaccumulated per pixel.
+        assert float(np.abs(exact.opacity - lossy.opacity).max()) <= 1.0 - threshold
+        assert float(np.abs(exact.intensity - lossy.intensity).max()) <= 1.0 - threshold
+
+    def test_threshold_one_equals_default(self):
+        volume, transfer = self._opaque_scene()
+        camera = _camera(volume)
+        a = render_full(volume, transfer, camera)
+        b = render_full(volume, transfer, camera, early_termination=1.0)
+        assert _identical(a, b)
+
+
+class TestValidation:
+    def test_unknown_marcher_rejected(self):
+        volume, transfer = make_dataset("cube", SHAPE)
+        with pytest.raises(RenderError):
+            render_full(volume, transfer, _camera(volume), march="nope")
+
+    def test_bad_chunk_steps_rejected(self):
+        volume, transfer = make_dataset("cube", SHAPE)
+        with pytest.raises(RenderError):
+            render_full(volume, transfer, _camera(volume), chunk_steps=0)
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.5, 1.5])
+    def test_bad_early_termination_rejected(self, threshold):
+        volume, transfer = make_dataset("cube", SHAPE)
+        with pytest.raises(RenderError):
+            render_full(volume, transfer, _camera(volume), early_termination=threshold)
+
+
+class TestOccupancyGrid:
+    def test_bound_is_conservative(self):
+        """occ at a voxel's block bounds every voxel of the block and its
+        full one-block neighbourhood — the empty-space-skip soundness
+        invariant."""
+        rng = np.random.default_rng(11)
+        data = rng.random((21, 13, 9)).astype(np.float32)
+        volume = VolumeGrid(data=data, name="rand")
+        block = 4
+        occ = volume.occupancy_max(block)
+        for _ in range(300):
+            x, y, z = (int(rng.integers(0, n)) for n in data.shape)
+            lo = [max(0, (v // block) * block - block) for v in (x, y, z)]
+            hi = [
+                min(n, (v // block) * block + 2 * block)
+                for v, n in zip((x, y, z), data.shape)
+            ]
+            neighbourhood_max = data[lo[0] : hi[0], lo[1] : hi[1], lo[2] : hi[2]].max()
+            assert occ[x // block, y // block, z // block] >= neighbourhood_max
+
+    def test_cached_per_block_size(self):
+        volume = make_dataset("cube", SHAPE)[0]
+        assert volume.occupancy_max(8) is volume.occupancy_max(8)
+        assert volume.occupancy_max(4) is not volume.occupancy_max(8)
+
+    def test_bad_block_rejected(self):
+        from repro.errors import ConfigurationError
+
+        volume = make_dataset("cube", SHAPE)[0]
+        with pytest.raises(ConfigurationError):
+            volume.occupancy_max(0)
+
+    def test_sparse_volume_skips_samples(self):
+        volume, transfer = make_dataset("engine_high", SHAPE)
+        camera = _camera(volume)
+        perf.reset()
+        render_full(volume, transfer, camera)
+        report = perf.report()["counters"]
+        assert report.get("raycast.samples_skipped", 0) > 0
+
+    def test_isolated_blob_drops_empty_rays(self):
+        """Rays that only cross empty space are retired before sampling,
+        and the result still matches the reference exactly."""
+        data = np.zeros(SHAPE, dtype=np.float32)
+        data[2:6, 2:6, 2:6] = 0.8  # small blob far from most rays
+        volume = VolumeGrid(data=data, name="blob")
+        transfer = TransferFunction(lo=0.3, hi=0.6)
+        camera = _camera(volume)
+        perf.reset()
+        opt = render_full(volume, transfer, camera)
+        assert perf.counter("raycast.empty_rays") > 0
+        ref = render_full(volume, transfer, camera, march="reference")
+        assert _identical(ref, opt)

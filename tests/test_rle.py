@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.compositing.rle import MAX_RUN, count_nonblank, rle_decode_mask, rle_encode_mask
+from repro.compositing.rle import (
+    MAX_RUN,
+    _rle_decode_mask_loop,
+    _rle_encode_mask_loop,
+    count_nonblank,
+    rle_decode_mask,
+    rle_encode_mask,
+)
 from repro.errors import WireFormatError
 
 
@@ -124,3 +131,75 @@ class TestRoundtripProperties:
         mask = np.asarray(bits, dtype=bool)
         codes = rle_encode_mask(mask)
         assert codes.size <= mask.size + 1
+
+
+def _run_lengths_to_mask(lengths):
+    """Build a mask from alternating blank/non-blank run lengths."""
+    total = int(sum(lengths))
+    mask = np.zeros(total, dtype=bool)
+    pos = 0
+    for i, run in enumerate(lengths):
+        if i % 2 == 1:
+            mask[pos : pos + run] = True
+        pos += run
+    return mask
+
+
+class TestLoopOracleEquivalence:
+    """The vectorized codecs must emit *byte-identical* wire codes to the
+    original loop implementations — the wire format is frozen."""
+
+    CASES = [
+        np.zeros(0, dtype=bool),
+        np.zeros(1, dtype=bool),
+        np.ones(1, dtype=bool),
+        np.zeros(77777, dtype=bool),  # all-blank, > MAX_RUN, packbits path
+        np.ones(77777, dtype=bool),  # all-nonblank, > MAX_RUN, packbits path
+        np.ones(MAX_RUN, dtype=bool),
+        np.zeros(MAX_RUN + 1, dtype=bool),
+        _run_lengths_to_mask([MAX_RUN + 5, 2 * MAX_RUN, 3]),
+        _run_lengths_to_mask([0, 3 * MAX_RUN + 1, MAX_RUN, 7]),
+        _run_lengths_to_mask([1] * 9001),  # dense alternation, packbits path
+    ]
+
+    @pytest.mark.parametrize("mask", CASES, ids=lambda m: f"n{m.size}")
+    def test_encode_byte_identical(self, mask):
+        assert np.array_equal(rle_encode_mask(mask), _rle_encode_mask_loop(mask))
+
+    @pytest.mark.parametrize("mask", CASES, ids=lambda m: f"n{m.size}")
+    def test_decode_matches_loop(self, mask):
+        codes = _rle_encode_mask_loop(mask)
+        assert np.array_equal(
+            rle_decode_mask(codes, mask.size), _rle_decode_mask_loop(codes, mask.size)
+        )
+        assert np.array_equal(rle_decode_mask(codes, mask.size), mask)
+
+    @given(st.lists(st.booleans(), max_size=400))
+    @settings(max_examples=200)
+    def test_encode_byte_identical_fuzz(self, bits):
+        mask = np.asarray(bits, dtype=bool)
+        assert np.array_equal(rle_encode_mask(mask), _rle_encode_mask_loop(mask))
+
+    @given(
+        st.lists(st.integers(0, 3 * MAX_RUN), min_size=1, max_size=6),
+        st.integers(0, 1),
+    )
+    @settings(max_examples=60)
+    def test_long_run_fuzz(self, lengths, leading_blank):
+        """Random alternating runs, many above the uint16 split point."""
+        if not leading_blank:
+            lengths = [0] + lengths
+        mask = _run_lengths_to_mask(lengths)
+        codes = rle_encode_mask(mask)
+        assert np.array_equal(codes, _rle_encode_mask_loop(mask))
+        assert np.array_equal(rle_decode_mask(codes, mask.size), mask)
+
+    @given(st.integers(4097, 60000), st.floats(0.001, 0.999), st.integers(0, 2**31))
+    @settings(max_examples=40)
+    def test_large_mask_fuzz(self, n, density, seed):
+        """Masks above the packbits-path threshold stay byte-identical."""
+        rng = np.random.default_rng(seed)
+        mask = rng.random(n) < density
+        codes = rle_encode_mask(mask)
+        assert np.array_equal(codes, _rle_encode_mask_loop(mask))
+        assert np.array_equal(rle_decode_mask(codes, n), mask)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.volume.datasets import (
@@ -14,7 +16,15 @@ from repro.volume.datasets import (
     make_sphere,
 )
 from repro.volume.grid import VolumeGrid
-from repro.volume.io import load_volume, read_pgm, save_volume, to_gray8, write_pgm
+from repro.volume.io import (
+    load_volume,
+    read_pgm,
+    read_ppm,
+    save_volume,
+    to_gray8,
+    write_pgm,
+    write_ppm,
+)
 from repro.volume.transfer import TransferFunction
 
 
@@ -207,3 +217,73 @@ class TestIO:
 
     def test_to_gray8_gain(self):
         assert to_gray8(np.array([[0.25]]), gain=2.0)[0, 0] == 127
+
+
+class TestNetpbmRoundtripProperties:
+    """Round-trips must survive pixel bytes that look like line endings
+    (0x0A/0x0D) — the corruption mode a text checkout introduces."""
+
+    @given(
+        st.integers(1, 12),
+        st.integers(1, 12),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60)
+    def test_pgm_roundtrip_random(self, tmp_path_factory, width, height, seed):
+        rng = np.random.default_rng(seed)
+        gray = rng.integers(0, 256, (height, width), dtype=np.uint8)
+        path = tmp_path_factory.mktemp("pgm") / "img.pgm"
+        write_pgm(path, gray)
+        assert np.array_equal(read_pgm(path), gray)
+
+    @given(
+        st.integers(1, 10),
+        st.integers(1, 10),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60)
+    def test_ppm_roundtrip_random(self, tmp_path_factory, width, height, seed):
+        rng = np.random.default_rng(seed)
+        rgb = rng.integers(0, 256, (height, width, 3), dtype=np.uint8)
+        path = tmp_path_factory.mktemp("ppm") / "img.ppm"
+        write_ppm(path, rgb)
+        assert np.array_equal(read_ppm(path), rgb)
+
+    def test_pgm_newline_pixel_bytes_survive(self, tmp_path):
+        """Every pixel is 0x0A or 0x0D: the worst case for any reader that
+        splits the payload on newlines."""
+        gray = np.tile(
+            np.array([[0x0A, 0x0D], [0x0D, 0x0A]], dtype=np.uint8), (5, 7)
+        )
+        path = tmp_path / "newlines.pgm"
+        write_pgm(path, gray)
+        assert np.array_equal(read_pgm(path), gray)
+
+    def test_ppm_newline_pixel_bytes_survive(self, tmp_path):
+        rgb = np.full((6, 4, 3), 0x0A, dtype=np.uint8)
+        rgb[::2, :, 1] = 0x0D
+        path = tmp_path / "newlines.ppm"
+        write_ppm(path, rgb)
+        assert np.array_equal(read_ppm(path), rgb)
+
+    def test_write_ppm_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 2), dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 2, 4), dtype=np.uint8))
+
+    def test_truncation_error_names_text_checkout(self, tmp_path):
+        """The error message must point at the one corruption mode that has
+        actually bitten this repo: newline normalization of binary files."""
+        path = tmp_path / "x.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n\x00\x00")
+        with pytest.raises(ConfigurationError, match="text checkout"):
+            read_pgm(path)
+        with pytest.raises(ConfigurationError, match=r"\.gitattributes"):
+            read_pgm(path)
+
+    def test_read_ppm_rejects_pgm(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"P5\n2 2\n255\n" + b"\x00" * 4)
+        with pytest.raises(ConfigurationError):
+            read_ppm(path)
