@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick verify results quick clean
+.PHONY: install test bench bench-quick verify lint results quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,10 @@ bench-quick:
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpaths.py --smoke --check
+
+# Static checks (config in pyproject.toml [tool.ruff]); CI runs the same.
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 results:
 	$(PYTHON) -m repro.experiments --out results all

@@ -149,7 +149,6 @@ def test_bench_folded_nonpow2(benchmark, work):
         return {p: run_method(work, "bsbrc", p)[0] for p in counts}
 
     import repro.volume.folded as folded_mod
-    from repro.experiments.harness import RenderedWorkload
 
     # run_method needs per-P subimage assembly; folded counts render
     # directly from the folded partition instead.
@@ -191,8 +190,6 @@ def test_bench_render_load_balance(benchmark):
     """Weighted-median partitioning (the paper's future-work render
     load balancing): visible-voxel imbalance collapses, while the
     compositing phase stays correct and in the same cost band."""
-    import numpy as np
-
     from repro.pipeline.config import RunConfig
     from repro.pipeline.system import SortLastSystem
     from repro.volume.datasets import make_dataset

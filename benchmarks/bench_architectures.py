@@ -9,9 +9,7 @@ bytes reward cheap CPU (BSBR/BSBRC pull ahead), and the sparse methods
 beat plain BS on *every* architecture.
 """
 
-import pytest
-
-from conftest import cell, emit
+from conftest import emit
 from repro.analysis.tables import format_generic
 from repro.cluster.model import ETHERNET_CLUSTER, MODERN_CLUSTER, SP2, T3E
 from repro.experiments.harness import run_method, workload

@@ -7,11 +7,8 @@ cells, pairwise method orderings agree overwhelmingly, and measured
 totals rank-correlate strongly with the published ones.
 """
 
-import pytest
-
 from conftest import PAPER_RANKS, emit
 from repro.experiments.compare import compare_to_paper, format_fidelity
-from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 
 

@@ -6,8 +6,6 @@ emits the ASCII plot, and asserts the curve relationships the paper
 describes in §4 for that figure.
 """
 
-import pytest
-
 from conftest import PAPER_RANKS, cell, emit
 from repro.experiments.figures import FIGURE_DATASETS, format_figure, render_figure7
 from repro.experiments.harness import run_grid, workload

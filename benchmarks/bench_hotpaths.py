@@ -146,8 +146,8 @@ def bench_rle(smoke: bool) -> tuple[dict, dict]:
 
 
 def bench_wire(smoke: bool) -> dict:
-    from repro.compositing.wire import _PIXEL_DTYPE, pack_bsbrc, unpack_bsbrc
-    from repro.types import PIXEL_BYTES, Rect
+    from repro.compositing.wire import pack_bsbrc, unpack_bsbrc
+    from repro.types import Rect
 
     side = 128 if smoke else 768
     repeats = 5 if smoke else 3

@@ -6,8 +6,6 @@ serialized message sizes (5% run-code tolerance on the BSBRC/BSLC leg,
 matching the paper's "in general" wording).
 """
 
-import pytest
-
 from conftest import PAPER_RANKS, cell, emit
 from repro.experiments.mmax import format_mmax, run_mmax
 from repro.volume.datasets import PAPER_DATASETS

@@ -8,8 +8,6 @@ axes → no fewer non-empty rectangles, and plenty of empty ones exist at
 the axis-aligned view (the effect BSBR exploits).
 """
 
-import pytest
-
 from conftest import emit
 from repro.experiments.rotation import format_rotation, run_rotation
 

@@ -7,8 +7,6 @@ inside the benchmark test (so ``--benchmark-only`` still verifies them)
 and as standalone tests for plain ``pytest benchmarks/``.
 """
 
-import pytest
-
 from conftest import PAPER_RANKS, cell, emit
 from repro.experiments.table1 import format_table1, run_table1
 from repro.volume.datasets import PAPER_DATASETS

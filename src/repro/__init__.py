@@ -23,15 +23,20 @@ True
 """
 
 from .cluster import (
+    BACKENDS,
     IDEALIZED,
     PRESETS,
     SP2,
     SP2_FAST_NET,
     SP2_SLOW_NET,
+    Backend,
+    BaseRankContext,
     MachineModel,
     RankContext,
     RunResult,
+    RunTimeline,
     Simulator,
+    make_backend,
 )
 from .compositing import (
     PAPER_METHODS,
@@ -80,9 +85,12 @@ from .volume import (
     recursive_bisect,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
+    "BaseRankContext",
     "BinarySwap",
     "BinarySwapBoundingRect",
     "BinarySwapBoundingRectCompression",
@@ -111,6 +119,7 @@ __all__ = [
     "ReproError",
     "RunConfig",
     "RunResult",
+    "RunTimeline",
     "SP2",
     "SP2_FAST_NET",
     "SP2_SLOW_NET",
@@ -126,6 +135,7 @@ __all__ = [
     "available_methods",
     "composite_sequential",
     "depth_order",
+    "make_backend",
     "make_compositor",
     "make_dataset",
     "over",

@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from ..compositing.rle import rle_encode_mask
 from ..render.image import SubImage

@@ -9,6 +9,15 @@ algorithm correctness is end-to-end testable while timing is exactly the
 paper's analytic regime.
 """
 
+from .backend import (
+    BACKENDS,
+    Backend,
+    BackendRunResult,
+    MPBackend,
+    MPIBackend,
+    SimBackend,
+    make_backend,
+)
 from .collectives import allreduce, bcast, gather
 from .context import RankContext, payload_nbytes
 from .events import (
@@ -35,8 +44,16 @@ from .model import (
     T3E,
     MachineModel,
 )
+from .protocol import (
+    BaseRankContext,
+    EncodedPayload,
+    decode_payload,
+    drive,
+    encode_payload,
+)
+from .run_timeline import TIMELINE_SCHEMA, RunTimeline
 from .simulator import Simulator, TraceEvent
-from .stats import PRE_STAGE, RankStats, RunResult, StageStats
+from .stats import PRE_STAGE, RankStats, RunResult, StageStats, merge_counters
 from .topology import (
     TreeStep,
     binary_swap_partner,
@@ -51,11 +68,18 @@ from .topology import (
 
 __all__ = [
     "ANY_TAG",
+    "BACKENDS",
+    "Backend",
+    "BackendRunResult",
     "BarrierOp",
+    "BaseRankContext",
+    "EncodedPayload",
     "ComputeOp",
     "ETHERNET_CLUSTER",
     "IDEALIZED",
     "MODERN_CLUSTER",
+    "MPBackend",
+    "MPIBackend",
     "MachineModel",
     "Op",
     "PRESETS",
@@ -67,14 +91,17 @@ __all__ = [
     "RecvOp",
     "Request",
     "RunResult",
+    "RunTimeline",
     "SP2",
     "SP2_FAST_NET",
     "SP2_SLOW_NET",
     "SendOp",
+    "SimBackend",
     "T3E",
     "SendRecvOp",
     "Simulator",
     "StageStats",
+    "TIMELINE_SCHEMA",
     "TraceEvent",
     "WaitOp",
     "TreeStep",
@@ -83,10 +110,15 @@ __all__ = [
     "binary_swap_partner",
     "binary_swap_schedule",
     "binary_tree_schedule",
+    "decode_payload",
+    "drive",
+    "encode_payload",
     "gather",
     "is_power_of_two",
     "keeps_low_half",
     "log2_int",
+    "make_backend",
+    "merge_counters",
     "payload_nbytes",
     "ring_next",
     "ring_prev",

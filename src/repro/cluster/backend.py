@@ -1,0 +1,257 @@
+"""Pluggable execution backends: one rank program, three substrates.
+
+A *rank program* is a picklable module-level ``async def program(ctx,
+*args)`` written against :class:`~repro.cluster.protocol.BaseRankContext`.
+A :class:`Backend` runs ``num_ranks`` copies of it and returns a uniform
+:class:`BackendRunResult`:
+
+* :class:`SimBackend` — the discrete-event simulator; needs a
+  :class:`~repro.cluster.model.MachineModel` and reports *modelled*
+  virtual time (deterministic, bit-identical traces).
+* :class:`MPBackend` — real OS processes over multiprocessing queues;
+  reports *wall-clock* time and :mod:`repro.perf` reports per rank.
+* :class:`MPIBackend` — real MPI via mpi4py (SPMD: call it from inside
+  an ``mpiexec`` job); wall-clock like MPBackend.
+
+All three fill the same per-stage byte/message counters, so a program's
+communication volume can be cross-checked across substrates.  Pick a
+backend by name with :func:`make_backend`.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .model import MachineModel
+from .run_timeline import RunTimeline
+from .simulator import Simulator, TraceEvent
+from .stats import RankStats, RunResult
+
+__all__ = [
+    "Backend",
+    "BackendRunResult",
+    "SimBackend",
+    "MPBackend",
+    "MPIBackend",
+    "BACKENDS",
+    "make_backend",
+]
+
+
+@dataclass
+class BackendRunResult:
+    """Uniform outcome of running a rank program on any backend."""
+
+    #: Backend short name: "sim" | "mp" | "mpi".
+    backend: str
+    #: What ``makespan`` measures: "modelled" virtual seconds or "wall".
+    clock: str
+    num_ranks: int
+    returns: list[Any]
+    rank_stats: list[RankStats]
+    #: Modelled makespan (sim) or the largest per-rank wall time (real).
+    makespan: float
+    #: Simulator trace (empty unless ``trace=True`` on SimBackend).
+    trace_events: list[TraceEvent] = field(default_factory=list)
+    #: Per-rank wall seconds (zeros on the simulator).
+    wall_times: list[float] = field(default_factory=list)
+    #: Per-rank :func:`repro.perf.report` snapshots (empty on the simulator).
+    rank_perf: list[dict] = field(default_factory=list)
+    #: On SPMD backends (MPI) the rank this process ran as; ``None`` when
+    #: the calling process orchestrated all ranks (sim, mp).
+    local_rank: Optional[int] = None
+
+    def to_run_result(self) -> RunResult:
+        """View as the classic stats container used by the tables."""
+        return RunResult(
+            num_ranks=self.num_ranks,
+            returns=self.returns,
+            rank_stats=self.rank_stats,
+            makespan=self.makespan,
+        )
+
+    def timeline(self, meta: Optional[dict[str, Any]] = None) -> RunTimeline:
+        """Export as the unified run-timeline document."""
+        return RunTimeline.from_parts(
+            backend=self.backend,
+            clock=self.clock,
+            rank_stats=self.rank_stats,
+            makespan=self.makespan,
+            wall_times=self.wall_times,
+            rank_perf=self.rank_perf,
+            trace_events=self.trace_events,
+            meta=meta,
+        )
+
+
+class Backend(abc.ABC):
+    """An execution substrate for rank programs."""
+
+    #: Short name used by ``--backend`` and the timeline schema.
+    name: str = "abstract"
+    #: What this backend's makespan measures.
+    clock: str = "wall"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        num_ranks: int,
+        program,
+        args: Sequence[Any] = (),
+        *,
+        model: Optional[MachineModel] = None,
+        trace: bool = False,
+        timeout: Optional[float] = None,
+    ) -> BackendRunResult:
+        """Run ``program(ctx, *args)`` on ``num_ranks`` ranks.
+
+        ``model`` is required by the simulator and ignored by real
+        transports; ``trace`` enables the simulator's event trace;
+        ``timeout`` bounds per-receive blocking on real transports.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class SimBackend(Backend):
+    """Discrete-event simulation with modelled virtual time."""
+
+    name = "sim"
+    clock = "modelled"
+
+    def run(
+        self,
+        num_ranks: int,
+        program,
+        args: Sequence[Any] = (),
+        *,
+        model: Optional[MachineModel] = None,
+        trace: bool = False,
+        timeout: Optional[float] = None,
+    ) -> BackendRunResult:
+        if model is None:
+            raise ConfigurationError(
+                "the sim backend needs a MachineModel (pass model=...)"
+            )
+        simulator = Simulator(num_ranks, model, trace=trace)
+        result = simulator.run(lambda ctx: program(ctx, *args))
+        return BackendRunResult(
+            backend=self.name,
+            clock=self.clock,
+            num_ranks=num_ranks,
+            returns=result.returns,
+            rank_stats=result.rank_stats,
+            makespan=result.makespan,
+            trace_events=list(simulator.trace_events),
+            wall_times=[0.0] * num_ranks,
+            rank_perf=[{} for _ in range(num_ranks)],
+        )
+
+
+class MPBackend(Backend):
+    """Real OS processes over multiprocessing queues (wall clock)."""
+
+    name = "mp"
+    clock = "wall"
+
+    def run(
+        self,
+        num_ranks: int,
+        program,
+        args: Sequence[Any] = (),
+        *,
+        model: Optional[MachineModel] = None,
+        trace: bool = False,
+        timeout: Optional[float] = None,
+    ) -> BackendRunResult:
+        from .mp_backend import DEFAULT_TIMEOUT, run_rank_programs_mp
+
+        result = run_rank_programs_mp(
+            num_ranks,
+            program,
+            args,
+            timeout=DEFAULT_TIMEOUT if timeout is None else timeout,
+        )
+        return BackendRunResult(
+            backend=self.name,
+            clock=self.clock,
+            num_ranks=num_ranks,
+            returns=result.returns,
+            rank_stats=result.rank_stats,
+            makespan=max(result.wall_times, default=0.0),
+            wall_times=result.wall_times,
+            rank_perf=result.perf_reports,
+        )
+
+
+class MPIBackend(Backend):
+    """Real MPI via mpi4py.  SPMD: every process of an ``mpiexec`` job
+    calls :meth:`run`; results are allgathered so each process returns
+    the same uniform :class:`BackendRunResult` (``local_rank`` tells a
+    process which rank it ran as)."""
+
+    name = "mpi"
+    clock = "wall"
+
+    def run(
+        self,
+        num_ranks: int,
+        program,
+        args: Sequence[Any] = (),
+        *,
+        model: Optional[MachineModel] = None,
+        trace: bool = False,
+        timeout: Optional[float] = None,
+    ) -> BackendRunResult:
+        from .. import perf
+        from .mpi_backend import MPIRankContext, require_mpi
+        from .protocol import drive
+
+        require_mpi()
+        ctx = MPIRankContext()
+        if ctx.size != num_ranks:
+            raise ConfigurationError(
+                f"MPI job has {ctx.size} ranks but the run asked for {num_ranks}; "
+                "launch with mpiexec -n matching num_ranks"
+            )
+        perf.reset()
+        start = time.perf_counter()
+        with perf.timer("backend.mpi.rank_program"):
+            value = drive(program(ctx, *args))
+        wall = time.perf_counter() - start
+        gathered = ctx.comm.allgather((value, ctx.stats, wall, perf.report()))
+        return BackendRunResult(
+            backend=self.name,
+            clock=self.clock,
+            num_ranks=num_ranks,
+            returns=[g[0] for g in gathered],
+            rank_stats=[g[1] for g in gathered],
+            makespan=max((g[2] for g in gathered), default=0.0),
+            wall_times=[g[2] for g in gathered],
+            rank_perf=[g[3] for g in gathered],
+            local_rank=ctx.rank,
+        )
+
+
+#: Registry of backend short names to classes.
+BACKENDS: dict[str, type[Backend]] = {
+    SimBackend.name: SimBackend,
+    MPBackend.name: MPBackend,
+    MPIBackend.name: MPIBackend,
+}
+
+
+def make_backend(name: str) -> Backend:
+    """Instantiate a backend by short name ("sim", "mp", "mpi")."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    return cls()

@@ -1,11 +1,12 @@
-"""Per-rank communication/computation API handed to rank programs.
+"""Simulator implementation of the rank-context protocol.
 
-A rank program is an ``async def`` function taking a :class:`RankContext`.
-The context exposes MPI-flavoured verbs (``send``/``recv``/``sendrecv``/
-``barrier``) plus :meth:`compute` for charging modelled computation time,
-and convenience charging helpers (:meth:`charge_over`, :meth:`charge_encode`,
-...) that translate *operation counts* into seconds via the machine model
-so algorithm code never hard-codes cost constants.
+A rank program is an ``async def`` function taking a
+:class:`~repro.cluster.protocol.BaseRankContext`.  This module provides
+the discrete-event-simulator implementation: every verb awaits a
+:mod:`repro.cluster.events` op that the
+:class:`~repro.cluster.simulator.Simulator` prices in virtual time via
+the machine model, and the charging helpers translate *operation
+counts* into seconds so algorithm code never hard-codes cost constants.
 
 Example
 -------
@@ -18,7 +19,6 @@ Example
 
 from __future__ import annotations
 
-import pickle
 from typing import Any, Optional
 
 from ..errors import ConfigurationError
@@ -34,35 +34,16 @@ from .events import (
     WaitOp,
 )
 from .model import MachineModel
+from .protocol import BaseRankContext, payload_nbytes
 from .stats import RankStats
 
 __all__ = ["RankContext", "payload_nbytes"]
 
 
-def payload_nbytes(payload: Any) -> int:
-    """Best-effort wire size of a payload.
-
-    ``bytes``/``bytearray``/``memoryview`` and numpy arrays report their
-    true buffer size; ``None`` is a zero-byte control message.  Any other
-    object is priced at its pickled size, like mpi4py's lowercase verbs.
-    """
-    if payload is None:
-        return 0
-    if isinstance(payload, (bytes, bytearray, memoryview)):
-        return len(payload)
-    nbytes = getattr(payload, "nbytes", None)
-    if isinstance(nbytes, int):
-        return nbytes
-    try:
-        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception as exc:  # unpicklable: caller must size it
-        raise ConfigurationError(
-            f"cannot infer wire size of {type(payload).__name__}; pass nbytes= explicitly"
-        ) from exc
-
-
-class RankContext:
+class RankContext(BaseRankContext):
     """The view a single simulated rank has of the machine."""
+
+    backend_name = "simulator"
 
     def __init__(self, simulator, proc):
         self._simulator = simulator
@@ -99,31 +80,16 @@ class RankContext:
         """Advance this rank's clock by ``seconds`` of local computation."""
         await ComputeOp(seconds, kind=kind, count=count)
 
-    async def charge_over(self, npixels: int) -> None:
-        """Charge ``npixels`` over-operator composites (model ``To``)."""
-        await ComputeOp(self.model.over_time(npixels), kind="over", count=npixels)
-
-    async def charge_encode(self, npixels: int) -> None:
-        """Charge an RLE scan of ``npixels`` pixels (model ``Tencode``)."""
-        await ComputeOp(self.model.encode_time(npixels), kind="encode", count=npixels)
-
-    async def charge_bound(self, npixels: int) -> None:
-        """Charge a bounding-rect scan of ``npixels`` pixels (model ``Tbound``)."""
-        await ComputeOp(self.model.bound_time(npixels), kind="bound", count=npixels)
-
-    async def charge_pack(self, nbytes: int) -> None:
-        """Charge packing ``nbytes`` into a message buffer (model ``tpack``)."""
-        await ComputeOp(self.model.pack_time(nbytes), kind="pack", count=nbytes)
-
-    def note(self, kind: str, count: int = 1) -> None:
-        """Record a zero-cost named counter in the current stage bucket.
-
-        Used by compositing methods to expose observed sparsity
-        quantities (``a_rec``, ``a_opaque``, ``r_code``, ``a_send``,
-        empty-rectangle events) for analytic-model cross-checks without
-        affecting timing.
-        """
-        self._proc.bucket().add_counter(kind, count)
+    def _op_seconds(self, kind: str, count: int) -> float:
+        """Machine-model pricing of ``count`` operations of ``kind``."""
+        model = self.model
+        pricer = {
+            "over": model.over_time,
+            "encode": model.encode_time,
+            "bound": model.bound_time,
+            "pack": model.pack_time,
+        }[kind]
+        return pricer(count)
 
     # ---- point to point --------------------------------------------------------
     async def send(self, dst: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0):
@@ -184,13 +150,6 @@ class RankContext:
     async def barrier(self) -> None:
         """Block until every rank reaches the barrier."""
         await BarrierOp()
-
-    # ---- misc --------------------------------------------------------------------
-    def _check_peer(self, rank: int) -> None:
-        if not (0 <= rank < self.size):
-            raise ConfigurationError(
-                f"peer rank {rank} out of range for a {self.size}-rank machine"
-            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RankContext(rank={self.rank}, size={self.size}, model={self.model.name})"

@@ -1,43 +1,80 @@
-"""Real-transport backend: the compositors on OS processes and queues.
+"""Real-transport backend: the rank programs on OS processes and queues.
 
 The simulator gives deterministic *timing*; this backend gives a second,
 *real* execution substrate for correctness: every rank is an actual
 ``multiprocessing`` process and every message crosses a real IPC queue.
-The same compositor coroutines run unchanged — :class:`MPRankContext`
-implements the rank API with synchronous transport calls inside ``async``
-methods that never yield, so each rank drives its coroutine to completion
-locally (no event loop needed).
+The same rank-program coroutines run unchanged — :class:`MPRankContext`
+implements the full :class:`~repro.cluster.protocol.BaseRankContext`
+surface (including ``isend``/``irecv``/``wait``) with synchronous
+transport calls inside ``async`` methods that never yield, so each rank
+drives its coroutine to completion locally (no event loop needed).
 
-This is how the library would be ported to real MPI: implement the
-RankContext verbs over ``mpi4py`` the same way.  Timing is *not* modelled
-here (``charge_*`` are no-ops; wall clock on a single-core host means
-nothing), so use :func:`run_compositing_mp` for cross-validating results,
-not for the paper's tables.
+Accounting is the same per-stage :class:`~repro.cluster.stats.RankStats`
+schema the simulator fills, with two differences dictated by physics:
+
+* times are **wall-clock** seconds (blocked receive time lands in
+  ``comm_time``; skew cannot be split out on a real transport), and
+* ``charge_*`` record operation *counts* only — modelled seconds make no
+  sense off the simulator.
+
+Byte counters use the exact sizing the simulator prices
+(:func:`~repro.cluster.protocol.encode_payload`), so per-stage
+``bytes_sent``/``bytes_recv`` match the simulated run bit for bit.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from dataclasses import dataclass
-from typing import Any, Sequence
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
 
-import numpy as np
-
+from .. import perf
 from ..errors import ConfigurationError, SimulationError
+from .events import ANY_TAG
+from .protocol import BaseRankContext, decode_payload, drive, encode_payload
+from .stats import RankStats, merge_counters
 
-__all__ = ["MPRankContext", "run_rank_programs_mp", "DEFAULT_TIMEOUT"]
+__all__ = ["MPRankContext", "MPRequest", "run_rank_programs_mp", "DEFAULT_TIMEOUT"]
 
 #: Per-receive timeout (seconds) after which a rank assumes deadlock.
 DEFAULT_TIMEOUT = 60.0
 
 
-class MPRankContext:
+class MPRequest:
+    """Handle for a nonblocking operation on the multiprocessing backend.
+
+    Queues are buffered, so ``isend`` completes eagerly at post time;
+    ``irecv`` defers the blocking queue read to :meth:`MPRankContext.wait`,
+    with per-``(src, tag)`` FIFO delivery matching the simulator's
+    post-order pairing even when waits complete out of order.
+    """
+
+    __slots__ = ("kind", "peer", "tag", "payload", "nbytes", "done")
+
+    def __init__(self, kind: str, peer: int, tag: int):
+        self.kind = kind  # "isend" | "irecv"
+        self.peer = peer
+        self.tag = tag
+        self.payload: Any = None
+        self.nbytes = 0
+        self.done = kind == "isend"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "pending"
+        return f"MPRequest({self.kind}, peer={self.peer}, tag={self.tag}, {state})"
+
+
+class MPRankContext(BaseRankContext):
     """Rank API over multiprocessing queues (one queue per directed pair).
 
-    Implements the same surface as
-    :class:`~repro.cluster.context.RankContext`; the ``async`` methods
-    complete synchronously, so awaiting them never suspends.
+    Implements the full :class:`~repro.cluster.protocol.BaseRankContext`
+    surface; the ``async`` methods complete synchronously, so awaiting
+    them never suspends.
     """
+
+    backend_name = "multiprocessing"
 
     def __init__(self, rank: int, size: int, queues, barrier, timeout: float):
         self._rank = rank
@@ -45,7 +82,10 @@ class MPRankContext:
         self._queues = queues  # queues[src][dst]
         self._barrier = barrier
         self._timeout = timeout
-        self.counters: dict[str, int] = {}
+        self._stats = RankStats(rank=rank)
+        self._current_stage = -1
+        # Unwaited irecv requests, FIFO per (src, tag).
+        self._pending_irecvs: dict[tuple[int, int], deque] = {}
 
     # ---- identity --------------------------------------------------------
     @property
@@ -57,88 +97,126 @@ class MPRankContext:
         return self._size
 
     @property
-    def model(self):  # pragma: no cover - never priced on this backend
-        raise ConfigurationError("the multiprocessing backend has no machine model")
+    def stats(self) -> RankStats:
+        return self._stats
 
-    # ---- staging / accounting (no-ops on the real backend) ----------------
+    # ---- staging ----------------------------------------------------------
     def begin_stage(self, stage: int) -> None:
-        pass
+        self._current_stage = int(stage)
 
-    def note(self, kind: str, count: int = 1) -> None:
-        if count:
-            self.counters[kind] = self.counters.get(kind, 0) + int(count)
+    @property
+    def current_stage(self) -> int:
+        return self._current_stage
 
+    @property
+    def counters(self) -> dict[str, int]:
+        """All named counters merged across stages (back-compat view)."""
+        return merge_counters(self._stats.stages.values())
+
+    def _bucket(self):
+        return self._stats.stage(self._current_stage)
+
+    # ---- computation (counts only; wall time measures itself) --------------
     async def compute(self, seconds: float, *, kind: str = "compute", count: int = 0) -> None:
-        pass
-
-    async def charge_over(self, npixels: int) -> None:
-        self.note("over", npixels)
-
-    async def charge_encode(self, npixels: int) -> None:
-        self.note("encode", npixels)
-
-    async def charge_bound(self, npixels: int) -> None:
-        self.note("bound", npixels)
-
-    async def charge_pack(self, nbytes: int) -> None:
-        self.note("pack", nbytes)
+        self._bucket().add_counter(kind, count)
 
     # ---- transport ---------------------------------------------------------
-    def _check_peer(self, peer: int) -> None:
-        if not (0 <= peer < self._size):
-            raise ConfigurationError(f"peer {peer} out of range (size {self._size})")
+    def _put(self, dst: int, payload: Any, nbytes: Optional[int], tag: int) -> int:
+        """Frame, size, and enqueue one message; returns the priced size."""
+        wire, size, pickled = encode_payload(payload, nbytes)
+        self._queues[self._rank][dst].put((tag, wire, size, pickled))
+        bucket = self._bucket()
+        bucket.bytes_sent += size
+        bucket.msgs_sent += 1
+        return size
 
-    async def send(self, dst: int, payload: Any, *, nbytes=None, tag: int = 0):
-        self._check_peer(dst)
-        self._queues[self._rank][dst].put((tag, payload))
-
-    async def recv(self, src: int, *, tag: int = -1) -> Any:
-        self._check_peer(src)
+    def _get(self, src: int, tag: int) -> tuple[Any, int]:
+        """Blocking dequeue of one message from ``src``; returns
+        ``(payload, priced_size)`` and accounts bytes/time received."""
+        start = time.perf_counter()
         try:
-            got_tag, payload = self._queues[src][self._rank].get(timeout=self._timeout)
+            got_tag, wire, size, pickled = self._queues[src][self._rank].get(
+                timeout=self._timeout
+            )
         except Exception as exc:
             raise SimulationError(
                 f"rank {self._rank} timed out receiving from {src} (tag {tag})"
             ) from exc
-        if tag != -1 and got_tag != tag:
+        if tag != ANY_TAG and got_tag != tag:
             raise SimulationError(
                 f"rank {self._rank} expected tag {tag} from {src}, got {got_tag} "
                 "(out-of-order traffic is not supported on this backend)"
             )
+        bucket = self._bucket()
+        bucket.comm_time += time.perf_counter() - start
+        bucket.bytes_recv += size
+        bucket.msgs_recv += 1
+        return decode_payload(wire, pickled), size
+
+    async def send(self, dst: int, payload: Any, *, nbytes=None, tag: int = 0):
+        self._check_peer(dst)
+        self._put(dst, payload, nbytes, tag)
+
+    async def recv(self, src: int, *, tag: int = ANY_TAG) -> Any:
+        self._check_peer(src)
+        payload, _ = self._get(src, tag)
         return payload
 
     async def sendrecv(self, peer: int, payload: Any, *, nbytes=None, tag: int = 0) -> Any:
         if peer == self._rank:
             raise ConfigurationError("cannot sendrecv with self")
+        self._check_peer(peer)
         # Queues are buffered, so send-then-receive cannot deadlock.
-        await self.send(peer, payload, tag=tag)
-        return await self.recv(peer, tag=tag)
+        self._put(peer, payload, nbytes, tag)
+        received, _ = self._get(peer, tag)
+        return received
 
+    # ---- nonblocking -------------------------------------------------------
+    async def isend(self, dst: int, payload: Any, *, nbytes=None, tag: int = 0):
+        self._check_peer(dst)
+        request = MPRequest("isend", dst, tag)
+        request.nbytes = self._put(dst, payload, nbytes, tag)
+        return request
+
+    async def irecv(self, src: int, *, tag: int = 0):
+        self._check_peer(src)
+        request = MPRequest("irecv", src, tag)
+        self._pending_irecvs.setdefault((src, tag), deque()).append(request)
+        return request
+
+    async def wait(self, request) -> Any:
+        if not isinstance(request, MPRequest):
+            raise ConfigurationError(
+                f"wait takes an MPRequest on this backend, got {type(request).__name__}"
+            )
+        # Drain the (src, tag) channel head-first so payloads pair with
+        # requests in post order regardless of the order waits are issued.
+        while not request.done:
+            pending = self._pending_irecvs[(request.peer, request.tag)]
+            head = pending.popleft()
+            head.payload, head.nbytes = self._get(head.peer, head.tag)
+            head.done = True
+        return request.payload if request.kind == "irecv" else None
+
+    # ---- collective --------------------------------------------------------
     async def barrier(self) -> None:
+        start = time.perf_counter()
         self._barrier.wait(timeout=self._timeout)
-
-    # Nonblocking verbs are not offered on this backend (queues are
-    # already buffered); compositors that need them target the simulator.
+        self._bucket().comm_time += time.perf_counter() - start
 
 
 def _worker(rank, size, program, args, queues, barrier, timeout, result_queue):
     """Subprocess entry: drive the rank coroutine to completion."""
     try:
+        perf.reset()  # the fork inherits the parent's counters; start clean
         ctx = MPRankContext(rank, size, queues, barrier, timeout)
-        coro = program(ctx, *args)
-        try:
-            while True:
-                yielded = coro.send(None)
-                # All MPRankContext verbs complete synchronously; a yield
-                # means the program awaited a simulator-only op.
-                raise SimulationError(
-                    f"operation {yielded!r} is not supported on the "
-                    "multiprocessing backend (simulator-only primitive)"
-                )
-        except StopIteration as stop:
-            result_queue.put((rank, "ok", stop.value, ctx.counters))
+        start = time.perf_counter()
+        with perf.timer("backend.mp.rank_program"):
+            value = drive(program(ctx, *args))
+        wall = time.perf_counter() - start
+        result_queue.put((rank, "ok", value, ctx.stats, wall, perf.report()))
     except BaseException as exc:  # report, don't hang the parent
-        result_queue.put((rank, "error", repr(exc), {}))
+        result_queue.put((rank, "error", repr(exc), None, 0.0, {}))
 
 
 @dataclass
@@ -146,7 +224,14 @@ class MPRunResult:
     """Results of one multiprocessing run."""
 
     returns: list[Any]
-    counters: list[dict[str, int]]
+    rank_stats: list[RankStats]
+    wall_times: list[float] = field(default_factory=list)
+    perf_reports: list[dict] = field(default_factory=list)
+
+    @property
+    def counters(self) -> list[dict[str, int]]:
+        """Per-rank named counters merged across stages (back-compat)."""
+        return [merge_counters(rs.stages.values()) for rs in self.rank_stats]
 
 
 def run_rank_programs_mp(
@@ -184,14 +269,18 @@ def run_rank_programs_mp(
         worker.start()
 
     returns: list[Any] = [None] * num_ranks
-    counters: list[dict[str, int]] = [{} for _ in range(num_ranks)]
+    rank_stats = [RankStats(rank=r) for r in range(num_ranks)]
+    wall_times = [0.0] * num_ranks
+    perf_reports: list[dict] = [{} for _ in range(num_ranks)]
     failures: list[str] = []
     try:
         for _ in range(num_ranks):
-            rank, status, value, rank_counters = result_queue.get(timeout=timeout)
+            rank, status, value, stats, wall, report = result_queue.get(timeout=timeout)
             if status == "ok":
                 returns[rank] = value
-                counters[rank] = rank_counters
+                rank_stats[rank] = stats
+                wall_times[rank] = wall
+                perf_reports[rank] = report
             else:
                 failures.append(f"rank {rank}: {value}")
     except Exception as exc:
@@ -204,4 +293,9 @@ def run_rank_programs_mp(
                 worker.join()
     if failures:
         raise SimulationError("multiprocessing run failed: " + "; ".join(failures))
-    return MPRunResult(returns=returns, counters=counters)
+    return MPRunResult(
+        returns=returns,
+        rank_stats=rank_stats,
+        wall_times=wall_times,
+        perf_reports=perf_reports,
+    )

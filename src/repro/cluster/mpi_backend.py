@@ -1,12 +1,17 @@
-"""mpi4py backend: run the compositors on a real MPI cluster.
+"""mpi4py backend: run the rank programs on a real MPI cluster.
 
-The faithful deployment path: the same compositor coroutines that run on
-the simulator and the multiprocessing backend execute over real MPI.
+The faithful deployment path: the same rank-program coroutines that run
+on the simulator and the multiprocessing backend execute over real MPI.
 ``mpi4py`` is not installable in the offline development environment, so
 this backend is exercised indirectly — it is a line-for-line mirror of
 :mod:`repro.cluster.mp_backend` (which *is* tested end to end) with the
 queue verbs swapped for ``mpi4py`` calls.  Import is lazy and guarded;
 everything else in the library works without MPI.
+
+Messages use the same ``(tag, wire, nbytes, pickled)`` framing as the
+multiprocessing backend so per-stage byte counters agree with the
+simulator's pricing, and accounting fills the same per-stage
+:class:`~repro.cluster.stats.RankStats` (wall-clock ``comm_time``).
 
 Usage on a cluster::
 
@@ -16,11 +21,15 @@ Usage on a cluster::
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from typing import Any, Optional
 
 from ..errors import ConfigurationError
+from .events import ANY_TAG
+from .protocol import BaseRankContext, decode_payload, encode_payload
+from .stats import RankStats, merge_counters
 
-__all__ = ["MPIRankContext", "require_mpi"]
+__all__ = ["MPIRankContext", "MPIRequest", "require_mpi"]
 
 
 def require_mpi():
@@ -36,20 +45,39 @@ def require_mpi():
     return MPI
 
 
-class MPIRankContext:
+class MPIRequest:
+    """Handle for a nonblocking operation on the MPI backend."""
+
+    __slots__ = ("kind", "peer", "tag", "mpi_request", "nbytes")
+
+    def __init__(self, kind: str, peer: int, tag: int, mpi_request, nbytes: int = 0):
+        self.kind = kind  # "isend" | "irecv"
+        self.peer = peer
+        self.tag = tag
+        self.mpi_request = mpi_request
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MPIRequest({self.kind}, peer={self.peer}, tag={self.tag})"
+
+
+class MPIRankContext(BaseRankContext):
     """Rank API over an ``mpi4py`` communicator.
 
     Mirrors :class:`~repro.cluster.mp_backend.MPRankContext`: the
     ``async`` verbs complete synchronously via blocking MPI calls, so
-    compositor coroutines run to completion without an event loop
-    (drive them with ``coro.send(None)`` until ``StopIteration``).
+    rank-program coroutines run to completion without an event loop
+    (drive them with :func:`~repro.cluster.protocol.drive`).
     """
+
+    backend_name = "mpi"
 
     def __init__(self, comm=None):
         mpi = require_mpi()
         self._mpi = mpi
         self._comm = comm if comm is not None else mpi.COMM_WORLD
-        self.counters: dict[str, int] = {}
+        self._stats = RankStats(rank=self._comm.Get_rank())
+        self._current_stage = -1
 
     # ---- identity --------------------------------------------------------
     @property
@@ -61,54 +89,109 @@ class MPIRankContext:
         return self._comm.Get_size()
 
     @property
-    def model(self):  # pragma: no cover - never priced on this backend
-        raise ConfigurationError("the MPI backend has no machine model")
+    def comm(self):
+        """The underlying ``mpi4py`` communicator (for host-side collectives)."""
+        return self._comm
 
-    # ---- staging / accounting ----------------------------------------------
+    @property
+    def stats(self) -> RankStats:
+        return self._stats
+
+    # ---- staging ----------------------------------------------------------
     def begin_stage(self, stage: int) -> None:
-        pass
+        self._current_stage = int(stage)
 
-    def note(self, kind: str, count: int = 1) -> None:
-        if count:
-            self.counters[kind] = self.counters.get(kind, 0) + int(count)
+    @property
+    def current_stage(self) -> int:
+        return self._current_stage
 
-    async def compute(self, seconds: float, *, kind: str = "compute",
-                      count: int = 0) -> None:
-        pass
+    @property
+    def counters(self) -> dict[str, int]:
+        """All named counters merged across stages (back-compat view)."""
+        return merge_counters(self._stats.stages.values())
 
-    async def charge_over(self, npixels: int) -> None:
-        self.note("over", npixels)
+    def _bucket(self):
+        return self._stats.stage(self._current_stage)
 
-    async def charge_encode(self, npixels: int) -> None:
-        self.note("encode", npixels)
+    # ---- computation (counts only; wall time measures itself) --------------
+    async def compute(self, seconds: float, *, kind: str = "compute", count: int = 0) -> None:
+        self._bucket().add_counter(kind, count)
 
-    async def charge_bound(self, npixels: int) -> None:
-        self.note("bound", npixels)
+    # ---- transport ---------------------------------------------------------
+    def _account_sent(self, size: int) -> None:
+        bucket = self._bucket()
+        bucket.bytes_sent += size
+        bucket.msgs_sent += 1
 
-    async def charge_pack(self, nbytes: int) -> None:
-        self.note("pack", nbytes)
+    def _account_recv(self, size: int, seconds: float) -> None:
+        bucket = self._bucket()
+        bucket.comm_time += seconds
+        bucket.bytes_recv += size
+        bucket.msgs_recv += 1
 
-    # ---- transport -----------------------------------------------------------
-    def _check_peer(self, peer: int) -> None:
-        if not (0 <= peer < self.size):
-            raise ConfigurationError(f"peer {peer} out of range (size {self.size})")
-
-    async def send(self, dst: int, payload: Any, *, nbytes=None, tag: int = 0):
+    async def send(self, dst: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0):
         self._check_peer(dst)
-        self._comm.send(payload, dest=dst, tag=tag)
+        wire, size, pickled = encode_payload(payload, nbytes)
+        start = time.perf_counter()
+        self._comm.send((tag, wire, size, pickled), dest=dst, tag=tag)
+        self._bucket().comm_time += time.perf_counter() - start
+        self._account_sent(size)
 
-    async def recv(self, src: int, *, tag: int = -1) -> Any:
+    async def recv(self, src: int, *, tag: int = ANY_TAG) -> Any:
         self._check_peer(src)
-        mpi_tag = self._mpi.ANY_TAG if tag == -1 else tag
-        return self._comm.recv(source=src, tag=mpi_tag)
+        mpi_tag = self._mpi.ANY_TAG if tag == ANY_TAG else tag
+        start = time.perf_counter()
+        _, wire, size, pickled = self._comm.recv(source=src, tag=mpi_tag)
+        self._account_recv(size, time.perf_counter() - start)
+        return decode_payload(wire, pickled)
 
-    async def sendrecv(self, peer: int, payload: Any, *, nbytes=None,
-                       tag: int = 0) -> Any:
+    async def sendrecv(
+        self, peer: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0
+    ) -> Any:
         if peer == self.rank:
             raise ConfigurationError("cannot sendrecv with self")
-        return self._comm.sendrecv(
-            payload, dest=peer, sendtag=tag, source=peer, recvtag=tag
+        self._check_peer(peer)
+        wire, size, pickled = encode_payload(payload, nbytes)
+        start = time.perf_counter()
+        _, got_wire, got_size, got_pickled = self._comm.sendrecv(
+            (tag, wire, size, pickled), dest=peer, sendtag=tag, source=peer, recvtag=tag
         )
+        elapsed = time.perf_counter() - start
+        self._account_sent(size)
+        self._account_recv(got_size, elapsed)
+        return decode_payload(got_wire, got_pickled)
 
+    # ---- nonblocking -------------------------------------------------------
+    async def isend(self, dst: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0):
+        self._check_peer(dst)
+        wire, size, pickled = encode_payload(payload, nbytes)
+        mpi_request = self._comm.isend((tag, wire, size, pickled), dest=dst, tag=tag)
+        self._account_sent(size)
+        return MPIRequest("isend", dst, tag, mpi_request, size)
+
+    async def irecv(self, src: int, *, tag: int = 0):
+        self._check_peer(src)
+        mpi_request = self._comm.irecv(source=src, tag=tag)
+        return MPIRequest("irecv", src, tag, mpi_request)
+
+    async def wait(self, request) -> Any:
+        if not isinstance(request, MPIRequest):
+            raise ConfigurationError(
+                f"wait takes an MPIRequest on this backend, got {type(request).__name__}"
+            )
+        start = time.perf_counter()
+        frame = request.mpi_request.wait()
+        elapsed = time.perf_counter() - start
+        if request.kind == "isend":
+            self._bucket().comm_time += elapsed
+            return None
+        _, wire, size, pickled = frame
+        request.nbytes = size
+        self._account_recv(size, elapsed)
+        return decode_payload(wire, pickled)
+
+    # ---- collective --------------------------------------------------------
     async def barrier(self) -> None:
+        start = time.perf_counter()
         self._comm.Barrier()
+        self._bucket().comm_time += time.perf_counter() - start

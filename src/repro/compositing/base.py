@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..cluster.context import RankContext
+from ..cluster.protocol import BaseRankContext
 from ..errors import CompositingError
 from ..render.image import SubImage
 from ..types import Rect
@@ -84,7 +84,7 @@ class Compositor(abc.ABC):
     @abc.abstractmethod
     async def run(
         self,
-        ctx: RankContext,
+        ctx: BaseRankContext,
         image: SubImage,
         plan: PartitionPlan,
         view_dir: np.ndarray,
@@ -98,7 +98,7 @@ class Compositor(abc.ABC):
 
     # ---- shared helpers ----------------------------------------------------
     @staticmethod
-    def check_plan(ctx: RankContext, plan: PartitionPlan) -> int:
+    def check_plan(ctx: BaseRankContext, plan: PartitionPlan) -> int:
         """Validate rank-count consistency; returns ``log2 P``."""
         if plan.num_ranks != ctx.size:
             raise CompositingError(

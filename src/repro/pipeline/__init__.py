@@ -1,6 +1,16 @@
 """End-to-end sort-last-sparse pipeline."""
 
+from .assemble import OwnedTile, assemble_tiles, tile_from_outcome
 from .config import RunConfig
+from .phases import (
+    GATHER_STAGE,
+    Scene,
+    build_scene,
+    composite_phase,
+    gather_phase,
+    pipeline_rank_program,
+    render_phase,
+)
 from .system import (
     CompositingRun,
     SortLastSystem,
@@ -12,10 +22,20 @@ from .system import (
 
 __all__ = [
     "CompositingRun",
+    "GATHER_STAGE",
+    "OwnedTile",
     "RunConfig",
+    "Scene",
     "SortLastSystem",
     "SystemResult",
     "assemble_final",
+    "assemble_tiles",
+    "build_scene",
+    "composite_phase",
+    "gather_phase",
+    "pipeline_rank_program",
+    "render_phase",
     "run_compositing",
+    "tile_from_outcome",
     "validate_ownership",
 ]

@@ -42,6 +42,10 @@ class RunConfig:
     method_options:
         Extra keyword options for the compositor factory (e.g.
         ``{"section": 64}`` for BSLC ablations).
+    backend:
+        Execution substrate for :class:`~repro.pipeline.system.SortLastSystem`:
+        ``"sim"`` (discrete-event simulator, modelled time), ``"mp"``
+        (real OS processes, wall clock) or ``"mpi"`` (real MPI job).
     """
 
     dataset: str = "engine_low"
@@ -61,6 +65,8 @@ class RunConfig:
     #: (Westover splatting, the paper's future-work renderer).
     renderer: str = "raycast"
     method_options: dict[str, Any] = field(default_factory=dict)
+    #: Execution backend: "sim" | "mp" | "mpi" (see repro.cluster.backend).
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
@@ -93,6 +99,12 @@ class RunConfig:
         if self.renderer not in ("raycast", "splat"):
             raise ConfigurationError(
                 f"renderer must be 'raycast' or 'splat', got {self.renderer!r}"
+            )
+        from ..cluster.backend import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; available: {sorted(BACKENDS)}"
             )
 
     @property

@@ -1,9 +1,12 @@
 """Compositing-phase cross-validation on the multiprocessing backend.
 
-Runs the same compositor coroutine on real OS processes with real IPC
-queues (see :mod:`repro.cluster.mp_backend`) and assembles the final
-image — a second, transport-level check that the simulator's results
-are genuine algorithm output, not an artifact of the simulation.
+Thin entry point: runs the same compositor coroutine on real OS
+processes (see :mod:`repro.cluster.mp_backend`) and assembles the final
+image through the shared :mod:`~repro.pipeline.assemble` routine — a
+second, transport-level check that the simulator's results are genuine
+algorithm output, not an artifact of the simulation.  The full
+partition→render→composite→gather pipeline on this backend is
+``SortLastSystem(config).run(backend="mp")``.
 """
 
 from __future__ import annotations
@@ -12,12 +15,13 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from ..cluster.mp_backend import run_rank_programs_mp
+from ..cluster.backend import MPBackend
 from ..compositing.registry import make_compositor
 from ..errors import CompositingError
 from ..render.image import SubImage
 from ..volume.folded import FoldedPartition
 from ..volume.partition import PartitionPlan
+from .assemble import assemble_tiles, tile_from_outcome
 
 __all__ = ["run_compositing_mp"]
 
@@ -31,8 +35,7 @@ async def _rank_program(ctx, images, method_name, method_options, plan, view_dir
         compositor = FoldedCompositor(compositor)
     image = images[ctx.rank].copy()
     outcome = await compositor.run(ctx, image, plan, view_dir)
-    values_i, values_a = outcome.owned_values()
-    return (outcome.owned_rect, outcome.owned_indices, values_i, values_a)
+    return tile_from_outcome(outcome)
 
 
 def run_compositing_mp(
@@ -55,29 +58,11 @@ def run_compositing_mp(
             f"{num_ranks} images supplied for a {plan.num_ranks}-rank plan"
         )
     view_dir = np.asarray(view_dir, dtype=np.float64)
-    result = run_rank_programs_mp(
+    result = MPBackend().run(
         num_ranks,
         _rank_program,
-        args=(list(images), method, dict(method_options), plan, view_dir),
+        (list(images), method, dict(method_options), plan, view_dir),
         timeout=timeout,
     )
-
     height, width = images[0].shape
-    final = SubImage.blank(height, width)
-    flat_i = final.intensity.ravel()
-    flat_a = final.opacity.ravel()
-    for owned_rect, owned_indices, values_i, values_a in result.returns:
-        if owned_rect is not None:
-            if owned_rect.is_empty:
-                continue
-            rows, cols = owned_rect.slices()
-            final.intensity[rows, cols] = values_i.reshape(
-                owned_rect.height, owned_rect.width
-            )
-            final.opacity[rows, cols] = values_a.reshape(
-                owned_rect.height, owned_rect.width
-            )
-        else:
-            flat_i[owned_indices] = values_i
-            flat_a[owned_indices] = values_a
-    return final
+    return assemble_tiles(result.returns, height, width)

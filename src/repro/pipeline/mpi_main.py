@@ -1,14 +1,17 @@
 """``mpiexec``-able entry point for the real-MPI deployment.
 
-Runs the full sort-last-sparse pipeline on an actual MPI job: every rank
-renders its subvolume locally and the chosen compositing method runs
-over real MPI messages; rank 0 assembles and writes the final image.
+Thin wrapper: builds a :class:`~repro.pipeline.config.RunConfig` from
+the command line and runs the *same*
+:func:`~repro.pipeline.phases.pipeline_rank_program` every other backend
+executes, via :class:`~repro.cluster.backend.MPIBackend` (SPMD — every
+rank of the job calls it).  Rank 0 writes the final image and,
+optionally, the unified run-timeline JSON.
 
     mpiexec -n 8 python -m repro.pipeline.mpi_main \
         --dataset engine_low --method bsbrc --image-size 384 --out out.pgm
 
 Requires mpi4py (see :mod:`repro.cluster.mpi_backend`); the offline test
-suite covers the identical logic through the multiprocessing backend.
+suite covers the identical pipeline through the multiprocessing backend.
 """
 
 from __future__ import annotations
@@ -16,34 +19,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
-from ..cluster.mpi_backend import MPIRankContext, require_mpi
-from ..compositing.folding import FoldedCompositor
-from ..compositing.registry import available_methods, make_compositor
-from ..errors import ConfigurationError
-from ..render.camera import Camera
-from ..render.raycast import render_subvolume
+from ..cluster.backend import MPIBackend
+from ..cluster.mpi_backend import require_mpi
+from ..compositing.registry import available_methods
 from ..render.reference import luminance
-from ..volume.datasets import DATASETS, make_dataset
-from ..volume.folded import FoldedPartition, partition_folded
+from ..volume.datasets import DATASETS
 from ..volume.io import to_gray8, write_pgm
-from ..volume.partition import recursive_bisect
+from .config import RunConfig
+from .phases import pipeline_rank_program
 
 __all__ = ["main"]
-
-
-def _drive(coro):
-    """Run a compositor coroutine to completion (no event loop needed —
-    MPI verbs complete synchronously)."""
-    try:
-        while True:
-            yielded = coro.send(None)
-            raise ConfigurationError(
-                f"operation {yielded!r} is not supported on the MPI backend"
-            )
-    except StopIteration as stop:
-        return stop.value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,58 +39,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rot-x", type=float, default=20.0)
     parser.add_argument("--rot-y", type=float, default=30.0)
     parser.add_argument("--out", default="mpi_composite.pgm")
+    parser.add_argument("--trace-out", default=None,
+                        help="write the unified run-timeline JSON here (rank 0)")
     args = parser.parse_args(argv)
 
-    require_mpi()
-    ctx = MPIRankContext()
-    rank, size = ctx.rank, ctx.size
+    mpi = require_mpi()
+    size = mpi.COMM_WORLD.Get_size()
 
-    volume, transfer = make_dataset(args.dataset)
-    camera = Camera(
-        width=args.image_size,
-        height=args.image_size,
-        volume_shape=volume.shape,
+    cfg = RunConfig(
+        dataset=args.dataset,
+        method=args.method,
+        image_size=args.image_size,
+        num_ranks=size,
         rot_x=args.rot_x,
         rot_y=args.rot_y,
+        backend="mpi",
     )
-    if size & (size - 1) == 0:
-        plan = recursive_bisect(volume.shape, size)
-    else:
-        plan = partition_folded(volume.shape, size)
+    result = MPIBackend().run(size, pipeline_rank_program, (cfg, True))
 
-    image = render_subvolume(volume, transfer, camera, plan.extent(rank))
-
-    compositor = make_compositor(args.method)
-    if isinstance(plan, FoldedPartition):
-        compositor = FoldedCompositor(compositor)
-    outcome = _drive(compositor.run(ctx, image, plan, camera.view_dir))
-
-    # Gather owned tiles to rank 0 through MPI itself.
-    values_i, values_a = outcome.owned_values()
-    payload = (outcome.owned_rect, outcome.owned_indices, values_i, values_a)
-    gathered = ctx._comm.gather(payload, root=0)
-
-    if rank == 0:
-        from ..render.image import SubImage
-
-        final = SubImage.blank(camera.height, camera.width)
-        flat_i = final.intensity.ravel()
-        flat_a = final.opacity.ravel()
-        for owned_rect, owned_indices, tile_i, tile_a in gathered:
-            if owned_rect is not None:
-                if owned_rect.is_empty:
-                    continue
-                rows, cols = owned_rect.slices()
-                final.intensity[rows, cols] = tile_i.reshape(
-                    owned_rect.height, owned_rect.width
-                )
-                final.opacity[rows, cols] = tile_a.reshape(
-                    owned_rect.height, owned_rect.width
-                )
-            else:
-                flat_i[owned_indices] = tile_i
-                flat_a[owned_indices] = tile_a
+    if result.local_rank == 0:
+        final = result.returns[0][2]
         write_pgm(args.out, to_gray8(luminance(final), gain=2.0))
+        if args.trace_out:
+            result.timeline(
+                meta={"dataset": cfg.dataset, "method": cfg.method,
+                      "num_ranks": size, "image_size": cfg.image_size}
+            ).save(args.trace_out)
         print(f"[rank 0] {args.method} on {size} MPI ranks -> {args.out}")
     return 0
 

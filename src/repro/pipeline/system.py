@@ -7,39 +7,37 @@ Two entry points:
   simulated cluster and return per-rank outcomes plus the timing stats
   that populate Tables 1-2.
 * :class:`SortLastSystem` — the full pipeline driven by a
-  :class:`~repro.pipeline.config.RunConfig`; renders per-rank subvolumes,
-  composites, gathers tiles to the display rank and assembles (and
-  optionally verifies) the final image.
+  :class:`~repro.pipeline.config.RunConfig`, executed end to end on a
+  pluggable :class:`~repro.cluster.backend.Backend`: every rank renders
+  its subvolume *inside* its rank program, composites, and the owned
+  tiles are gathered to rank 0 over the same substrate.  The simulator
+  and the multiprocessing backend produce bit-identical final images
+  (tested); the result carries a unified
+  :class:`~repro.cluster.run_timeline.RunTimeline` either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from ..cluster.collectives import gather
+from ..cluster.backend import Backend, BackendRunResult, SimBackend, make_backend
 from ..cluster.model import MachineModel
-from ..cluster.simulator import Simulator
-from ..cluster.stats import RunResult
+from ..cluster.run_timeline import RunTimeline
+from ..cluster.stats import RankStats, RunResult
 from ..compositing.base import CompositeOutcome, Compositor
 from ..compositing.registry import make_compositor
 from ..errors import CompositingError
 from ..render.camera import Camera
 from ..render.image import SubImage
-from ..render.raycast import render_subvolume
-from ..render.splat import splat_subvolume
 from ..render.reference import composite_sequential
-from ..volume.datasets import make_dataset
-from ..volume.folded import FoldedPartition, folded_depth_order, partition_folded
-from ..volume.partition import (
-    PartitionPlan,
-    depth_order,
-    recursive_bisect,
-    render_load_weights,
-)
+from ..volume.folded import FoldedPartition, folded_depth_order
+from ..volume.partition import PartitionPlan, depth_order
+from .assemble import assemble_outcomes
 from .config import RunConfig
+from .phases import GATHER_STAGE, build_scene, pipeline_rank_program
 
 __all__ = [
     "CompositingRun",
@@ -48,16 +46,13 @@ __all__ = [
     "run_compositing",
     "assemble_final",
     "validate_ownership",
+    "GATHER_STAGE",
 ]
-
-#: Stage bucket used for the final image gather (outside the paper's
-#: measured compositing stages, which are ``PRE_STAGE`` and ``0..log2P-1``).
-GATHER_STAGE = 1_000_000
 
 
 @dataclass
 class CompositingRun:
-    """Outcome of one simulated compositing phase."""
+    """Outcome of one compositing phase."""
 
     compositor: Compositor
     outcomes: list[CompositeOutcome]
@@ -106,12 +101,12 @@ def run_compositing(
         local = images[ctx.rank].copy()
         outcomes[ctx.rank] = await compositor.run(ctx, local, plan, view_dir)
 
-    stats = Simulator(num_ranks, model).run(program)
+    result = SimBackend().run(num_ranks, program, model=model)
     assert all(o is not None for o in outcomes)
     return CompositingRun(
         compositor=compositor,
         outcomes=outcomes,  # type: ignore[arg-type]
-        stats=stats,
+        stats=result.to_run_result(),
     )
 
 
@@ -149,23 +144,41 @@ def validate_ownership(
 def assemble_final(
     outcomes: Sequence[CompositeOutcome], height: int, width: int
 ) -> SubImage:
-    """Merge every rank's owned pixels into the display image."""
-    final = SubImage.blank(height, width)
-    flat_i = final.intensity.ravel()
-    flat_a = final.opacity.ravel()
-    for outcome in outcomes:
-        if outcome.owned_rect is not None:
-            rect = outcome.owned_rect
-            if rect.is_empty:
-                continue
-            rows, cols = rect.slices()
-            final.intensity[rows, cols] = outcome.image.intensity[rows, cols]
-            final.opacity[rows, cols] = outcome.image.opacity[rows, cols]
-        else:
-            idx = outcome.owned_indices
-            flat_i[idx] = outcome.image.intensity.ravel()[idx]
-            flat_a[idx] = outcome.image.opacity.ravel()[idx]
-    return final
+    """Merge every rank's owned pixels into the display image (see
+    :func:`~repro.pipeline.assemble.assemble_tiles` for the one scatter
+    routine behind every backend path)."""
+    return assemble_outcomes(outcomes, height, width)
+
+
+def _strip_stage(rank_stats: Sequence[RankStats], stage: int) -> list[RankStats]:
+    """Per-rank stats with one stage bucket removed (shared buckets)."""
+    out: list[RankStats] = []
+    for rs in rank_stats:
+        copy = RankStats(rank=rs.rank)
+        for key, bucket in rs.stages.items():
+            if key != stage:
+                copy.stages[key] = bucket
+        out.append(copy)
+    return out
+
+
+def _compositing_stats(backend_result: BackendRunResult) -> RunResult:
+    """Compositing-phase view of a unified pipeline run.
+
+    Drops the :data:`GATHER_STAGE` bucket.  On the simulator the
+    filtered makespan is exact: rendering charges no virtual time, and a
+    rank's clock equals its accumulated ``comp + comm + wait``, so the
+    max filtered ``elapsed_time`` equals the makespan of a
+    compositing-only run.
+    """
+    stats = _strip_stage(backend_result.rank_stats, GATHER_STAGE)
+    makespan = max((rs.elapsed_time for rs in stats), default=0.0)
+    return RunResult(
+        num_ranks=backend_result.num_ranks,
+        returns=[None] * backend_result.num_ranks,
+        rank_stats=stats,
+        makespan=makespan,
+    )
 
 
 @dataclass
@@ -178,6 +191,10 @@ class SystemResult:
     subimages: list[SubImage]
     compositing: CompositingRun
     final_image: SubImage
+    #: Short name of the backend that executed the run ("sim"/"mp"/"mpi").
+    backend_name: str = "sim"
+    #: Unified run timeline (all phases, including the gather stage).
+    timeline: Optional[RunTimeline] = field(default=None, repr=False)
 
     def reference_image(self) -> SubImage:
         """Sequential depth-order composite of the rendered subimages."""
@@ -189,111 +206,79 @@ class SystemResult:
 
 
 class SortLastSystem:
-    """Full three-phase sort-last-sparse pipeline on the simulated cluster."""
+    """Full sort-last-sparse pipeline on a pluggable execution backend."""
 
     def __init__(self, config: RunConfig):
         self.config = config
 
-    def run(self, *, gather_final: bool = True) -> SystemResult:
-        """Execute partition → render → composite (→ gather & assemble)."""
+    def run(
+        self,
+        *,
+        gather_final: bool = True,
+        backend: str | Backend | None = None,
+        trace: bool = False,
+    ) -> SystemResult:
+        """Execute partition → render → composite (→ gather & assemble).
+
+        ``backend`` overrides the config's ``backend`` field; pass a
+        short name ("sim", "mp", "mpi") or a
+        :class:`~repro.cluster.backend.Backend` instance.  ``trace``
+        records the simulator's event trace into the timeline.
+        """
         cfg = self.config
-        volume, transfer = make_dataset(cfg.dataset, cfg.volume_shape)
-        camera = Camera(
-            width=cfg.image_size,
-            height=cfg.image_size,
-            volume_shape=volume.shape,
-            rot_x=cfg.rot_x,
-            rot_y=cfg.rot_y,
-            rot_z=cfg.rot_z,
-            step=cfg.step,
-        )
-        weights = (
-            render_load_weights(volume.data, transfer)
-            if cfg.balance_render_load
-            else None
-        )
-        if cfg.num_ranks & (cfg.num_ranks - 1) == 0:
-            plan: PartitionPlan | FoldedPartition = recursive_bisect(
-                volume.shape, cfg.num_ranks, weights=weights
-            )
-        else:
-            # Paper §5 future work: any rank count via folding.  (Folded
-            # partitions always use midpoint splits; load balancing for
-            # the extras comes from folding the largest blocks.)
-            plan = partition_folded(volume.shape, cfg.num_ranks)
+        if backend is None:
+            backend = cfg.backend
+        engine = make_backend(backend) if isinstance(backend, str) else backend
 
-        # Rendering phase: embarrassingly parallel, no communication —
-        # executed host-side once per rank (identical results to running
-        # it inside each rank's coroutine, without charging model time
-        # the paper does not measure).
-        render = render_subvolume if cfg.renderer == "raycast" else splat_subvolume
-        subimages = [
-            render(volume, transfer, camera, plan.extent(rank))
-            for rank in range(cfg.num_ranks)
-        ]
+        # Host-side scene build: the result mirrors what every rank
+        # derives (memoized, and inherited by forked mp workers).
+        scene = build_scene(cfg)
 
-        compositing = run_compositing(
-            subimages,
-            cfg.method,
-            plan,
-            camera.view_dir,
-            cfg.machine,
-            **cfg.method_options,
+        backend_result = engine.run(
+            cfg.num_ranks,
+            pipeline_rank_program,
+            (cfg, gather_final),
+            model=cfg.machine,
+            trace=trace,
+        )
+        subimages = [ret[0] for ret in backend_result.returns]
+        outcomes = [ret[1] for ret in backend_result.returns]
+
+        compositor = make_compositor(cfg.method, **cfg.method_options)
+        if isinstance(scene.plan, FoldedPartition):
+            from ..compositing.folding import FoldedCompositor
+
+            compositor = FoldedCompositor(compositor)
+        compositing = CompositingRun(
+            compositor=compositor,
+            outcomes=outcomes,
+            stats=_compositing_stats(backend_result),
         )
 
         if gather_final:
-            final = self._gather_and_assemble(compositing, camera)
+            final = backend_result.returns[0][2]
+            assert final is not None
         else:
-            final = assemble_final(compositing.outcomes, camera.height, camera.width)
+            final = assemble_final(outcomes, scene.camera.height, scene.camera.width)
+
+        timeline = backend_result.timeline(
+            meta={
+                "dataset": cfg.dataset,
+                "method": cfg.method,
+                "num_ranks": cfg.num_ranks,
+                "image_size": cfg.image_size,
+                "machine": cfg.machine.name,
+                "renderer": cfg.renderer,
+                "gather_final": gather_final,
+            }
+        )
         return SystemResult(
             config=cfg,
-            plan=plan,
-            camera=camera,
+            plan=scene.plan,
+            camera=scene.camera,
             subimages=subimages,
             compositing=compositing,
             final_image=final,
+            backend_name=engine.name,
+            timeline=timeline,
         )
-
-    def _gather_and_assemble(self, compositing: CompositingRun, camera: Camera) -> SubImage:
-        """Collect owned tiles to rank 0 through the simulated network."""
-        outcomes = compositing.outcomes
-        num_ranks = len(outcomes)
-        final_holder: list[SubImage | None] = [None]
-
-        async def program(ctx):
-            ctx.begin_stage(GATHER_STAGE)
-            outcome = outcomes[ctx.rank]
-            vals_i, vals_a = outcome.owned_values()
-            payload = (
-                outcome.owned_rect,
-                outcome.owned_indices,
-                vals_i.tobytes(),
-                vals_a.tobytes(),
-            )
-            collected = await gather(ctx, payload, root=0)
-            if ctx.rank == 0:
-                assert collected is not None
-                final = SubImage.blank(camera.height, camera.width)
-                flat_i = final.intensity.ravel()
-                flat_a = final.opacity.ravel()
-                for rect, indices, raw_i, raw_a in collected:
-                    vi = np.frombuffer(raw_i, dtype=np.float64)
-                    va = np.frombuffer(raw_a, dtype=np.float64)
-                    if rect is not None:
-                        if rect.is_empty:
-                            continue
-                        rows, cols = rect.slices()
-                        final.intensity[rows, cols] = vi.reshape(rect.height, rect.width)
-                        final.opacity[rows, cols] = va.reshape(rect.height, rect.width)
-                    else:
-                        flat_i[indices] = vi
-                        flat_a[indices] = va
-                final_holder[0] = final
-
-        # The gather runs on a fresh simulator: its traffic is not part
-        # of the compositing-phase stats (the paper measures compositing
-        # only), but it still flows through the simulated network.
-        Simulator(num_ranks, self.config.machine).run(program)
-        final = final_holder[0]
-        assert final is not None
-        return final

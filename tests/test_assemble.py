@@ -1,0 +1,104 @@
+"""The single shared final-image assembly routine (rect/index/mixed)."""
+
+import numpy as np
+import pytest
+
+from repro.compositing.base import CompositeOutcome
+from repro.errors import CompositingError
+from repro.pipeline.assemble import (
+    OwnedTile,
+    assemble_outcomes,
+    assemble_tiles,
+    tile_from_outcome,
+)
+from repro.render.image import SubImage
+from repro.types import Rect
+
+
+def _image_with(values: float, height: int = 6, width: int = 8) -> SubImage:
+    img = SubImage.blank(height, width)
+    img.intensity[:] = values
+    img.opacity[:] = values / 2.0
+    return img
+
+
+class TestAssembleTiles:
+    def test_rect_tiles_scatter_their_block(self):
+        top = OwnedTile(Rect(0, 0, 3, 8), None, np.full(24, 0.5), np.full(24, 0.25))
+        bottom = OwnedTile(Rect(3, 0, 6, 8), None, np.full(24, 0.9), np.full(24, 0.45))
+        final = assemble_tiles([top, bottom], 6, 8)
+        assert np.all(final.intensity[:3] == 0.5)
+        assert np.all(final.intensity[3:] == 0.9)
+        assert np.all(final.opacity[:3] == 0.25)
+
+    def test_index_tiles_scatter_their_positions(self):
+        idx_even = np.arange(0, 48, 2)
+        idx_odd = np.arange(1, 48, 2)
+        tiles = [
+            OwnedTile(None, idx_even, np.full(24, 0.2), np.full(24, 0.1)),
+            OwnedTile(None, idx_odd, np.full(24, 0.8), np.full(24, 0.4)),
+        ]
+        final = assemble_tiles(tiles, 6, 8)
+        flat = final.intensity.ravel()
+        assert np.all(flat[idx_even] == 0.2) and np.all(flat[idx_odd] == 0.8)
+
+    def test_mixed_rect_and_index_tiles(self):
+        rect = Rect(0, 0, 3, 8)
+        indices = np.arange(24, 48)  # the bottom half, flat
+        tiles = [
+            OwnedTile(rect, None, np.full(24, 0.7), np.full(24, 0.35)),
+            OwnedTile(None, indices, np.full(24, 0.3), np.full(24, 0.15)),
+        ]
+        final = assemble_tiles(tiles, 6, 8)
+        assert np.all(final.intensity[:3] == 0.7)
+        assert np.all(final.intensity[3:] == 0.3)
+
+    def test_empty_rect_contributes_nothing(self):
+        empty = OwnedTile(Rect(2, 2, 2, 2), None, np.empty(0), np.empty(0))
+        final = assemble_tiles([empty], 6, 8)
+        assert np.all(final.intensity == 0.0)
+
+    def test_rect_values_are_row_major(self):
+        values = np.arange(6, dtype=np.float64)
+        tile = OwnedTile(Rect(1, 1, 3, 4), None, values, values * 2)
+        final = assemble_tiles([tile], 6, 8)
+        assert np.array_equal(final.intensity[1:3, 1:4], values.reshape(2, 3))
+
+
+class TestTileFromOutcome:
+    def test_rect_outcome_roundtrip(self):
+        img = _image_with(0.6)
+        outcome = CompositeOutcome(image=img, owned_rect=Rect(2, 3, 5, 7))
+        tile = tile_from_outcome(outcome)
+        assert tile.owned_rect == Rect(2, 3, 5, 7) and tile.owned_indices is None
+        assert tile.values_i.shape == (12,) and np.all(tile.values_i == 0.6)
+
+    def test_index_outcome_roundtrip(self):
+        img = _image_with(0.4)
+        indices = np.array([0, 5, 17, 40])
+        outcome = CompositeOutcome(image=img, owned_indices=indices)
+        tile = tile_from_outcome(outcome)
+        assert tile.owned_rect is None
+        assert np.array_equal(tile.owned_indices, indices)
+        assert np.all(tile.values_a == 0.2)
+
+    def test_assemble_outcomes_equals_manual_scatter(self):
+        imgs = [_image_with(0.3), _image_with(0.9)]
+        outcomes = [
+            CompositeOutcome(image=imgs[0], owned_rect=Rect(0, 0, 6, 4)),
+            CompositeOutcome(image=imgs[1], owned_rect=Rect(0, 4, 6, 8)),
+        ]
+        final = assemble_outcomes(outcomes, 6, 8)
+        assert np.all(final.intensity[:, :4] == 0.3)
+        assert np.all(final.intensity[:, 4:] == 0.9)
+
+
+class TestOutcomeInvariant:
+    def test_exactly_one_ownership_form(self):
+        img = _image_with(0.1)
+        with pytest.raises(CompositingError):
+            CompositeOutcome(image=img)
+        with pytest.raises(CompositingError):
+            CompositeOutcome(
+                image=img, owned_rect=Rect(0, 0, 1, 1), owned_indices=np.array([0])
+            )

@@ -1,0 +1,91 @@
+"""Simulator vs multiprocessing: the full pipeline must agree exactly.
+
+The paper's results are only as credible as the simulator's execution,
+so every compositing method runs end to end on both substrates and the
+final images are compared bit for bit, along with the per-stage
+byte/message counters (the simulator *prices* the same traffic a real
+transport *ships*).
+"""
+
+import pytest
+
+from repro.pipeline.config import RunConfig
+from repro.pipeline.system import GATHER_STAGE, SortLastSystem
+
+#: Small enough that spawning real processes stays fast.
+SMALL = dict(dataset="engine_low", volume_shape=(24, 24, 12), image_size=32)
+
+ALL_METHODS = ["bs", "bsbr", "bslc", "bsbrc"]
+
+
+def _stage_traffic(result, *, include_gather: bool) -> list[list[tuple]]:
+    """Per-rank, per-stage (stage, bytes/msgs sent/recv) signature."""
+    signature = []
+    for rs in result.timeline.rank_stats:
+        rows = []
+        for st in rs.sorted_stages():
+            if not include_gather and st.stage == GATHER_STAGE:
+                continue
+            rows.append(
+                (st.stage, st.bytes_sent, st.bytes_recv, st.msgs_sent, st.msgs_recv)
+            )
+        signature.append(rows)
+    return signature
+
+
+def _run(method: str, num_ranks: int, backend: str):
+    cfg = RunConfig(method=method, num_ranks=num_ranks, backend=backend, **SMALL)
+    return SortLastSystem(cfg).run()
+
+
+class TestSimVsMultiprocessing:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_final_images_bit_identical(self, method):
+        sim = _run(method, 4, "sim")
+        mp = _run(method, 4, "mp")
+        assert sim.backend_name == "sim" and mp.backend_name == "mp"
+        assert sim.final_image.max_abs_diff(mp.final_image) == 0.0
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_per_stage_traffic_matches(self, method):
+        sim = _run(method, 4, "sim")
+        mp = _run(method, 4, "mp")
+        assert _stage_traffic(sim, include_gather=True) == _stage_traffic(
+            mp, include_gather=True
+        )
+
+    def test_folded_plan_parity(self):
+        """Non-power-of-two rank counts exercise the folding pre-merge."""
+        sim = _run("bsbrc", 3, "sim")
+        mp = _run("bsbrc", 3, "mp")
+        assert sim.final_image.max_abs_diff(mp.final_image) == 0.0
+        assert _stage_traffic(sim, include_gather=True) == _stage_traffic(
+            mp, include_gather=True
+        )
+
+    def test_both_match_the_sequential_reference(self):
+        sim = _run("bsbrc", 4, "sim")
+        mp = _run("bsbrc", 4, "mp")
+        assert sim.final_image.max_abs_diff(sim.reference_image()) < 1e-9
+        assert mp.final_image.max_abs_diff(mp.reference_image()) < 1e-9
+
+    def test_compositing_mmax_agrees(self):
+        sim = _run("bsbr", 4, "sim")
+        mp = _run("bsbr", 4, "mp")
+        assert sim.compositing.stats.mmax_bytes == mp.compositing.stats.mmax_bytes
+        assert sim.compositing.stats.mmax_bytes > 0
+
+    def test_gather_stage_excluded_from_compositing_stats(self):
+        sim = _run("bsbrc", 4, "sim")
+        # The unified timeline sees the gather stage; the compositing
+        # stats (the paper's measurement) must not.
+        timeline_stages = {
+            st.stage for rs in sim.timeline.rank_stats for st in rs.stages.values()
+        }
+        stats_stages = {
+            st.stage
+            for rs in sim.compositing.stats.rank_stats
+            for st in rs.stages.values()
+        }
+        assert GATHER_STAGE in timeline_stages
+        assert GATHER_STAGE not in stats_stages

@@ -8,7 +8,6 @@ from repro.cluster.model import IDEALIZED, SP2
 from repro.compositing.baselines import strip_rect
 from repro.errors import CompositingError
 from repro.pipeline.system import assemble_final, run_compositing
-from repro.types import Rect
 
 
 class TestStripRect:

@@ -9,7 +9,7 @@ from conftest import random_subimages
 from repro.cluster.model import IDEALIZED, SP2
 from repro.compositing.folding import FoldedCompositor
 from repro.compositing.registry import make_compositor
-from repro.errors import CompositingError, ConfigurationError, PartitionError
+from repro.errors import CompositingError, PartitionError
 from repro.pipeline.config import RunConfig
 from repro.pipeline.system import (
     SortLastSystem,

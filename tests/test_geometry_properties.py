@@ -5,7 +5,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.cluster.model import SP2, MachineModel
+from repro.cluster.model import SP2
 from repro.render.camera import Camera, rotation_matrix
 from repro.types import Axis, Rect
 

@@ -4,7 +4,6 @@ Kept small and fast — the host has one core, so these validate
 correctness of the transport port, not performance.
 """
 
-import numpy as np
 import pytest
 
 from conftest import rendered_workload, reference_image

@@ -33,7 +33,33 @@ class TestWithoutMpi4py:
             main(["--dataset", "sphere", "--image-size", "32"])
 
 
+    def test_mpi_backend_run_fails_cleanly(self):
+        from repro.cluster.backend import MPIBackend
+
+        async def program(ctx):
+            return ctx.rank
+
+        with pytest.raises(ConfigurationError):
+            MPIBackend().run(2, program)
+
+
 def test_module_imports_without_mpi():
     """Importing the backend must never require mpi4py."""
     import repro.cluster.mpi_backend  # noqa: F401
     import repro.pipeline.mpi_main  # noqa: F401
+
+
+def test_context_class_implements_full_protocol_without_mpi():
+    """The ABC surface is checkable (and complete) even with no mpi4py:
+    a missing verb would show up here, not on a cluster."""
+    from repro.cluster.mpi_backend import MPIRankContext
+    from repro.cluster.protocol import BaseRankContext
+
+    assert issubclass(MPIRankContext, BaseRankContext)
+    assert not MPIRankContext.__abstractmethods__
+
+
+def test_mpi_backend_is_registered():
+    from repro.cluster.backend import BACKENDS, MPIBackend
+
+    assert BACKENDS["mpi"] is MPIBackend

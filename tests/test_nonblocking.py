@@ -1,6 +1,5 @@
 """Tests for nonblocking communication (isend/irecv/wait) and direct-async."""
 
-import numpy as np
 import pytest
 
 from conftest import rendered_workload, reference_image

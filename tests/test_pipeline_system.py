@@ -1,6 +1,5 @@
 """Tests for RunConfig and the end-to-end SortLastSystem."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.model import IDEALIZED, SP2

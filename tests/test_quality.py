@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.analysis.quality import ImageDelta, image_delta, mean_abs_error, psnr
+from repro.analysis.quality import image_delta, mean_abs_error, psnr
 from repro.render.image import SubImage
 
 

@@ -8,7 +8,7 @@ from repro.render.camera import Camera
 from repro.render.raycast import render_full, render_subvolume
 from repro.render.reference import composite_sequential
 from repro.types import Extent3
-from repro.volume.datasets import make_dataset, make_sphere
+from repro.volume.datasets import make_dataset
 from repro.volume.partition import depth_order, recursive_bisect
 
 

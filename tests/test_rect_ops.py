@@ -1,7 +1,6 @@
 """Tests for bounding-rectangle machinery (compositing.rect)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

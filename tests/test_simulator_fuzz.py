@@ -10,8 +10,6 @@ the global invariants no particular schedule should be able to violate:
 * data integrity — payloads arrive exactly once, unmodified.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

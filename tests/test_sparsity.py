@@ -1,10 +1,8 @@
 """Tests for the sparsity analytics module."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.sparsity import (
-    SubimageSparsity,
     measure_sparsity,
     sparsity_table,
     wire_cost_estimates,
@@ -13,7 +11,9 @@ from repro.render.image import SubImage
 from repro.types import PIXEL_BYTES, RECT_INFO_BYTES, Rect
 
 
-def image_with_block(h=20, w=20, rect=Rect(5, 5, 10, 10), alpha=0.5):
+def image_with_block(h=20, w=20, rect=None, alpha=0.5):
+    if rect is None:
+        rect = Rect(5, 5, 10, 10)
     image = SubImage.blank(h, w)
     rows, cols = rect.slices()
     image.opacity[rows, cols] = alpha

@@ -6,7 +6,6 @@ import pytest
 
 from conftest import rendered_workload
 from repro.analysis.timeline import (
-    Interval,
     ascii_gantt,
     intervals_from_stats,
     trace_to_json,

@@ -8,7 +8,6 @@ escapes from numpy are parser bugs.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
