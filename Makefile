@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick verify lint results quick clean
+.PHONY: install test bench bench-quick chaos verify lint results quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,13 @@ bench:
 # Seconds-fast hot-path speedup report (no baseline write).
 bench-quick:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpaths.py --smoke
+
+# Randomized fault-injection suite (seeded, so failures reproduce).
+# Uses pytest-timeout's per-test kill switch when installed; the suite
+# also carries its own SIGALRM watchdog so it never hangs without it.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_chaos.py -q \
+		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo --timeout=120 --timeout-method=signal)
 
 # What CI gates on: the tier-1 suite plus the hot-path regression check.
 verify:

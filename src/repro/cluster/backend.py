@@ -74,8 +74,18 @@ class BackendRunResult:
             makespan=self.makespan,
         )
 
-    def timeline(self, meta: Optional[dict[str, Any]] = None) -> RunTimeline:
-        """Export as the unified run-timeline document."""
+    def timeline(
+        self,
+        meta: Optional[dict[str, Any]] = None,
+        *,
+        events: Optional[list[dict[str, Any]]] = None,
+    ) -> RunTimeline:
+        """Export as the unified run-timeline document.
+
+        Per-rank fault events are harvested from the stats automatically;
+        ``events`` appends orchestrator-level entries (failure detection,
+        degradation) on top.
+        """
         return RunTimeline.from_parts(
             backend=self.backend,
             clock=self.clock,
@@ -85,6 +95,7 @@ class BackendRunResult:
             rank_perf=self.rank_perf,
             trace_events=self.trace_events,
             meta=meta,
+            events=events,
         )
 
 

@@ -29,10 +29,12 @@ from .events import (
     IrecvOp,
     IsendOp,
     RecvOp,
+    Request,
     SendOp,
     SendRecvOp,
     WaitOp,
 )
+from .faults import check_received
 from .model import MachineModel
 from .protocol import BaseRankContext, payload_nbytes
 from .stats import RankStats
@@ -67,13 +69,37 @@ class RankContext(BaseRankContext):
         return self._proc.stats
 
     # ---- staging ------------------------------------------------------------
-    def begin_stage(self, stage: int) -> None:
-        """Route subsequent accounting into stage bucket ``stage``."""
+    def _set_stage(self, stage: int) -> None:
         self._proc.current_stage = int(stage)
 
     @property
     def current_stage(self) -> int:
         return self._proc.current_stage
+
+    # ---- fault plumbing ------------------------------------------------------
+    async def _apply_send_faults(self, verb: str, dst: int, tag: int, payload, size: int):
+        """Evaluate injected faults for one outgoing message.
+
+        Returns ``(drop, payload)``: delays are charged as modelled
+        compute time (a stalled sender), corruption swaps the payload
+        for a :class:`~repro.cluster.faults.CorruptFrame`, and a drop
+        tells the caller to skip posting the op entirely.
+        """
+        faults = self._message_faults(verb, dst, tag)
+        if faults is None:
+            return False, payload
+        if faults.delay > 0.0:
+            await ComputeOp(faults.delay, kind="fault_delay")
+        if faults.drop:
+            return True, payload
+        if faults.corrupt:
+            payload = self._fault_injector.wrap_for_sim(payload, size)
+        return False, payload
+
+    def _checked(self, payload, src: int, tag: int):
+        return check_received(
+            payload, rank=self.rank, src=src, tag=tag, backend=self.backend_name
+        )
 
     # ---- computation ---------------------------------------------------------
     async def compute(self, seconds: float, *, kind: str = "compute", count: int = 0) -> None:
@@ -96,12 +122,15 @@ class RankContext(BaseRankContext):
         """Blocking send (rendezvous semantics, like ``MPI_Ssend``)."""
         self._check_peer(dst)
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        dropped, payload = await self._apply_send_faults("send", dst, tag, payload, size)
+        if dropped:
+            return
         await SendOp(dst, payload, size, tag=tag)
 
     async def recv(self, src: int, *, tag: int = ANY_TAG) -> Any:
         """Blocking receive from ``src``; returns the payload."""
         self._check_peer(src)
-        return await RecvOp(src, tag=tag)
+        return self._checked(await RecvOp(src, tag=tag), src, tag)
 
     async def sendrecv(
         self, peer: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0
@@ -115,7 +144,15 @@ class RankContext(BaseRankContext):
         if peer == self.rank:
             raise ConfigurationError(f"rank {self.rank} cannot sendrecv with itself")
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
-        return await SendRecvOp(peer, payload, size, tag=tag)
+        dropped, payload = await self._apply_send_faults(
+            "sendrecv", peer, tag, payload, size
+        )
+        if dropped:
+            # The faulty rank skips the whole exchange (its NIC died
+            # mid-call): it gets nothing back and the partner blocks
+            # until deadlock detection or its own receive timeout.
+            return None
+        return self._checked(await SendRecvOp(peer, payload, size, tag=tag), peer, tag)
 
     # ---- nonblocking ---------------------------------------------------------------
     async def isend(
@@ -128,6 +165,17 @@ class RankContext(BaseRankContext):
         """
         self._check_peer(dst)
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        dropped, payload = await self._apply_send_faults("isend", dst, tag, payload, size)
+        if dropped:
+            # Hand back an already-completed request; the message itself
+            # vanished, so the receiver's irecv never matches.
+            request = Request(
+                kind="isend", rank=self.rank, peer=dst, tag=tag,
+                nbytes=size, post_time=self._proc.clock,
+            )
+            request.matched = True
+            request.arrival = self._proc.clock
+            return request
         return await IsendOp(dst, payload, size, tag=tag)
 
     async def irecv(self, src: int, *, tag: int = 0):
@@ -140,11 +188,16 @@ class RankContext(BaseRankContext):
         """Block until ``request`` completes; returns its payload (irecv)
         or ``None`` (isend)."""
         results = await WaitOp([request])
-        return results[0]
+        return self._checked(results[0], request.peer, request.tag)
 
     async def wait_all(self, requests) -> list:
         """Block until every request completes; returns payloads in order."""
-        return await WaitOp(list(requests))
+        requests = list(requests)
+        results = await WaitOp(requests)
+        return [
+            self._checked(payload, request.peer, request.tag)
+            for payload, request in zip(results, requests)
+        ]
 
     # ---- collective ----------------------------------------------------------------
     async def barrier(self) -> None:

@@ -20,26 +20,65 @@ schema the simulator fills, with two differences dictated by physics:
 Byte counters use the exact sizing the simulator prices
 (:func:`~repro.cluster.protocol.encode_payload`), so per-stage
 ``bytes_sent``/``bytes_recv`` match the simulated run bit for bit.
+
+Robustness
+----------
+Frames carry a CRC32 of the wire payload; the receiver verifies it and
+raises :class:`~repro.errors.WireFormatError` on mismatch.  Sends retry
+transient queue pressure with exponential backoff up to
+:data:`RETRANSMIT_BUDGET` attempts; receives poll in growing slices and
+raise a typed :class:`~repro.errors.DeadlockError` naming the blocked
+``(src, tag)`` when the configured timeout expires.  The parent
+supervises worker liveness through process sentinels and fails fast with
+:class:`~repro.errors.RankFailedError` — carrying the worker's formatted
+traceback — the moment a rank dies, instead of blocking out the full
+receive timeout.  Teardown terminates stragglers and releases every
+queue buffer.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as queue_mod
+import threading
 import time
+import traceback
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Any, Optional, Sequence
 
 from .. import perf
-from ..errors import ConfigurationError, SimulationError
+from ..errors import (
+    ConfigurationError,
+    DeadlockError,
+    RankFailedError,
+    SimulationError,
+    WireFormatError,
+)
 from .events import ANY_TAG
+from .faults import frame_checksum
 from .protocol import BaseRankContext, decode_payload, drive, encode_payload
 from .stats import RankStats, merge_counters
 
-__all__ = ["MPRankContext", "MPRequest", "run_rank_programs_mp", "DEFAULT_TIMEOUT"]
+__all__ = [
+    "MPRankContext",
+    "MPRequest",
+    "run_rank_programs_mp",
+    "DEFAULT_TIMEOUT",
+    "RETRANSMIT_BUDGET",
+]
 
 #: Per-receive timeout (seconds) after which a rank assumes deadlock.
 DEFAULT_TIMEOUT = 60.0
+
+#: Send attempts before the transport gives up on a message.
+RETRANSMIT_BUDGET = 8
+
+_RETRY_BACKOFF = 0.001  # first retry sleep; doubles per attempt
+_POLL_START = 0.02  # first receive poll slice; doubles up to _POLL_MAX
+_POLL_MAX = 0.5
 
 
 class MPRequest:
@@ -64,6 +103,18 @@ class MPRequest:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.done else "pending"
         return f"MPRequest({self.kind}, peer={self.peer}, tag={self.tag}, {state})"
+
+
+def _raw_frame_bytes(wire: Any) -> Optional[bytes]:
+    """Flat bytes of an encoded wire payload (``None`` if not a buffer)."""
+    if wire is None:
+        return b""
+    if isinstance(wire, (bytes, bytearray)):
+        return bytes(wire)
+    try:
+        return memoryview(wire).tobytes()
+    except TypeError:
+        return None
 
 
 class MPRankContext(BaseRankContext):
@@ -101,7 +152,7 @@ class MPRankContext(BaseRankContext):
         return self._stats
 
     # ---- staging ----------------------------------------------------------
-    def begin_stage(self, stage: int) -> None:
+    def _set_stage(self, stage: int) -> None:
         self._current_stage = int(stage)
 
     @property
@@ -121,27 +172,110 @@ class MPRankContext(BaseRankContext):
         self._bucket().add_counter(kind, count)
 
     # ---- transport ---------------------------------------------------------
-    def _put(self, dst: int, payload: Any, nbytes: Optional[int], tag: int) -> int:
-        """Frame, size, and enqueue one message; returns the priced size."""
+    def _put_frame(self, dst: int, frame: tuple) -> None:
+        """Enqueue one frame, retrying transient transport pressure with
+        exponential backoff up to the retransmit budget."""
+        channel = self._queues[self._rank][dst]
+        backoff = _RETRY_BACKOFF
+        last: Optional[BaseException] = None
+        for attempt in range(RETRANSMIT_BUDGET):
+            try:
+                channel.put(frame, timeout=self._timeout)
+                if attempt:
+                    self._bucket().add_counter("retransmits", attempt)
+                return
+            except (queue_mod.Full, OSError) as exc:
+                last = exc
+                time.sleep(backoff)
+                backoff = min(backoff * 2.0, 0.25)
+        raise SimulationError(
+            f"rank {self._rank} exhausted the {RETRANSMIT_BUDGET}-attempt "
+            f"retransmit budget sending to rank {dst}: {last!r}"
+        )
+
+    def _put(
+        self, dst: int, payload: Any, nbytes: Optional[int], tag: int,
+        verb: str = "send",
+    ) -> tuple[int, bool]:
+        """Frame, size, checksum, and enqueue one message; returns
+        ``(priced_size, dropped)``.  Injected faults apply here (the
+        shared protocol hook), after the CRC is taken — corruption is
+        always detectable."""
+        faults = self._message_faults(verb, dst, tag)
         wire, size, pickled = encode_payload(payload, nbytes)
-        self._queues[self._rank][dst].put((tag, wire, size, pickled))
+        crc = frame_checksum(wire)
+        if faults is not None:
+            if faults.delay > 0.0:
+                time.sleep(faults.delay)
+            if faults.drop:
+                # The message vanished on the wire: nothing is enqueued
+                # and (matching the simulator) nothing is accounted.
+                return size, True
+            if faults.corrupt:
+                raw = _raw_frame_bytes(wire)
+                if raw is not None:
+                    if crc is None:
+                        crc = zlib.crc32(raw) & 0xFFFFFFFF
+                    wire = self._fault_injector.damage_wire(raw)
+        self._put_frame(dst, (tag, wire, size, pickled, crc))
         bucket = self._bucket()
         bucket.bytes_sent += size
         bucket.msgs_sent += 1
-        return size
+        return size, False
 
     def _get(self, src: int, tag: int) -> tuple[Any, int]:
         """Blocking dequeue of one message from ``src``; returns
-        ``(payload, priced_size)`` and accounts bytes/time received."""
+        ``(payload, priced_size)`` and accounts bytes/time received.
+
+        Polls in exponentially growing slices so a dead sender surfaces
+        as a typed :class:`~repro.errors.DeadlockError` naming the
+        blocked ``(src, tag)`` after the configured timeout; transport
+        errors are distinguished from plain queue emptiness."""
         start = time.perf_counter()
-        try:
-            got_tag, wire, size, pickled = self._queues[src][self._rank].get(
-                timeout=self._timeout
-            )
-        except Exception as exc:
-            raise SimulationError(
-                f"rank {self._rank} timed out receiving from {src} (tag {tag})"
-            ) from exc
+        deadline = start + self._timeout
+        channel = self._queues[src][self._rank]
+        poll = _POLL_START
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0.0:
+                raise DeadlockError(
+                    {
+                        self._rank: (
+                            f"recv from rank {src} (tag {tag}) timed out after "
+                            f"{self._timeout:.1f}s on the {self.backend_name} backend"
+                        )
+                    }
+                )
+            try:
+                frame = channel.get(timeout=min(poll, remaining))
+                break
+            except queue_mod.Empty:
+                poll = min(poll * 2.0, _POLL_MAX)
+            except (OSError, EOFError, ValueError) as exc:
+                raise SimulationError(
+                    f"rank {self._rank}: transport failure receiving from "
+                    f"rank {src}: {exc!r}"
+                ) from exc
+        got_tag, wire, size, pickled, crc = frame
+        if crc is not None:
+            actual = frame_checksum(wire)
+            if actual != crc:
+                self._stats.events.append(
+                    {
+                        "event": "detected",
+                        "fault": "corrupt",
+                        "rank": self._rank,
+                        "src": src,
+                        "tag": got_tag,
+                        "stage": self._current_stage,
+                    }
+                )
+                raise WireFormatError(
+                    f"rank {self._rank}: message from rank {src} (tag {got_tag}, "
+                    f"{size}B) failed CRC32 check on the {self.backend_name} "
+                    f"backend (expected {crc:#010x}, got "
+                    f"{'unchecksummable' if actual is None else format(actual, '#010x')})"
+                )
         if tag != ANY_TAG and got_tag != tag:
             raise SimulationError(
                 f"rank {self._rank} expected tag {tag} from {src}, got {got_tag} "
@@ -167,7 +301,12 @@ class MPRankContext(BaseRankContext):
             raise ConfigurationError("cannot sendrecv with self")
         self._check_peer(peer)
         # Queues are buffered, so send-then-receive cannot deadlock.
-        self._put(peer, payload, nbytes, tag)
+        _, dropped = self._put(peer, payload, nbytes, tag, verb="sendrecv")
+        if dropped:
+            # Matching the simulator: a dropped sendrecv means the rank's
+            # NIC died mid-exchange — it gets nothing back either, and
+            # the partner blocks until its receive timeout.
+            return None
         received, _ = self._get(peer, tag)
         return received
 
@@ -175,7 +314,7 @@ class MPRankContext(BaseRankContext):
     async def isend(self, dst: int, payload: Any, *, nbytes=None, tag: int = 0):
         self._check_peer(dst)
         request = MPRequest("isend", dst, tag)
-        request.nbytes = self._put(dst, payload, nbytes, tag)
+        request.nbytes, _ = self._put(dst, payload, nbytes, tag, verb="isend")
         return request
 
     async def irecv(self, src: int, *, tag: int = 0):
@@ -201,12 +340,27 @@ class MPRankContext(BaseRankContext):
     # ---- collective --------------------------------------------------------
     async def barrier(self) -> None:
         start = time.perf_counter()
-        self._barrier.wait(timeout=self._timeout)
+        try:
+            self._barrier.wait(timeout=self._timeout)
+        except threading.BrokenBarrierError as exc:
+            raise DeadlockError(
+                {
+                    self._rank: (
+                        f"barrier broken or timed out after {self._timeout:.1f}s "
+                        "(a partner rank died or never arrived)"
+                    )
+                }
+            ) from exc
         self._bucket().comm_time += time.perf_counter() - start
 
 
 def _worker(rank, size, program, args, queues, barrier, timeout, result_queue):
-    """Subprocess entry: drive the rank coroutine to completion."""
+    """Subprocess entry: drive the rank coroutine to completion.
+
+    Failures ship the exception *type name*, message, and formatted
+    traceback (plus the rank's stats, whose ``events`` list records any
+    injected faults) so the parent can rebuild a diagnosable error."""
+    ctx = None
     try:
         perf.reset()  # the fork inherits the parent's counters; start clean
         ctx = MPRankContext(rank, size, queues, barrier, timeout)
@@ -216,7 +370,19 @@ def _worker(rank, size, program, args, queues, barrier, timeout, result_queue):
         wall = time.perf_counter() - start
         result_queue.put((rank, "ok", value, ctx.stats, wall, perf.report()))
     except BaseException as exc:  # report, don't hang the parent
-        result_queue.put((rank, "error", repr(exc), None, 0.0, {}))
+        info = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+            "phase": getattr(exc, "phase", None),
+            "stage": getattr(exc, "stage", None),
+            "blocked": getattr(exc, "blocked", None),
+        }
+        stats = ctx.stats if ctx is not None else RankStats(rank=rank)
+        try:
+            result_queue.put((rank, "error", info, stats, 0.0, {}))
+        except Exception:
+            pass  # the parent's liveness supervisor notices the exit
 
 
 @dataclass
@@ -234,6 +400,52 @@ class MPRunResult:
         return [merge_counters(rs.stages.values()) for rs in self.rank_stats]
 
 
+def _error_from_info(rank: int, info: dict, stats: Optional[RankStats]) -> Exception:
+    """Rebuild a typed error from a worker's failure report."""
+    events = list(stats.events) if stats is not None else []
+    if info.get("type") == "WireFormatError":
+        # Detected corruption keeps its type across the process
+        # boundary — the CRC contract promises WireFormatError.
+        err: Exception = WireFormatError(info.get("message", ""))
+        err.rank = rank  # type: ignore[attr-defined]
+        err.events = events  # type: ignore[attr-defined]
+        return err
+    if info.get("type") == "DeadlockError":
+        # A rank's receive timeout surfaces as the same typed error the
+        # simulator's structural detection raises.
+        blocked = info.get("blocked")
+        if not isinstance(blocked, dict) or not blocked:
+            blocked = {rank: info.get("message", "")}
+        deadlock = DeadlockError(blocked)
+        deadlock.events = events  # type: ignore[attr-defined]
+        return deadlock
+    phase = info.get("phase")
+    return RankFailedError(
+        rank,
+        original_type=info.get("type"),
+        traceback_text=info.get("traceback"),
+        detail=f"{info.get('type')}: {info.get('message')}",
+        events=events,
+        fault_phase=phase if isinstance(phase, str) else None,
+    )
+
+
+def _release_queue(channel) -> None:
+    """Drain and close one queue so buffers and feeder threads go away."""
+    if channel is None:
+        return
+    try:
+        while True:
+            channel.get_nowait()
+    except Exception:
+        pass
+    try:
+        channel.cancel_join_thread()
+        channel.close()
+    except Exception:
+        pass
+
+
 def run_rank_programs_mp(
     num_ranks: int,
     program,
@@ -244,8 +456,13 @@ def run_rank_programs_mp(
     """Run ``program(ctx, *args)`` on ``num_ranks`` real processes.
 
     ``program`` must be a picklable (module-level) ``async def``; its
-    return values are collected per rank.  Raises
-    :class:`SimulationError` if any rank fails or times out.
+    return values are collected per rank.  A supervisor loop drains
+    results while watching worker liveness through process sentinels:
+    the first rank that reports an error or dies without reporting
+    raises immediately — :class:`~repro.errors.RankFailedError` with the
+    worker's traceback (or :class:`~repro.errors.WireFormatError` for
+    detected corruption) — rather than stalling out the full timeout.
+    Teardown terminates any stragglers and releases every queue.
     """
     if num_ranks < 1:
         raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
@@ -272,27 +489,85 @@ def run_rank_programs_mp(
     rank_stats = [RankStats(rank=r) for r in range(num_ranks)]
     wall_times = [0.0] * num_ranks
     perf_reports: list[dict] = [{} for _ in range(num_ranks)]
-    failures: list[str] = []
-    try:
-        for _ in range(num_ranks):
-            rank, status, value, stats, wall, report = result_queue.get(timeout=timeout)
+    pending = set(range(num_ranks))
+    failure: Optional[Exception] = None
+    # Workers bound their own receives by `timeout`, so honest runs
+    # always report within it; the slack covers result shipping.
+    deadline = time.monotonic() + timeout + 10.0
+
+    def _drain(block_for: float = 0.0) -> bool:
+        """Consume every available result; returns whether any arrived."""
+        nonlocal failure
+        got = False
+        while True:
+            try:
+                if block_for > 0.0:
+                    item = result_queue.get(timeout=block_for)
+                    block_for = 0.0
+                else:
+                    item = result_queue.get_nowait()
+            except queue_mod.Empty:
+                return got
+            got = True
+            rank, status, value, stats, wall, report = item
+            pending.discard(rank)
             if status == "ok":
                 returns[rank] = value
                 rank_stats[rank] = stats
                 wall_times[rank] = wall
                 perf_reports[rank] = report
-            else:
-                failures.append(f"rank {rank}: {value}")
-    except Exception as exc:
-        failures.append(f"collection timed out: {exc!r}")
+            elif failure is None:  # first failure wins (fail fast)
+                failure = _error_from_info(rank, value, stats)
+
+    try:
+        while pending and failure is None:
+            if _drain():
+                continue
+            dead = [r for r in sorted(pending) if workers[r].exitcode is not None]
+            if dead:
+                # A worker that posted its result right before exiting
+                # may still have the frame in flight; give it a moment.
+                grace_end = time.monotonic() + 1.0
+                while time.monotonic() < grace_end and any(r in pending for r in dead):
+                    _drain(block_for=0.05)
+                dead = [r for r in dead if r in pending]
+                if dead and failure is None:
+                    first = dead[0]
+                    failure = RankFailedError(
+                        first,
+                        detail=(
+                            f"worker process exited with code "
+                            f"{workers[first].exitcode} before reporting a result"
+                        ),
+                    )
+                continue
+            if time.monotonic() > deadline:
+                failure = SimulationError(
+                    f"multiprocessing run failed: collection timed out after "
+                    f"{timeout:.1f}s; pending ranks {sorted(pending)}"
+                )
+                break
+            sentinels = [w.sentinel for w in workers if w.is_alive()]
+            if sentinels:
+                # Sleep until a worker exits or a poll slice elapses.
+                mp_connection.wait(sentinels, timeout=0.05)
     finally:
+        if failure is not None:
+            for worker in workers:
+                if worker.is_alive():
+                    worker.terminate()
         for worker in workers:
             worker.join(timeout=5.0)
-            if worker.is_alive():
-                worker.terminate()
-                worker.join()
-    if failures:
-        raise SimulationError("multiprocessing run failed: " + "; ".join(failures))
+        for worker in workers:
+            if worker.is_alive():  # pragma: no cover - terminate() sufficed so far
+                worker.kill()
+                worker.join(timeout=1.0)
+        _release_queue(result_queue)
+        for row in queues:
+            for channel in row:
+                _release_queue(channel)
+    if failure is not None:
+        raise failure
     return MPRunResult(
         returns=returns,
         rank_stats=rank_stats,

@@ -8,10 +8,14 @@ this backend is exercised indirectly — it is a line-for-line mirror of
 queue verbs swapped for ``mpi4py`` calls.  Import is lazy and guarded;
 everything else in the library works without MPI.
 
-Messages use the same ``(tag, wire, nbytes, pickled)`` framing as the
-multiprocessing backend so per-stage byte counters agree with the
+Messages use the same ``(tag, wire, nbytes, pickled, crc)`` framing as
+the multiprocessing backend so per-stage byte counters agree with the
 simulator's pricing, and accounting fills the same per-stage
 :class:`~repro.cluster.stats.RankStats` (wall-clock ``comm_time``).
+Receivers verify the CRC32 and raise
+:class:`~repro.errors.WireFormatError` on mismatch; fault injection
+hooks through the shared protocol layer exactly as on the other two
+substrates.
 
 Usage on a cluster::
 
@@ -22,10 +26,12 @@ Usage on a cluster::
 from __future__ import annotations
 
 import time
+import zlib
 from typing import Any, Optional
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, WireFormatError
 from .events import ANY_TAG
+from .faults import frame_checksum
 from .protocol import BaseRankContext, decode_payload, encode_payload
 from .stats import RankStats, merge_counters
 
@@ -98,7 +104,7 @@ class MPIRankContext(BaseRankContext):
         return self._stats
 
     # ---- staging ----------------------------------------------------------
-    def begin_stage(self, stage: int) -> None:
+    def _set_stage(self, stage: int) -> None:
         self._current_stage = int(stage)
 
     @property
@@ -129,11 +135,70 @@ class MPIRankContext(BaseRankContext):
         bucket.bytes_recv += size
         bucket.msgs_recv += 1
 
+    def _frame(self, verb: str, dst: int, payload: Any, nbytes: Optional[int], tag: int):
+        """Encode, checksum, and fault-inject one outgoing frame.
+
+        Returns ``(frame, size)`` with ``frame is None`` for an injected
+        drop (the caller skips the MPI call and its accounting).
+        """
+        faults = self._message_faults(verb, dst, tag)
+        wire, size, pickled = encode_payload(payload, nbytes)
+        crc = frame_checksum(wire)
+        if faults is not None:
+            if faults.delay > 0.0:
+                time.sleep(faults.delay)
+            if faults.drop:
+                return None, size
+            if faults.corrupt:
+                raw = self._raw_bytes(wire)
+                if raw is not None:
+                    if crc is None:
+                        crc = zlib.crc32(raw) & 0xFFFFFFFF
+                    wire = self._fault_injector.damage_wire(raw)
+        return (tag, wire, size, pickled, crc), size
+
+    @staticmethod
+    def _raw_bytes(wire: Any) -> Optional[bytes]:
+        if wire is None:
+            return b""
+        if isinstance(wire, (bytes, bytearray)):
+            return bytes(wire)
+        try:
+            return memoryview(wire).tobytes()
+        except TypeError:
+            return None
+
+    def _checked_frame(self, frame, src: int):
+        """CRC-verify one received frame; returns the decoded payload and size."""
+        got_tag, wire, size, pickled, crc = frame
+        if crc is not None:
+            actual = frame_checksum(wire)
+            if actual != crc:
+                self._stats.events.append(
+                    {
+                        "event": "detected",
+                        "fault": "corrupt",
+                        "rank": self.rank,
+                        "src": src,
+                        "tag": got_tag,
+                        "stage": self._current_stage,
+                    }
+                )
+                raise WireFormatError(
+                    f"rank {self.rank}: message from rank {src} (tag {got_tag}, "
+                    f"{size}B) failed CRC32 check on the {self.backend_name} "
+                    f"backend (expected {crc:#010x}, got "
+                    f"{'unchecksummable' if actual is None else format(actual, '#010x')})"
+                )
+        return decode_payload(wire, pickled), size
+
     async def send(self, dst: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0):
         self._check_peer(dst)
-        wire, size, pickled = encode_payload(payload, nbytes)
+        frame, size = self._frame("send", dst, payload, nbytes, tag)
+        if frame is None:
+            return
         start = time.perf_counter()
-        self._comm.send((tag, wire, size, pickled), dest=dst, tag=tag)
+        self._comm.send(frame, dest=dst, tag=tag)
         self._bucket().comm_time += time.perf_counter() - start
         self._account_sent(size)
 
@@ -141,9 +206,10 @@ class MPIRankContext(BaseRankContext):
         self._check_peer(src)
         mpi_tag = self._mpi.ANY_TAG if tag == ANY_TAG else tag
         start = time.perf_counter()
-        _, wire, size, pickled = self._comm.recv(source=src, tag=mpi_tag)
+        frame = self._comm.recv(source=src, tag=mpi_tag)
+        payload, size = self._checked_frame(frame, src)
         self._account_recv(size, time.perf_counter() - start)
-        return decode_payload(wire, pickled)
+        return payload
 
     async def sendrecv(
         self, peer: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0
@@ -151,21 +217,29 @@ class MPIRankContext(BaseRankContext):
         if peer == self.rank:
             raise ConfigurationError("cannot sendrecv with self")
         self._check_peer(peer)
-        wire, size, pickled = encode_payload(payload, nbytes)
+        frame, size = self._frame("sendrecv", peer, payload, nbytes, tag)
+        if frame is None:
+            # The faulty rank skips the whole exchange, matching the
+            # other substrates; the partner blocks until its timeout.
+            return None
         start = time.perf_counter()
-        _, got_wire, got_size, got_pickled = self._comm.sendrecv(
-            (tag, wire, size, pickled), dest=peer, sendtag=tag, source=peer, recvtag=tag
+        got_frame = self._comm.sendrecv(
+            frame, dest=peer, sendtag=tag, source=peer, recvtag=tag
         )
         elapsed = time.perf_counter() - start
+        got_payload, got_size = self._checked_frame(got_frame, peer)
         self._account_sent(size)
         self._account_recv(got_size, elapsed)
-        return decode_payload(got_wire, got_pickled)
+        return got_payload
 
     # ---- nonblocking -------------------------------------------------------
     async def isend(self, dst: int, payload: Any, *, nbytes: Optional[int] = None, tag: int = 0):
         self._check_peer(dst)
-        wire, size, pickled = encode_payload(payload, nbytes)
-        mpi_request = self._comm.isend((tag, wire, size, pickled), dest=dst, tag=tag)
+        frame, size = self._frame("isend", dst, payload, nbytes, tag)
+        if frame is None:
+            # Dropped on the wire: hand back an already-done request.
+            return MPIRequest("isend", dst, tag, None, size)
+        mpi_request = self._comm.isend(frame, dest=dst, tag=tag)
         self._account_sent(size)
         return MPIRequest("isend", dst, tag, mpi_request, size)
 
@@ -179,16 +253,18 @@ class MPIRankContext(BaseRankContext):
             raise ConfigurationError(
                 f"wait takes an MPIRequest on this backend, got {type(request).__name__}"
             )
+        if request.mpi_request is None:  # injected drop: nothing in flight
+            return None
         start = time.perf_counter()
         frame = request.mpi_request.wait()
         elapsed = time.perf_counter() - start
         if request.kind == "isend":
             self._bucket().comm_time += elapsed
             return None
-        _, wire, size, pickled = frame
+        payload, size = self._checked_frame(frame, request.peer)
         request.nbytes = size
         self._account_recv(size, elapsed)
-        return decode_payload(wire, pickled)
+        return payload
 
     # ---- collective --------------------------------------------------------
     async def barrier(self) -> None:

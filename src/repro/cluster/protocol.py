@@ -159,9 +159,21 @@ class BaseRankContext(abc.ABC):
         """Per-stage accounting for this rank."""
 
     # ---- staging -----------------------------------------------------------
-    @abc.abstractmethod
     def begin_stage(self, stage: int) -> None:
-        """Route subsequent accounting into stage bucket ``stage``."""
+        """Route subsequent accounting into stage bucket ``stage``.
+
+        Concrete on the base: substrates implement only the storage
+        (:meth:`_set_stage`), so the stage-entry fault hook fires
+        identically on every substrate.
+        """
+        self._set_stage(int(stage))
+        injector = self._fault_injector
+        if injector is not None:
+            injector.on_stage(int(stage))
+
+    @abc.abstractmethod
+    def _set_stage(self, stage: int) -> None:
+        """Store the active stage bucket index (substrate storage only)."""
 
     @property
     @abc.abstractmethod
@@ -171,6 +183,39 @@ class BaseRankContext(abc.ABC):
     def note(self, kind: str, count: int = 1) -> None:
         """Record a zero-cost named counter in the current stage bucket."""
         self.stats.stage(self.current_stage).add_counter(kind, count)
+
+    # ---- fault injection ---------------------------------------------------
+    #: The installed :class:`~repro.cluster.faults.RankFaultInjector`
+    #: (class-level default keeps plain contexts fault-free for free).
+    _fault_injector = None
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach a per-rank fault injector (see :mod:`repro.cluster.faults`).
+
+        The context consults it at stage entries (``begin_stage``),
+        before every outgoing message, and at explicit
+        :meth:`fault_checkpoint` calls.  ``None`` uninstalls.
+        """
+        self._fault_injector = injector
+
+    @property
+    def fault_injector(self):
+        """The installed injector, or ``None``."""
+        return self._fault_injector
+
+    def fault_checkpoint(self, phase: str) -> None:
+        """Give an installed injector a chance to crash this rank at a
+        named pipeline phase boundary; a no-op without an injector."""
+        injector = self._fault_injector
+        if injector is not None:
+            injector.checkpoint(phase, stage=self.current_stage)
+
+    def _message_faults(self, verb: str, dst: int, tag: int):
+        """Injector verdict for one outgoing message (``None`` = clean)."""
+        injector = self._fault_injector
+        if injector is None:
+            return None
+        return injector.on_message(verb, dst, tag, stage=self.current_stage)
 
     # ---- computation -------------------------------------------------------
     @abc.abstractmethod

@@ -17,6 +17,8 @@ Schema (top-level keys of the JSON object)::
     num_ranks    int
     makespan     float — virtual seconds (sim) or max rank wall (real)
     meta         {free-form run description: dataset, method, ...}
+    events       [{event: "injected"|"detected"|"degraded", ...}] —
+                 structured fault events (empty on clean runs)
     ranks        [{rank, wall_time, perf, stages: [{stage, comp_time,
                    comm_time, wait_time, bytes_sent, bytes_recv,
                    msgs_sent, msgs_recv, counters}]}]
@@ -24,7 +26,11 @@ Schema (top-level keys of the JSON object)::
 
 ``wall_time``/``perf`` are zero/empty on the simulator; ``trace`` is
 empty on real transports.  The stage buckets carry identical meaning on
-all substrates (and identical byte counts — that is tested).
+all substrates (and identical byte counts — that is tested).  ``events``
+collects the per-rank fault records
+(:attr:`~repro.cluster.stats.RankStats.events`) plus any orchestrator
+events (failure detection, degradation) — the audit trail a chaos run
+leaves behind; ``meta["degraded"]`` marks a partial-but-valid image.
 """
 
 from __future__ import annotations
@@ -83,6 +89,9 @@ class RunTimeline:
     rank_perf: list[dict] = field(default_factory=list)
     trace_events: list[TraceEvent] = field(default_factory=list)
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Structured fault events: per-rank injected/detected records
+    #: harvested from the stats, plus orchestrator-level entries.
+    events: list[dict[str, Any]] = field(default_factory=list)
 
     # ---- construction ------------------------------------------------------
     @classmethod
@@ -97,8 +106,12 @@ class RunTimeline:
         rank_perf: Optional[Iterable[dict]] = None,
         trace_events: Optional[Iterable[TraceEvent]] = None,
         meta: Optional[dict[str, Any]] = None,
+        events: Optional[Iterable[dict[str, Any]]] = None,
     ) -> "RunTimeline":
         stats = list(rank_stats)
+        harvested = [dict(ev) for rs in stats for ev in rs.events]
+        if events is not None:
+            harvested.extend(dict(ev) for ev in events)
         return cls(
             backend=backend,
             clock=clock,
@@ -109,6 +122,7 @@ class RunTimeline:
             rank_perf=list(rank_perf) if rank_perf is not None else [{} for _ in stats],
             trace_events=list(trace_events) if trace_events is not None else [],
             meta=dict(meta) if meta else {},
+            events=harvested,
         )
 
     # ---- views -------------------------------------------------------------
@@ -131,6 +145,7 @@ class RunTimeline:
             "num_ranks": self.num_ranks,
             "makespan": self.makespan,
             "meta": self.meta,
+            "events": [dict(ev) for ev in self.events],
             "ranks": [
                 {
                     "rank": rs.rank,
@@ -183,6 +198,7 @@ class RunTimeline:
             rank_perf=rank_perf,
             trace_events=trace_events,
             meta=dict(data.get("meta", {})),
+            events=[dict(ev) for ev in data.get("events", [])],
         )
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:

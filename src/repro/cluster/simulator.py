@@ -32,7 +32,13 @@ from typing import Any, Callable, Coroutine, Optional
 
 from collections import deque
 
-from ..errors import ConfigurationError, DeadlockError, RankFailedError, SimulationError
+from ..errors import (
+    ConfigurationError,
+    DeadlockError,
+    RankFailedError,
+    SimulationError,
+    WireFormatError,
+)
 from .events import (
     ANY_TAG,
     BarrierOp,
@@ -205,8 +211,14 @@ class Simulator:
             proc.return_value = stop.value
             self._trace(proc, "done", "")
             return
+        except WireFormatError:
+            # Detected corruption must surface as itself (the typed
+            # contract of the CRC check), not wrapped as a rank failure.
+            raise
         except Exception as exc:
-            raise RankFailedError(proc.rank, exc) from exc
+            raise RankFailedError(
+                proc.rank, exc, events=proc.stats.events
+            ) from exc
 
         if isinstance(op, ComputeOp):
             proc.clock += op.seconds

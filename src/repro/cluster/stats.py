@@ -68,6 +68,10 @@ class RankStats:
 
     rank: int
     stages: dict[int, StageStats] = field(default_factory=dict)
+    #: Structured fault events (injected/detected) recorded on this
+    #: rank; the fault injector sinks here so events travel with the
+    #: stats through every backend (pickled across processes on mp).
+    events: list[dict[str, Any]] = field(default_factory=list)
 
     def stage(self, index: int) -> StageStats:
         """Return (creating if needed) the bucket for ``index``."""

@@ -9,6 +9,11 @@ through a :class:`_GroupView` that reports the core group's size.
 
 This implements the paper's first future-work item ("improve the
 binary-swap compositing method running on any number of processors").
+
+The same machinery powers graceful degradation: when ranks are lost
+before compositing, :func:`~repro.volume.folded.refold_survivors` folds
+a power-of-two bisection plan onto the survivors, and this compositor
+runs the degraded pass unchanged (see ``DESIGN.md`` §5d).
 """
 
 from __future__ import annotations

@@ -44,16 +44,47 @@ class DeadlockError(SimulationError):
     def __init__(self, blocked: dict[int, str]):
         self.blocked = dict(blocked)
         detail = "; ".join(f"rank {r}: {what}" for r, what in sorted(blocked.items()))
-        super().__init__(f"simulated cluster deadlocked ({len(blocked)} ranks blocked): {detail}")
+        super().__init__(f"cluster deadlocked ({len(blocked)} ranks blocked): {detail}")
 
 
 class RankFailedError(SimulationError):
-    """A rank's program raised; wraps the original exception."""
+    """A rank's program raised (or its process died).
 
-    def __init__(self, rank: int, original: BaseException):
+    In-process substrates (the simulator) attach the live exception as
+    ``original``.  Cross-process substrates cannot ship the exception
+    object reliably, so they carry ``original_type`` (the exception
+    class name) and ``traceback_text`` (the worker's formatted
+    traceback) instead.  ``events`` holds any structured fault events
+    the failed rank recorded before dying; ``fault_phase`` names the
+    pipeline phase of an injected crash (``None`` for organic failures).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        original: BaseException | None = None,
+        *,
+        original_type: str | None = None,
+        traceback_text: str | None = None,
+        detail: str | None = None,
+        events: list | None = None,
+        fault_phase: str | None = None,
+    ):
         self.rank = rank
         self.original = original
-        super().__init__(f"rank {rank} failed: {original!r}")
+        self.original_type = original_type or (
+            type(original).__name__ if original is not None else None
+        )
+        self.traceback_text = traceback_text
+        self.events = list(events) if events else []
+        self.fault_phase = fault_phase
+        if detail is None:
+            detail = (
+                repr(original)
+                if original is not None
+                else "died without reporting a result"
+            )
+        super().__init__(f"rank {rank} failed: {detail}")
 
 
 class WireFormatError(ReproError, ValueError):

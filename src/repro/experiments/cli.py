@@ -12,7 +12,9 @@ Subcommands regenerate each paper artifact::
     sparsity  dataset sparsity profiles (the structure behind §3)
     stages    per-stage breakdown of one run (the §3 per-stage view)
     run       one full pipeline run on a chosen backend
-              (``--backend {sim,mp,mpi}``, ``--trace-out timeline.json``)
+              (``--backend {sim,mp,mpi}``, ``--trace-out timeline.json``;
+              fault injection via ``--fault-plan plan.json`` with
+              ``--comm-timeout``/``--no-degrade``)
 
 ``--quick`` shrinks the volumes, the image, and the processor sweep so
 every command finishes in seconds (useful for smoke tests); results are
@@ -81,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the unified run-timeline JSON here")
     run.add_argument("--out-image", default=None,
                      help="write the final image as PGM here")
+    run.add_argument("--fault-plan", default=None,
+                     help="JSON fault plan (repro.fault-plan/1) to inject: "
+                          "crashes, drops, delays, corruption, stragglers")
+    run.add_argument("--comm-timeout", type=float, default=None,
+                     help="per-receive deadlock timeout in seconds on real "
+                          "transports (default: backend's 60s)")
+    run.add_argument("--no-degrade", action="store_true",
+                     help="fail instead of re-folding onto survivors when "
+                          "a rank is lost before compositing")
     sub.add_parser("all")
     return parser
 
@@ -194,6 +205,7 @@ def _run_one(args, command: str) -> None:
             ),
         )
     elif command == "run":
+        from ..cluster.faults import FaultPlan
         from ..pipeline.config import RunConfig
         from ..pipeline.system import SortLastSystem
 
@@ -208,8 +220,16 @@ def _run_one(args, command: str) -> None:
             volume_shape=_QUICK["volume_shape"] if args.quick else None,
             machine=getattr(args, "machine", "sp2"),
             backend=getattr(args, "backend", "sim"),
+            comm_timeout=getattr(args, "comm_timeout", None),
         )
-        result = SortLastSystem(cfg).run(trace=cfg.backend == "sim")
+        fault_plan = None
+        if getattr(args, "fault_plan", None):
+            fault_plan = FaultPlan.load(args.fault_plan)
+        result = SortLastSystem(cfg).run(
+            trace=cfg.backend == "sim",
+            fault_plan=fault_plan,
+            degrade=not getattr(args, "no_degrade", False),
+        )
         stats = result.compositing.stats
         clock = result.timeline.clock if result.timeline else "modelled"
         lines = [
@@ -219,6 +239,15 @@ def _run_one(args, command: str) -> None:
             f"  compositing M_max   = {stats.mmax_bytes} bytes",
             f"  makespan            = {stats.makespan * 1e3:9.3f} ms",
         ]
+        if result.degraded:
+            lines.append(
+                f"  DEGRADED: lost rank(s) {result.failed_ranks}; re-folded "
+                f"onto {result.plan.num_ranks} survivors"
+            )
+        if result.timeline is not None and result.timeline.events:
+            lines.append(f"  fault events        = {len(result.timeline.events)}")
+            for ev in result.timeline.events[:8]:
+                lines.append(f"    {ev}")
         text = "\n".join(lines)
         _emit(args, "run", text)
         if getattr(args, "trace_out", None):

@@ -67,6 +67,10 @@ class RunConfig:
     method_options: dict[str, Any] = field(default_factory=dict)
     #: Execution backend: "sim" | "mp" | "mpi" (see repro.cluster.backend).
     backend: str = "sim"
+    #: Per-receive blocking timeout (seconds) on real transports before a
+    #: rank declares deadlock; ``None`` uses the backend default.  The
+    #: simulator detects deadlock structurally and ignores this.
+    comm_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
@@ -105,6 +109,10 @@ class RunConfig:
         if self.backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; available: {sorted(BACKENDS)}"
+            )
+        if self.comm_timeout is not None and self.comm_timeout <= 0:
+            raise ConfigurationError(
+                f"comm_timeout must be > 0 seconds, got {self.comm_timeout}"
             )
 
     @property

@@ -54,6 +54,7 @@ __all__ = [
     "composite_phase",
     "gather_phase",
     "pipeline_rank_program",
+    "degraded_rank_program",
 ]
 
 #: Stage bucket used for the final image gather (outside the paper's
@@ -61,7 +62,9 @@ __all__ = [
 GATHER_STAGE = 1_000_000
 
 #: Bump when the renderer's output changes intentionally (per-rank cache).
-_RENDER_CACHE_VERSION = 1
+#: v2: the cache key carries the rendered extent, so degraded reruns
+#: (survivors covering merged blocks) never collide with clean runs.
+_RENDER_CACHE_VERSION = 2
 
 
 class Scene(NamedTuple):
@@ -127,7 +130,7 @@ def build_scene(cfg: RunConfig) -> Scene:
 
 
 # ---- render phase -----------------------------------------------------------
-def _render_cache_path(cfg: RunConfig, rank: int) -> Optional[str]:
+def _render_cache_path(cfg: RunConfig, rank: int, extent) -> Optional[str]:
     cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
     if not cache_dir:
         return None
@@ -144,6 +147,7 @@ def _render_cache_path(cfg: RunConfig, rank: int) -> Optional[str]:
         cfg.num_ranks,
         cfg.balance_render_load,
         rank,
+        (extent.x0, extent.y0, extent.z0, extent.x1, extent.y1, extent.z1),
     )
     digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:24]
     return os.path.join(cache_dir, f"subimage_{digest}.npz")
@@ -176,7 +180,8 @@ def _store_cached_subimage(path: str, image: SubImage) -> None:
 
 async def render_phase(ctx: BaseRankContext, cfg: RunConfig, scene: Scene) -> SubImage:
     """Render this rank's subvolume (no communication, no model time)."""
-    cache_path = _render_cache_path(cfg, ctx.rank)
+    extent = scene.plan.extent(ctx.rank)
+    cache_path = _render_cache_path(cfg, ctx.rank, extent)
     if cache_path is not None:
         cached = _load_cached_subimage(cache_path)
         if cached is not None:
@@ -185,9 +190,7 @@ async def render_phase(ctx: BaseRankContext, cfg: RunConfig, scene: Scene) -> Su
         perf.incr("pipeline.render_cache_misses")
     render = render_subvolume if cfg.renderer == "raycast" else splat_subvolume
     with perf.timer("pipeline.render"):
-        image = render(
-            scene.volume, scene.transfer, scene.camera, scene.plan.extent(ctx.rank)
-        )
+        image = render(scene.volume, scene.transfer, scene.camera, extent)
     if cache_path is not None:
         _store_cached_subimage(cache_path, image)
     return image
@@ -238,7 +241,10 @@ async def gather_phase(
 
 # ---- the full pipeline ------------------------------------------------------
 async def pipeline_rank_program(
-    ctx: BaseRankContext, cfg: RunConfig, gather_final: bool = True
+    ctx: BaseRankContext,
+    cfg: RunConfig,
+    gather_final: bool = True,
+    fault_plan=None,
 ):
     """One rank's full pipeline; module-level so every backend can ship it.
 
@@ -246,8 +252,42 @@ async def pipeline_rank_program(
     pristine rendered image, ``outcome`` the compositing result, and
     ``final`` the assembled display image on rank 0 (``None`` elsewhere
     or when ``gather_final`` is off).
+
+    ``fault_plan`` (a :class:`~repro.cluster.faults.FaultPlan`) installs
+    this rank's seeded injector, sinking its event records into
+    ``ctx.stats.events``; each phase boundary is a crash checkpoint.
+    """
+    if fault_plan is not None:
+        ctx.install_fault_injector(
+            fault_plan.injector_for(ctx.rank, sink=ctx.stats.events)
+        )
+    scene = build_scene(cfg)
+    ctx.fault_checkpoint("render")
+    subimage = await render_phase(ctx, cfg, scene)
+    ctx.fault_checkpoint("composite")
+    outcome = await composite_phase(ctx, cfg, subimage.copy(), scene)
+    final = None
+    if gather_final:
+        ctx.fault_checkpoint("gather")
+        final = await gather_phase(
+            ctx, tile_from_outcome(outcome), scene.camera.height, scene.camera.width
+        )
+    return subimage, outcome, final
+
+
+async def degraded_rank_program(
+    ctx: BaseRankContext, cfg: RunConfig, plan, gather_final: bool = True
+):
+    """Survivor-side rerun after a rank loss: the refolded plan's pipeline.
+
+    ``plan`` is the :class:`~repro.volume.folded.FoldedPartition` built
+    by :func:`~repro.volume.folded.refold_survivors`; bereaved cores
+    re-render their merged blocks (distinct render-cache entries — the
+    cache key carries the extent).  No faults are injected: degradation
+    is a clean pass on the surviving substrate.
     """
     scene = build_scene(cfg)
+    scene = Scene(scene.volume, scene.transfer, scene.camera, plan)
     subimage = await render_phase(ctx, cfg, scene)
     outcome = await composite_phase(ctx, cfg, subimage.copy(), scene)
     final = None

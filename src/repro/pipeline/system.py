@@ -24,20 +24,26 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from ..cluster.backend import Backend, BackendRunResult, SimBackend, make_backend
+from ..cluster.faults import FaultPlan, crash_phase_of
 from ..cluster.model import MachineModel
 from ..cluster.run_timeline import RunTimeline
 from ..cluster.stats import RankStats, RunResult
 from ..compositing.base import CompositeOutcome, Compositor
 from ..compositing.registry import make_compositor
-from ..errors import CompositingError
+from ..errors import CompositingError, RankFailedError
 from ..render.camera import Camera
 from ..render.image import SubImage
 from ..render.reference import composite_sequential
-from ..volume.folded import FoldedPartition, folded_depth_order
+from ..volume.folded import FoldedPartition, folded_depth_order, refold_survivors
 from ..volume.partition import PartitionPlan, depth_order
 from .assemble import assemble_outcomes
 from .config import RunConfig
-from .phases import GATHER_STAGE, build_scene, pipeline_rank_program
+from .phases import (
+    GATHER_STAGE,
+    build_scene,
+    degraded_rank_program,
+    pipeline_rank_program,
+)
 
 __all__ = [
     "CompositingRun",
@@ -154,7 +160,7 @@ def _strip_stage(rank_stats: Sequence[RankStats], stage: int) -> list[RankStats]
     """Per-rank stats with one stage bucket removed (shared buckets)."""
     out: list[RankStats] = []
     for rs in rank_stats:
-        copy = RankStats(rank=rs.rank)
+        copy = RankStats(rank=rs.rank, events=list(rs.events))
         for key, bucket in rs.stages.items():
             if key != stage:
                 copy.stages[key] = bucket
@@ -195,6 +201,12 @@ class SystemResult:
     backend_name: str = "sim"
     #: Unified run timeline (all phases, including the gather stage).
     timeline: Optional[RunTimeline] = field(default=None, repr=False)
+    #: True when ranks were lost and the run re-folded onto survivors;
+    #: the final image is partial-but-valid and the timeline carries the
+    #: fault/degradation events.
+    degraded: bool = False
+    #: Original ranks lost before compositing (degraded runs only).
+    failed_ranks: list[int] = field(default_factory=list)
 
     def reference_image(self) -> SubImage:
         """Sequential depth-order composite of the rendered subimages."""
@@ -217,6 +229,8 @@ class SortLastSystem:
         gather_final: bool = True,
         backend: str | Backend | None = None,
         trace: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        degrade: bool = True,
     ) -> SystemResult:
         """Execute partition → render → composite (→ gather & assemble).
 
@@ -224,6 +238,14 @@ class SortLastSystem:
         short name ("sim", "mp", "mpi") or a
         :class:`~repro.cluster.backend.Backend` instance.  ``trace``
         records the simulator's event trace into the timeline.
+
+        ``fault_plan`` injects the plan's faults through the shared
+        protocol layer (identically on every backend).  When a rank is
+        lost before compositing and ``degrade`` is on, the run re-folds
+        the bisection plan onto the survivors
+        (:func:`~repro.volume.folded.refold_survivors`) and returns a
+        valid image flagged ``degraded``; any other failure — or
+        ``degrade=False`` — re-raises the typed error.
         """
         cfg = self.config
         if backend is None:
@@ -234,13 +256,93 @@ class SortLastSystem:
         # derives (memoized, and inherited by forked mp workers).
         scene = build_scene(cfg)
 
+        args: tuple = (cfg, gather_final)
+        if fault_plan is not None:
+            args = (cfg, gather_final, fault_plan)
+        try:
+            backend_result = engine.run(
+                cfg.num_ranks,
+                pipeline_rank_program,
+                args,
+                model=cfg.machine,
+                trace=trace,
+                timeout=cfg.comm_timeout,
+            )
+        except RankFailedError as err:
+            if (
+                not degrade
+                or fault_plan is None
+                or crash_phase_of(err) != "render"
+                or not isinstance(scene.plan, PartitionPlan)
+                or scene.plan.num_ranks < 2
+            ):
+                raise
+            return self._run_degraded(
+                engine, scene, err, gather_final=gather_final, trace=trace
+            )
+
+        return self._build_result(
+            engine, scene, backend_result, gather_final=gather_final
+        )
+
+    def _run_degraded(
+        self, engine: Backend, scene, err: RankFailedError, *, gather_final: bool,
+        trace: bool,
+    ) -> SystemResult:
+        """Re-fold onto the survivors of a render-phase rank loss and
+        rerun the pipeline clean (no fault injection) on the smaller
+        folded machine."""
+        cfg = self.config
+        failed = [err.rank]
+        folded, rank_map = refold_survivors(scene.plan, failed)
+        orchestrator_events = list(err.events) + [
+            {
+                "event": "detected",
+                "fault": "crash",
+                "rank": err.rank,
+                "phase": "render",
+                "backend": engine.name,
+            },
+            {
+                "event": "degraded",
+                "failed_ranks": failed,
+                "survivor_ranks": rank_map,
+                "core_ranks": folded.core_ranks,
+            },
+        ]
         backend_result = engine.run(
-            cfg.num_ranks,
-            pipeline_rank_program,
-            (cfg, gather_final),
+            folded.num_ranks,
+            degraded_rank_program,
+            (cfg, folded, gather_final),
             model=cfg.machine,
             trace=trace,
+            timeout=cfg.comm_timeout,
         )
+        degraded_scene = type(scene)(
+            scene.volume, scene.transfer, scene.camera, folded
+        )
+        return self._build_result(
+            engine,
+            degraded_scene,
+            backend_result,
+            gather_final=gather_final,
+            degraded=True,
+            failed_ranks=failed,
+            extra_events=orchestrator_events,
+        )
+
+    def _build_result(
+        self,
+        engine: Backend,
+        scene,
+        backend_result: BackendRunResult,
+        *,
+        gather_final: bool,
+        degraded: bool = False,
+        failed_ranks: Optional[list[int]] = None,
+        extra_events: Optional[list[dict]] = None,
+    ) -> SystemResult:
+        cfg = self.config
         subimages = [ret[0] for ret in backend_result.returns]
         outcomes = [ret[1] for ret in backend_result.returns]
 
@@ -270,7 +372,10 @@ class SortLastSystem:
                 "machine": cfg.machine.name,
                 "renderer": cfg.renderer,
                 "gather_final": gather_final,
-            }
+                "degraded": degraded,
+                "failed_ranks": list(failed_ranks or []),
+            },
+            events=extra_events,
         )
         return SystemResult(
             config=cfg,
@@ -281,4 +386,6 @@ class SortLastSystem:
             final_image=final,
             backend_name=engine.name,
             timeline=timeline,
+            degraded=degraded,
+            failed_ranks=list(failed_ranks or []),
         )

@@ -25,7 +25,13 @@ from ..errors import PartitionError
 from ..types import Extent3
 from .partition import PartitionPlan, depth_order, recursive_bisect
 
-__all__ = ["FoldedPartition", "partition_folded", "folded_depth_order", "core_count"]
+__all__ = [
+    "FoldedPartition",
+    "partition_folded",
+    "folded_depth_order",
+    "core_count",
+    "refold_survivors",
+]
 
 
 def core_count(num_ranks: int) -> int:
@@ -131,6 +137,104 @@ def partition_folded(
         extra_of_core=extra_of_core,
         fold_axis=fold_axis,
     )
+
+
+def refold_survivors(
+    plan: PartitionPlan, failed
+) -> tuple[FoldedPartition, list[int]]:
+    """Refold a power-of-two bisection plan onto the survivors of ``failed``.
+
+    Graceful degradation (see ``DESIGN.md`` §5d): a ``P = 2^n`` recursive
+    bisection *is* a fully-folded ``Q = P/2``-core partition — stage-0
+    swap partners ``(2i, 2i+1)`` are the two halves of one axis-aligned
+    split, exactly a (core, extra) fold pair.  When ranks die before
+    compositing, this builds the ``Q``-core plan whose block ``i`` merges
+    leaves ``2i`` and ``2i+1``:
+
+    * both members of pair ``i`` alive — the even leaf becomes core ``i``
+      (rendering its original extent), the odd leaf becomes an extra that
+      folds in across the pair's split plane;
+    * one member dead — the survivor becomes core ``i`` and renders the
+      *merged* block, covering for its buddy;
+    * both members dead — the block is unrecoverable and a
+      :class:`~repro.errors.PartitionError` is raised.
+
+    Returns ``(folded, rank_map)`` where ``rank_map[new_rank]`` is the
+    original rank that plays ``new_rank`` in the degraded run (cores
+    first, then extras in pair order).
+    """
+    num_ranks = plan.num_ranks
+    if num_ranks < 2 or num_ranks & (num_ranks - 1):
+        raise PartitionError(
+            f"refolding requires a power-of-two plan with P >= 2, got P={num_ranks}"
+        )
+    failed = set(failed)
+    unknown = failed - set(range(num_ranks))
+    if unknown:
+        raise PartitionError(f"failed ranks {sorted(unknown)} not in plan of P={num_ranks}")
+    if not failed:
+        raise PartitionError("refold_survivors called with no failed ranks")
+    core = num_ranks // 2
+
+    core_extents: list[Extent3] = []
+    core_axes: list[tuple[int, ...]] = []
+    render_extents: list[Extent3] = []
+    rank_map: list[int] = []
+    extra_specs: list[tuple[int, int, int]] = []  # (core_rank, original_rank, axis)
+
+    for i in range(core):
+        even, odd = 2 * i, 2 * i + 1
+        even_dead, odd_dead = even in failed, odd in failed
+        if even_dead and odd_dead:
+            raise PartitionError(
+                f"ranks {even} and {odd} both failed: block {i} has no survivor "
+                "to re-render it"
+            )
+        lo_ext, hi_ext = plan.extent(even), plan.extent(odd)
+        merged = Extent3(
+            min(lo_ext.x0, hi_ext.x0),
+            min(lo_ext.y0, hi_ext.y0),
+            min(lo_ext.z0, hi_ext.z0),
+            max(lo_ext.x1, hi_ext.x1),
+            max(lo_ext.y1, hi_ext.y1),
+            max(lo_ext.z1, hi_ext.z1),
+        )
+        core_extents.append(merged)
+        # Core stage-k partners differ in original bit k+1: drop stage 0.
+        core_axes.append(tuple(plan.stage_axes[even][1:]))
+        if even_dead or odd_dead:
+            survivor = odd if even_dead else even
+            rank_map.append(survivor)
+            render_extents.append(merged)
+        else:
+            rank_map.append(even)
+            render_extents.append(lo_ext)
+            extra_specs.append((i, odd, plan.stage_axes[even][0]))
+
+    buddy_of_extra: dict[int, int] = {}
+    extra_of_core: dict[int, int] = {}
+    fold_axis: dict[int, int] = {}
+    for j, (core_rank, original, axis) in enumerate(extra_specs):
+        extra_rank = core + j
+        buddy_of_extra[extra_rank] = core_rank
+        extra_of_core[core_rank] = extra_rank
+        fold_axis[core_rank] = axis
+        rank_map.append(original)
+        render_extents.append(plan.extent(original))
+
+    folded = FoldedPartition(
+        num_ranks=core + len(extra_specs),
+        core_plan=PartitionPlan(
+            shape=plan.shape,
+            extents=tuple(core_extents),
+            stage_axes=tuple(core_axes),
+        ),
+        extents=tuple(render_extents),
+        buddy_of_extra=buddy_of_extra,
+        extra_of_core=extra_of_core,
+        fold_axis=fold_axis,
+    )
+    return folded, rank_map
 
 
 def folded_depth_order(folded: FoldedPartition, view_dir: np.ndarray) -> list[int]:

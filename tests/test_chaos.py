@@ -1,0 +1,307 @@
+"""Chaos suite: seeded fault plans against the full pipeline.
+
+The contract under test (ISSUE: fault injection & graceful degradation):
+every faulted run either
+
+* completes with a **valid** image — bit-identical to the fault-free
+  baseline when only benign faults (delays/stragglers) fired, or a
+  degraded-but-correct image (flagged ``degraded``) after a render-phase
+  rank loss — or
+* raises a **typed** :class:`~repro.errors.ReproError`
+  (``RankFailedError`` / ``DeadlockError`` / ``WireFormatError``),
+
+and it never hangs (a SIGALRM watchdog enforces this locally even
+without pytest-timeout) and never returns silently-wrong pixels.
+
+Workloads are small (32³ volume, 32 px image, P=4) so the whole matrix
+runs in seconds; plans replay identically on the simulator and the real
+multiprocessing transport, which is asserted directly on the injected
+event streams.
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import FaultPlan, FaultRule
+from repro.errors import RankFailedError, ReproError, WireFormatError
+from repro.pipeline.config import RunConfig
+from repro.pipeline.system import SortLastSystem
+
+pytestmark = pytest.mark.chaos
+
+METHODS = ("bs", "bsbr", "bslc", "bsbrc")
+BACKENDS = ("sim", "mp")
+NUM_RANKS = 4
+NUM_STAGES = 2  # log2(4)
+
+_WATCHDOG_SECONDS = 90
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog():
+    """Hard per-test hang guard, independent of pytest-timeout.
+
+    POSIX interval timers are not inherited across fork, so the alarm
+    cannot misfire inside mp worker processes.
+    """
+
+    def _fire(signum, frame):  # pragma: no cover - only on a real hang
+        raise RuntimeError(
+            f"chaos test exceeded the {_WATCHDOG_SECONDS}s hang watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.alarm(_WATCHDOG_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _config(method: str) -> RunConfig:
+    return RunConfig(
+        dataset="engine_low",
+        image_size=32,
+        num_ranks=NUM_RANKS,
+        method=method,
+        volume_shape=(32, 32, 16),
+        comm_timeout=3.0,
+    )
+
+
+_BASELINES: dict[str, object] = {}
+
+
+def _baseline(method: str):
+    """Fault-free final image per method (simulator; mp is bit-identical,
+    asserted by the backend-parity suite)."""
+    found = _BASELINES.get(method)
+    if found is None:
+        found = SortLastSystem(_config(method)).run(backend="sim").final_image
+        _BASELINES[method] = found
+    return found
+
+
+def _images_equal(a, b) -> bool:
+    return np.array_equal(a.intensity, b.intensity) and np.array_equal(
+        a.opacity, b.opacity
+    )
+
+
+# ---------------------------------------------------------------------------
+# Benign faults: delays and stragglers never change pixels
+# ---------------------------------------------------------------------------
+class TestBenignFaults:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delays_are_bit_identical_and_recorded(self, backend):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind="delay", rank=1, seconds=0.05, max_applications=2),
+                FaultRule(kind="slow", rank=3, seconds=0.01),
+            ),
+            seed=11,
+        )
+        result = SortLastSystem(_config("bsbrc")).run(
+            backend=backend, fault_plan=plan
+        )
+        assert not result.degraded
+        assert _images_equal(result.final_image, _baseline("bsbrc"))
+        events = result.timeline.events
+        assert any(e["fault"] == "delay" and e["rank"] == 1 for e in events)
+        assert any(e["fault"] == "slow" and e["rank"] == 3 for e in events)
+        assert all(e["event"] == "injected" for e in events)
+
+    def test_injected_event_streams_match_across_substrates(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind="delay", rank=0, seconds=0.02, max_applications=3),
+                FaultRule(kind="slow", rank=2, seconds=0.005),
+                FaultRule(
+                    kind="delay", rank=1, seconds=0.01, probability=0.5,
+                    max_applications=0,
+                ),
+            ),
+            seed=42,
+        )
+        per_backend = {}
+        for backend in BACKENDS:
+            result = SortLastSystem(_config("bsbr")).run(
+                backend=backend, fault_plan=plan
+            )
+            per_backend[backend] = result.timeline.events
+        assert per_backend["sim"] == per_backend["mp"]
+        assert per_backend["sim"]  # the plan actually fired
+
+
+# ---------------------------------------------------------------------------
+# Crashes: degradation on render loss, typed fail-fast elsewhere
+# ---------------------------------------------------------------------------
+class TestCrashFaults:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_render_crash_degrades_to_valid_image(self, backend, tmp_path):
+        plan = FaultPlan(
+            rules=(FaultRule(kind="crash", rank=2, phase="render"),), seed=5
+        )
+        start = time.monotonic()
+        result = SortLastSystem(_config("bsbrc")).run(
+            backend=backend, fault_plan=plan
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0  # detection + degraded rerun, well under budget
+        assert result.degraded
+        assert result.failed_ranks == [2]
+        assert result.plan.num_ranks == 3  # 2 cores + 1 extra survive
+        reference = result.reference_image()
+        assert np.allclose(result.final_image.intensity, reference.intensity)
+        assert np.allclose(result.final_image.opacity, reference.opacity)
+        # The timeline document records the whole story.
+        doc = result.timeline.to_dict()
+        assert doc["meta"]["degraded"] is True
+        assert doc["meta"]["failed_ranks"] == [2]
+        kinds = [(e["event"], e.get("fault")) for e in doc["events"]]
+        assert ("injected", "crash") in kinds
+        assert ("detected", "crash") in kinds
+        assert ("degraded", None) in kinds
+        # ... and survives a JSON round trip to disk.
+        path = tmp_path / "timeline.json"
+        result.timeline.save(path)
+        from repro.cluster.run_timeline import RunTimeline
+
+        reloaded = RunTimeline.load(path)
+        assert reloaded.meta["degraded"] is True
+        assert reloaded.events == result.timeline.events
+
+    def test_degraded_images_are_bit_identical_across_substrates(self):
+        plan = FaultPlan(
+            rules=(FaultRule(kind="crash", rank=1, phase="render"),), seed=6
+        )
+        results = [
+            SortLastSystem(_config("bsbrc")).run(backend=b, fault_plan=plan)
+            for b in BACKENDS
+        ]
+        assert all(r.degraded for r in results)
+        assert _images_equal(results[0].final_image, results[1].final_image)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_composite_stage_crash_fails_fast_and_typed(self, backend):
+        plan = FaultPlan(
+            rules=(FaultRule(kind="crash", rank=1, stage=1),), seed=5
+        )
+        start = time.monotonic()
+        with pytest.raises(RankFailedError) as err:
+            SortLastSystem(_config("bsbrc")).run(backend=backend, fault_plan=plan)
+        assert time.monotonic() - start < 5.0  # the ISSUE's detection window
+        assert err.value.rank == 1
+        assert "injected crash" in str(err.value)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_no_degrade_flag_reraises(self, backend):
+        plan = FaultPlan(
+            rules=(FaultRule(kind="crash", rank=2, phase="render"),), seed=5
+        )
+        with pytest.raises(RankFailedError):
+            SortLastSystem(_config("bsbrc")).run(
+                backend=backend, fault_plan=plan, degrade=False
+            )
+
+
+# ---------------------------------------------------------------------------
+# Corruption: always a WireFormatError, never wrong pixels
+# ---------------------------------------------------------------------------
+class TestCorruptionFaults:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", ("bs", "bsbrc"))
+    def test_corruption_surfaces_wire_format_error(self, backend, method):
+        plan = FaultPlan(
+            rules=(FaultRule(kind="corrupt", rank=0, stage=0),), seed=21
+        )
+        with pytest.raises(WireFormatError, match="failed CRC32"):
+            SortLastSystem(_config(method)).run(backend=backend, fault_plan=plan)
+
+
+# ---------------------------------------------------------------------------
+# Drops: a typed error (deadlock or downstream failure), never a hang
+# ---------------------------------------------------------------------------
+class TestDropFaults:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dropped_message_raises_typed_error(self, backend):
+        plan = FaultPlan(
+            rules=(FaultRule(kind="drop", rank=0, stage=0),), seed=31
+        )
+        with pytest.raises(ReproError):
+            SortLastSystem(_config("bsbrc")).run(backend=backend, fault_plan=plan)
+
+
+# ---------------------------------------------------------------------------
+# Randomized matrix: seeded plans x methods x substrates
+# ---------------------------------------------------------------------------
+def _random_plan(seed: int) -> FaultPlan:
+    rng = random.Random(seed)
+    rules = []
+    for _ in range(rng.randint(1, 3)):
+        kind = rng.choice(("crash", "drop", "delay", "corrupt", "slow"))
+        rank = rng.randrange(NUM_RANKS)
+        if kind == "crash":
+            if rng.random() < 0.5:
+                rules.append(
+                    FaultRule(kind="crash", rank=rank, stage=rng.randrange(NUM_STAGES))
+                )
+            else:
+                rules.append(
+                    FaultRule(
+                        kind="crash",
+                        rank=rank,
+                        phase=rng.choice(("render", "composite", "gather")),
+                    )
+                )
+        elif kind in ("delay", "slow"):
+            rules.append(
+                FaultRule(
+                    kind=kind,
+                    rank=rank,
+                    seconds=rng.choice((0.005, 0.02)),
+                    max_applications=rng.choice((1, 2, 0)),
+                )
+            )
+        else:
+            rules.append(
+                FaultRule(
+                    kind=kind,
+                    rank=rank,
+                    stage=rng.randrange(NUM_STAGES),
+                    probability=rng.choice((1.0, 0.5)),
+                )
+            )
+    return FaultPlan(rules=tuple(rules), seed=rng.randrange(1 << 16))
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_plan_completes_validly_or_raises_typed(self, seed, backend):
+        method = METHODS[seed % len(METHODS)]
+        plan = _random_plan(seed)
+        try:
+            result = SortLastSystem(_config(method)).run(
+                backend=backend, fault_plan=plan
+            )
+        except ReproError:
+            return  # typed failure is an acceptable outcome by contract
+        fired = {e.get("fault") for e in result.timeline.events if e["event"] == "injected"}
+        if result.degraded:
+            # Valid partial image: matches its own sequential reference.
+            reference = result.reference_image()
+            assert np.allclose(result.final_image.intensity, reference.intensity)
+            assert np.allclose(result.final_image.opacity, reference.opacity)
+        else:
+            # Completed un-degraded: only benign faults may have fired,
+            # and pixels must match the fault-free baseline exactly.
+            assert fired <= {"delay", "slow"}
+            assert _images_equal(result.final_image, _baseline(method))
