@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick chaos verify lint results quick clean
+.PHONY: install test bench bench-quick chaos grid verify lint results quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +23,12 @@ bench-quick:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_chaos.py -q \
 		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo --timeout=120 --timeout-method=signal)
+
+# Schedule x codec equivalence grid: every combo vs the sequential
+# oracle, plus bit-parity of the paper aliases against the recorded
+# seed counters (tests/data/seed_counters.json).
+grid:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_grid_equivalence.py tests/test_schedule_codec.py -q
 
 # What CI gates on: the tier-1 suite plus the hot-path regression check.
 verify:

@@ -14,13 +14,37 @@ from typing import Any, Callable, Optional
 from ..errors import ConfigurationError
 from .context import RankContext, payload_nbytes
 
-__all__ = ["gather", "bcast", "allreduce"]
+__all__ = ["gather", "bcast", "allreduce", "exchange_grouped"]
 
 #: Tag space reserved for collectives so they never collide with
 #: compositing-stage tags (which are small non-negative stage indices).
 _GATHER_TAG = 1 << 20
 _BCAST_TAG = 1 << 21
 _ALLREDUCE_TAG = 1 << 22
+
+
+async def exchange_grouped(
+    ctx: RankContext,
+    sends: "list[tuple[int, Any, int]]",
+    *,
+    tag: int = 0,
+) -> list[Any]:
+    """Grouped k-ary exchange: pairwise full-duplex rounds, in order.
+
+    ``sends`` is a sequence of ``(peer, payload, nbytes)``; each entry is
+    one ``sendrecv`` with that peer, and the replies come back in the
+    same order.  A single entry is exactly the binary-swap partner
+    exchange; ``k - 1`` entries following a radix-k XOR round schedule
+    (round ``t`` pairs member ``m`` with ``m ^ t``) realize one grouped
+    stage.  The caller must arrange that every round is a perfect
+    matching across the group — i.e. if ``a``'s ``t``-th entry targets
+    ``b`` then ``b``'s ``t``-th entry targets ``a`` — or the blocking
+    rounds deadlock.
+    """
+    replies: list[Any] = []
+    for peer, payload, nbytes in sends:
+        replies.append(await ctx.sendrecv(peer, payload, nbytes=nbytes, tag=tag))
+    return replies
 
 
 async def gather(

@@ -1,12 +1,21 @@
 """Core contribution: sparse binary-swap image compositing methods.
 
-The four methods of the paper — :class:`~repro.compositing.bs.BinarySwap`
-(BS), :class:`~repro.compositing.bsbr.BinarySwapBoundingRect` (BSBR),
-:class:`~repro.compositing.bslc.BinarySwapLoadBalancedCompression`
-(BSLC) and
-:class:`~repro.compositing.bsbrc.BinarySwapBoundingRectCompression`
-(BSBRC) — plus related-work baselines, the *over* operator, the mask RLE
-codec, bounding-rectangle machinery and the byte-level wire formats.
+Compositing factors into two orthogonal planes (see ``DESIGN.md`` §5e):
+
+* a **schedule** (:mod:`~repro.compositing.schedule`) decides who
+  exchanges which image part at each stage — binary-swap, sectioned,
+  direct-send and the generalized radix-k;
+* a **codec** (:mod:`~repro.compositing.codec`) decides how a part
+  crosses the wire and what modelled time it charges — raw, bounding
+  rect, run-length, rect + RLE.
+
+:class:`~repro.compositing.engine.ScheduledCompositor` runs any
+compatible pair; the paper's four methods (BS, BSBR, BSLC, BSBRC) are
+registry aliases over these planes, priced identically to the original
+hand-written classes (:mod:`.bs`, :mod:`.bsbr`, :mod:`.bslc`,
+:mod:`.bsbrc`, kept as parity baselines).  Also here: related-work
+baselines, the *over* operator, the mask RLE codec, bounding-rectangle
+machinery and the byte-level wire formats.
 """
 
 from .base import CompositeOutcome, Compositor, composite_rect_pixels, split_axis_for
@@ -23,6 +32,14 @@ from .bsbr import BinarySwapBoundingRect
 from .bsbrc import BinarySwapBoundingRectCompression
 from .bslc import BinarySwapLoadBalancedCompression, final_owned_indices
 from .bslc_value import BinarySwapValueCompression
+from .codec import (
+    BoundingRectCodec,
+    PixelCodec,
+    RawCodec,
+    RectRLECodec,
+    RunLengthCodec,
+)
+from .engine import ScheduledCompositor
 from .value_rle import (
     VALUE_RUN_BYTES,
     pack_value_runs,
@@ -33,7 +50,28 @@ from .value_rle import (
 from .interleave import DEFAULT_SECTION, initial_indices, split_interleaved
 from .over import is_blank, nonblank_mask, over, over_inplace, over_scalar
 from .rect import clip_rect, find_bounding_rect, split_rect_by_centerline
-from .registry import PAPER_METHODS, available_methods, make_compositor, register
+from .registry import (
+    CODECS,
+    COMBO_ALIASES,
+    PAPER_METHODS,
+    SCHEDULES,
+    available_methods,
+    make_compositor,
+    make_scheduled,
+    method_catalog,
+    register,
+    validate_method,
+)
+from .schedule import (
+    BinarySwapSchedule,
+    DirectSendSchedule,
+    IndexPart,
+    RadixKSchedule,
+    RectPart,
+    Schedule,
+    SectionedSchedule,
+    parse_radix,
+)
 from .rle import MAX_RUN, count_nonblank, rle_decode_mask, rle_encode_mask
 from .wire import (
     WireMessage,
@@ -42,11 +80,15 @@ from .wire import (
     pack_bsbrc,
     pack_bslc,
     pack_pixels_rect,
+    pack_raw_seq,
+    pack_rle_rect,
     unpack_bs,
     unpack_bsbr,
     unpack_bsbrc,
     unpack_bslc,
     unpack_pixels_rect,
+    unpack_raw_seq,
+    unpack_rle_rect,
 )
 
 __all__ = [
@@ -54,17 +96,33 @@ __all__ = [
     "BinarySwapBoundingRect",
     "BinarySwapBoundingRectCompression",
     "BinarySwapLoadBalancedCompression",
+    "BinarySwapSchedule",
     "BinarySwapValueCompression",
     "BinaryTreeCompression",
+    "BoundingRectCodec",
+    "CODECS",
+    "COMBO_ALIASES",
     "CompositeOutcome",
     "Compositor",
     "DEFAULT_SECTION",
     "DirectSend",
     "DirectSendAsync",
+    "DirectSendSchedule",
     "FoldedCompositor",
+    "IndexPart",
     "MAX_RUN",
     "PAPER_METHODS",
     "ParallelPipeline",
+    "PixelCodec",
+    "RadixKSchedule",
+    "RawCodec",
+    "RectPart",
+    "RectRLECodec",
+    "RunLengthCodec",
+    "SCHEDULES",
+    "Schedule",
+    "ScheduledCompositor",
+    "SectionedSchedule",
     "VALUE_RUN_BYTES",
     "WireMessage",
     "available_methods",
@@ -76,6 +134,8 @@ __all__ = [
     "initial_indices",
     "is_blank",
     "make_compositor",
+    "make_scheduled",
+    "method_catalog",
     "nonblank_mask",
     "over",
     "over_inplace",
@@ -85,7 +145,10 @@ __all__ = [
     "pack_bsbrc",
     "pack_bslc",
     "pack_pixels_rect",
+    "pack_raw_seq",
+    "pack_rle_rect",
     "pack_value_runs",
+    "parse_radix",
     "register",
     "rle_decode_mask",
     "rle_encode_mask",
@@ -98,7 +161,10 @@ __all__ = [
     "unpack_bsbrc",
     "unpack_bslc",
     "unpack_pixels_rect",
+    "unpack_raw_seq",
+    "unpack_rle_rect",
     "unpack_value_runs",
+    "validate_method",
     "value_rle_decode",
     "value_rle_encode",
 ]

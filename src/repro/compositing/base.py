@@ -48,18 +48,30 @@ class CompositeOutcome:
     image: SubImage
     owned_rect: Rect | None = None
     owned_indices: np.ndarray | None = None
+    #: Name of the compositor that produced this outcome (diagnostics;
+    #: optional, filled in by the pipeline when the method omits it).
+    producer: str | None = None
 
     def __post_init__(self) -> None:
         if (self.owned_rect is None) == (self.owned_indices is None):
+            got = "both" if self.owned_rect is not None else "neither"
+            who = f" (from compositor {self.producer!r})" if self.producer else ""
             raise CompositingError(
-                "exactly one of owned_rect / owned_indices must be provided"
+                f"exactly one of owned_rect / owned_indices must be provided; "
+                f"got {got}{who}"
             )
 
     @property
     def owned_pixel_count(self) -> int:
         if self.owned_rect is not None:
             return self.owned_rect.area
-        return int(self.owned_indices.shape[0])  # type: ignore[union-attr]
+        indices = np.asarray(self.owned_indices)
+        if indices.size == 0:
+            # An empty index set is valid ownership (e.g. a fully-sent
+            # sequence); a 0-d or 0-length array must count as 0, not
+            # trip over a missing shape[0].
+            return 0
+        return int(indices.shape[0])
 
     def owned_values(self) -> tuple[np.ndarray, np.ndarray]:
         """Flat ``(intensity, opacity)`` arrays of the owned pixels."""

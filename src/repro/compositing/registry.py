@@ -1,63 +1,237 @@
 """Name → compositor factory registry.
 
-The experiment harness, CLI and examples refer to methods by their paper
-names (``bs``, ``bsbr``, ``bslc``, ``bsbrc``) plus the related-work
-baselines implemented as extensions (``direct``, ``tree``,
-``pipeline``).  Factories accept the method's keyword options so
-ablations (split policy, section size) route through the same interface.
+Methods are addressable two ways:
+
+* **paper names and baselines** — the four paper methods (``bs``,
+  ``bsbr``, ``bslc``, ``bsbrc``) are thin aliases over the schedule ×
+  codec engine (:data:`COMBO_ALIASES`); the related-work baselines
+  (``direct``, ``direct-async``, ``tree``, ``pipeline``, ``bslcv``)
+  keep their dedicated classes;
+* **schedule × codec combos** — ``"<schedule>:<codec>"`` strings such
+  as ``radix-k:rect-rle`` or ``sectioned:raw``, instantiated through
+  :class:`~repro.compositing.engine.ScheduledCompositor`.  Any
+  compatible pair from :data:`SCHEDULES` × :data:`CODECS` works.
+
+Factories accept the method's keyword options (``split_policy``,
+``section``, ``radix``, ``charge_pack``) so ablations route through the
+same interface; unknown names get a did-you-mean suggestion.
 """
 
 from __future__ import annotations
 
+import difflib
+import inspect
 from typing import Callable
 
 from ..errors import ConfigurationError
 from .base import Compositor
 
-__all__ = ["register", "make_compositor", "available_methods", "PAPER_METHODS"]
+__all__ = [
+    "register",
+    "make_compositor",
+    "make_scheduled",
+    "available_methods",
+    "method_catalog",
+    "validate_method",
+    "PAPER_METHODS",
+    "COMBO_ALIASES",
+    "SCHEDULES",
+    "CODECS",
+]
 
 _REGISTRY: dict[str, Callable[..., Compositor]] = {}
+_DESCRIPTIONS: dict[str, str] = {}
 
 #: The four methods evaluated in the paper's tables, in table order.
 PAPER_METHODS = ("bs", "bsbr", "bslc", "bsbrc")
 
+#: The paper methods as schedule × codec coordinates.
+COMBO_ALIASES: dict[str, tuple[str, str]] = {
+    "bs": ("binary-swap", "raw"),
+    "bsbr": ("binary-swap", "rect"),
+    "bslc": ("sectioned", "rle"),
+    "bsbrc": ("binary-swap", "rect-rle"),
+}
 
-def register(name: str, factory: Callable[..., Compositor]) -> None:
+
+def _load_planes():
+    from .codec import BoundingRectCodec, RawCodec, RectRLECodec, RunLengthCodec
+    from .schedule import (
+        BinarySwapSchedule,
+        DirectSendSchedule,
+        RadixKSchedule,
+        SectionedSchedule,
+    )
+
+    schedules = {
+        "binary-swap": BinarySwapSchedule,
+        "sectioned": SectionedSchedule,
+        "direct-send": DirectSendSchedule,
+        "radix-k": RadixKSchedule,
+    }
+    codecs = {
+        "raw": RawCodec,
+        "rect": BoundingRectCodec,
+        "rle": RunLengthCodec,
+        "rect-rle": RectRLECodec,
+    }
+    return schedules, codecs
+
+
+SCHEDULES, CODECS = _load_planes()
+
+
+def register(name: str, factory: Callable[..., Compositor], *, description: str = "") -> None:
     """Register a compositor factory under ``name`` (lowercase)."""
     key = name.lower()
     if key in _REGISTRY:
         raise ConfigurationError(f"compositor {name!r} already registered")
     _REGISTRY[key] = factory
+    if description:
+        _DESCRIPTIONS[key] = description
+
+
+def _suggestion(name: str, candidates) -> str:
+    close = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.5)
+    return f" — did you mean {close[0]!r}?" if close else ""
+
+
+def _compatible_codecs(schedule_name: str) -> list[str]:
+    kind = SCHEDULES[schedule_name].part_kind
+    return sorted(c for c, cls in CODECS.items() if kind in cls.supports)
+
+
+def _resolve_combo(schedule_name: str, codec_name: str) -> None:
+    """Validate a combo's names and compatibility (raises on failure)."""
+    if schedule_name not in SCHEDULES:
+        raise ConfigurationError(
+            f"unknown schedule {schedule_name!r}; available schedules: "
+            f"{sorted(SCHEDULES)}" + _suggestion(schedule_name, SCHEDULES)
+        )
+    if codec_name not in CODECS:
+        raise ConfigurationError(
+            f"unknown codec {codec_name!r}; available codecs: {sorted(CODECS)}"
+            + _suggestion(codec_name, CODECS)
+        )
+    if SCHEDULES[schedule_name].part_kind not in CODECS[codec_name].supports:
+        raise ConfigurationError(
+            f"codec {codec_name!r} cannot carry the "
+            f"{SCHEDULES[schedule_name].part_kind!r} parts of schedule "
+            f"{schedule_name!r}; compatible codecs: "
+            f"{_compatible_codecs(schedule_name)}"
+        )
+
+
+def make_scheduled(
+    schedule_name: str, codec_name: str, *, name: str | None = None, **options
+) -> Compositor:
+    """Build a :class:`ScheduledCompositor` for ``schedule × codec``.
+
+    Options route by introspection: ``charge_pack`` to the engine, the
+    rest to the schedule constructor (codecs take no options).
+    """
+    from .engine import ScheduledCompositor
+
+    _resolve_combo(schedule_name, codec_name)
+    schedule_cls = SCHEDULES[schedule_name]
+    engine_opts = {}
+    if "charge_pack" in options:
+        engine_opts["charge_pack"] = options.pop("charge_pack")
+    accepted = set(inspect.signature(schedule_cls.__init__).parameters) - {"self"}
+    unknown = set(options) - accepted
+    if unknown:
+        raise ConfigurationError(
+            f"method {schedule_name}:{codec_name} does not accept option(s) "
+            f"{sorted(unknown)}; schedule options: {sorted(accepted)}, "
+            f"engine options: ['charge_pack']"
+        )
+    return ScheduledCompositor(
+        schedule_cls(**options), CODECS[codec_name](), name=name, **engine_opts
+    )
 
 
 def make_compositor(name: str, **options) -> Compositor:
-    """Instantiate a registered compositor by name."""
-    factory = _REGISTRY.get(name.lower())
+    """Instantiate a method by registry name or ``schedule:codec`` spec."""
+    key = name.lower()
+    if ":" in key:
+        schedule_name, _, codec_name = key.partition(":")
+        return make_scheduled(schedule_name, codec_name, **options)
+    factory = _REGISTRY.get(key)
     if factory is None:
         raise ConfigurationError(
-            f"unknown compositing method {name!r}; available: {available_methods()}"
+            f"unknown compositing method {name!r}; available: "
+            f"{available_methods()}" + _suggestion(key, available_methods())
         )
     return factory(**options)
 
 
+def validate_method(name: str) -> None:
+    """Check that ``name`` resolves, without instantiating anything."""
+    key = name.lower()
+    if ":" in key:
+        schedule_name, _, codec_name = key.partition(":")
+        _resolve_combo(schedule_name, codec_name)
+        return
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown compositing method {name!r}; available: "
+            f"{available_methods()}" + _suggestion(key, available_methods())
+        )
+
+
+def _combo_names() -> list[str]:
+    return [
+        f"{s}:{c}"
+        for s in sorted(SCHEDULES)
+        for c in sorted(CODECS)
+        if SCHEDULES[s].part_kind in CODECS[c].supports
+    ]
+
+
 def available_methods() -> list[str]:
-    return sorted(_REGISTRY)
+    """Every addressable method: registered names plus valid combos."""
+    return sorted(set(_REGISTRY) | set(_combo_names()))
+
+
+def method_catalog() -> dict[str, str]:
+    """Method name → one-line description (drives the CLI help text)."""
+    catalog = dict(_DESCRIPTIONS)
+    for combo in _combo_names():
+        schedule_name, _, codec_name = combo.partition(":")
+        catalog[combo] = (
+            f"{SCHEDULES[schedule_name].description}; "
+            f"{CODECS[codec_name].description}"
+        )
+    for key in _REGISTRY:
+        catalog.setdefault(key, "")
+    return dict(sorted(catalog.items()))
+
+
+def _alias_factory(alias: str, schedule_name: str, codec_name: str):
+    def build(**options) -> Compositor:
+        return make_scheduled(schedule_name, codec_name, name=alias, **options)
+
+    return build
 
 
 def _register_builtins() -> None:
-    from .bs import BinarySwap
-    from .bsbr import BinarySwapBoundingRect
-    from .bsbrc import BinarySwapBoundingRectCompression
-    from .bslc import BinarySwapLoadBalancedCompression
-
-    register("bs", BinarySwap)
-    register("bsbr", BinarySwapBoundingRect)
-    register("bslc", BinarySwapLoadBalancedCompression)
-    register("bsbrc", BinarySwapBoundingRectCompression)
+    for alias, (schedule_name, codec_name) in COMBO_ALIASES.items():
+        register(
+            alias,
+            _alias_factory(alias, schedule_name, codec_name),
+            description=(
+                f"paper method (= {schedule_name}:{codec_name}): "
+                f"{CODECS[codec_name].description}"
+            ),
+        )
 
     from .bslc_value import BinarySwapValueCompression
 
-    register("bslcv", BinarySwapValueCompression)
+    register(
+        "bslcv",
+        BinarySwapValueCompression,
+        description="BSLC variant with value run-length coding",
+    )
 
     from .baselines import (
         BinaryTreeCompression,
@@ -66,10 +240,26 @@ def _register_builtins() -> None:
         ParallelPipeline,
     )
 
-    register("direct", DirectSend)
-    register("direct-async", DirectSendAsync)
-    register("tree", BinaryTreeCompression)
-    register("pipeline", ParallelPipeline)
+    register(
+        "direct",
+        DirectSend,
+        description="direct send of row strips, blocking XOR rounds",
+    )
+    register(
+        "direct-async",
+        DirectSendAsync,
+        description="direct send of row strips, non-blocking",
+    )
+    register(
+        "tree",
+        BinaryTreeCompression,
+        description="binary-tree reduction to a single root",
+    )
+    register(
+        "pipeline",
+        ParallelPipeline,
+        description="ring pipeline with dual accumulators",
+    )
 
 
 _register_builtins()

@@ -1,0 +1,425 @@
+"""Exchange schedules — the *who swaps what* plane of compositing.
+
+The paper's four methods are points in a 2-D design space: an exchange
+*schedule* (which ranks exchange which image parts at each stage, and
+how ownership narrows) crossed with a pixel *codec* (how a part's pixels
+are serialized — see :mod:`repro.compositing.codec`).  A
+:class:`Schedule` captures the first axis: :meth:`Schedule.build`
+produces one rank's :class:`RankProgram` — a sequence of
+:class:`ScheduleStage`\\ s, each holding the kept part, the
+:class:`ExchangeStep`\\ s (peer + part to send) and the depth order in
+which received contributions fold into the kept part.
+
+Implementations:
+
+* :class:`BinarySwapSchedule` — the classic pairwise halving exchange
+  shared by BS/BSBR/BSBRC (partner ``rank ^ 2^k``, centerline split);
+* :class:`SectionedSchedule` — BSLC's statically load-balanced
+  *interleaved section* distribution (§3.3, Figure 6): parts are index
+  sets into the flattened frame, not contiguous rects;
+* :class:`RadixKSchedule` — the radix-k generalization (Peterka et al.):
+  processors are factored into rounds of group size ``k_j``; within a
+  group each member keeps ``1/k`` of the region and runs ``k-1``
+  pairwise exchanges.  ``k = [2, 2, ...]`` degenerates to binary swap
+  *exactly* (same partners, same splits, same byte counts);
+* :class:`DirectSendSchedule` — the single-stage ``k = P`` extreme:
+  every rank sends every other rank its slice of that rank's region.
+
+All rect schedules carve regions with the same recursive centerline
+splits binary swap uses, so final ownership maps are identical across
+radix choices and the gathered image is independent of the schedule.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from ..cluster.topology import keeps_low_half, log2_int
+from ..errors import CompositingError, ConfigurationError
+from ..types import Rect
+from ..volume.partition import PartitionPlan
+from .base import split_axis_for
+from .interleave import DEFAULT_SECTION, initial_indices, split_interleaved
+
+__all__ = [
+    "RectPart",
+    "IndexPart",
+    "ExchangeStep",
+    "ScheduleStage",
+    "RankProgram",
+    "Schedule",
+    "BinarySwapSchedule",
+    "SectionedSchedule",
+    "DirectSendSchedule",
+    "RadixKSchedule",
+    "parse_radix",
+]
+
+
+# --------------------------------------------------------------------------
+# image parts
+# --------------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class RectPart:
+    """A contiguous image region (rect-structured schedules)."""
+
+    rect: Rect
+    kind: ClassVar[str] = "rect"
+
+    @property
+    def num_pixels(self) -> int:
+        return self.rect.area
+
+
+@dataclass(frozen=True, eq=False)
+class IndexPart:
+    """An interleaved set of flat pixel indices (sectioned schedules)."""
+
+    indices: np.ndarray
+    kind: ClassVar[str] = "index"
+
+    @property
+    def num_pixels(self) -> int:
+        return int(self.indices.shape[0])
+
+
+# --------------------------------------------------------------------------
+# per-stage structure
+# --------------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class ExchangeStep:
+    """One pairwise full-duplex exchange: ship ``send_part`` to ``peer``."""
+
+    peer: int
+    send_part: RectPart | IndexPart
+
+
+@dataclass(frozen=True, eq=False)
+class ScheduleStage:
+    """One stage of a rank's program.
+
+    ``steps`` run in listed order (every position in the list must be a
+    perfect matching across the group, as an XOR round schedule
+    guarantees).  ``composite_order`` lists ``(step_slot,
+    local_in_front)`` pairs in the order received contributions must fold
+    into the kept part: contributions behind the accumulated local image
+    first (near to far, ``local_in_front=True``), then contributions in
+    front (far to near, ``local_in_front=False``) — the sequential
+    application then equals the depth-ordered *over* chain.
+    """
+
+    index: int
+    keep_part: RectPart | IndexPart
+    steps: tuple[ExchangeStep, ...]
+    composite_order: tuple[tuple[int, bool], ...]
+
+
+@dataclass(frozen=True, eq=False)
+class RankProgram:
+    """Everything one rank does: the stages plus its final owned part."""
+
+    stages: tuple[ScheduleStage, ...]
+    final_part: RectPart | IndexPart
+
+
+# --------------------------------------------------------------------------
+# schedule base
+# --------------------------------------------------------------------------
+class Schedule(abc.ABC):
+    """Produces per-rank exchange programs; stateless and reusable."""
+
+    #: Registry name, e.g. ``"binary-swap"``.
+    name: str = "abstract"
+    #: Part representation this schedule exchanges: ``"rect"`` | ``"index"``.
+    part_kind: str = "rect"
+    #: One-line description for the method catalog.
+    description: str = ""
+
+    @abc.abstractmethod
+    def build(
+        self,
+        rank: int,
+        size: int,
+        frame: Rect,
+        num_pixels: int,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> RankProgram:
+        """Build rank ``rank``'s program for a ``size``-rank exchange."""
+
+    def refold_pairs(self, size: int) -> list[tuple[int, int]]:
+        """First-exchange buddy pairs, keyed off this schedule.
+
+        Graceful degradation re-folds a lost rank's block onto its
+        first-exchange partner (see
+        :func:`repro.volume.folded.refold_survivors`); the pairing comes
+        from the schedule so a future schedule whose first round does
+        not pair bisection buddies fails loudly instead of silently
+        mis-folding.  Every built-in schedule opens with the stage-0
+        binary-swap pairing ``(2i, 2i+1)``.
+        """
+        return [(2 * i, 2 * i + 1) for i in range(size // 2)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def parse_radix(text: str) -> tuple[int, ...]:
+    """Parse a CLI-style radix list, e.g. ``"4,4"`` → ``(4, 4)``."""
+    try:
+        factors = tuple(int(tok) for tok in text.replace(" ", "").split(",") if tok)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad radix list {text!r}: expected comma-separated integers"
+        ) from None
+    if not factors:
+        raise ConfigurationError(f"bad radix list {text!r}: no factors")
+    return factors
+
+
+# --------------------------------------------------------------------------
+# radix-k (and its binary-swap / direct-send degenerations)
+# --------------------------------------------------------------------------
+class RadixKSchedule(Schedule):
+    """Grouped k-ary exchange over recursively bisected regions.
+
+    Stage ``j`` covers ``g_j = log2(k_j)`` partner bits of the rank id:
+    the ``k_j`` ranks differing only in those bits form a group, the
+    current region splits ``g_j`` times by centerline (one split per
+    bit, same axis policy as binary swap) into one subregion per member,
+    and ``k_j - 1`` pairwise XOR rounds (round ``t`` pairs member ``m``
+    with ``m ^ t`` — a perfect matching, deadlock-free with full-duplex
+    ``sendrecv``) deliver to each member every peer's version of *its*
+    subregion.  With ``radix=[2]*log2(P)`` every group is a binary-swap
+    pair and the schedule reproduces BS bit for bit.
+
+    ``radix`` factors must be powers of two ≥ 2.  The list adapts to the
+    actual group size (degraded reruns fold onto fewer ranks): factors
+    are consumed left to right, each clamped to the unfactored
+    remainder, and the list's last factor (default 2) repeats if it runs
+    out — e.g. ``(4, 4)`` resolves to ``4×4`` at P=16, ``4×2`` at P=8,
+    ``4`` at P=4 and ``2`` at P=2.
+    """
+
+    name = "radix-k"
+    part_kind = "rect"
+    description = "grouped k-ary rounds generalizing binary swap (radix-k)"
+
+    def __init__(
+        self,
+        *,
+        radix: tuple[int, ...] | list[int] | None = None,
+        split_policy: str = "longest",
+    ):
+        if radix is not None:
+            radix = tuple(int(k) for k in radix)
+            if not radix:
+                raise ConfigurationError("radix list must not be empty")
+            for k in radix:
+                if k < 2 or k & (k - 1):
+                    raise ConfigurationError(
+                        f"radix factors must be powers of two >= 2, got {k}"
+                    )
+        self.radix = radix
+        self.split_policy = split_policy
+
+    def effective_radix(self, size: int) -> tuple[int, ...]:
+        """Resolve the requested factors against an actual group size."""
+        log2_int(size)  # validates power of two
+        factors: list[int] = []
+        remaining = size
+        i = 0
+        while remaining > 1:
+            if self.radix is None:
+                want = 2
+            elif i < len(self.radix):
+                want = self.radix[i]
+            else:
+                want = self.radix[-1]
+            k = min(want, remaining)
+            factors.append(k)
+            remaining //= k
+            i += 1
+        return tuple(factors)
+
+    def build(
+        self,
+        rank: int,
+        size: int,
+        frame: Rect,
+        num_pixels: int,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> RankProgram:
+        factors = self.effective_radix(size)
+        region = frame
+        stages: list[ScheduleStage] = []
+        bit = 0
+        for stage_idx, k in enumerate(factors):
+            group_bits = log2_int(k)
+            me = (rank >> bit) & (k - 1)
+            subregions = [
+                self._member_region(region, bit, member, group_bits)
+                for member in range(k)
+            ]
+            steps = tuple(
+                ExchangeStep(
+                    peer=self._member_rank(rank, bit, me ^ t, k),
+                    send_part=RectPart(subregions[me ^ t]),
+                )
+                for t in range(1, k)
+            )
+            order = self._composite_order(
+                rank, bit, group_bits, me, k, plan, view_dir
+            )
+            stages.append(
+                ScheduleStage(
+                    index=stage_idx,
+                    keep_part=RectPart(subregions[me]),
+                    steps=steps,
+                    composite_order=order,
+                )
+            )
+            region = subregions[me]
+            bit += group_bits
+        return RankProgram(stages=tuple(stages), final_part=RectPart(region))
+
+    def _member_region(
+        self, region: Rect, bit: int, member: int, group_bits: int
+    ) -> Rect:
+        """Member ``member``'s subregion: one centerline split per bit."""
+        cur = region
+        for i in range(group_bits):
+            axis = split_axis_for(cur, bit + i, self.split_policy)
+            first, second = cur.split(axis)
+            if first.is_empty or second.is_empty:
+                raise CompositingError(
+                    f"image too small to halve at stage {bit + i} (region {cur})"
+                )
+            cur = second if (member >> i) & 1 else first
+        return cur
+
+    @staticmethod
+    def _member_rank(rank: int, bit: int, member: int, k: int) -> int:
+        """Rank id of group member ``member`` (replace the group bits)."""
+        return (rank & ~((k - 1) << bit)) | (member << bit)
+
+    def _composite_order(
+        self,
+        rank: int,
+        bit: int,
+        group_bits: int,
+        me: int,
+        k: int,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> tuple[tuple[int, bool], ...]:
+        """Depth-sort the group; emit fold order around the local image.
+
+        Members of one group share all bits outside ``[bit, bit+g)``, so
+        their relative depth is decided by the bisection planes of those
+        stages alone (most significant bit = coarsest plane first) — the
+        same rule :func:`repro.volume.partition.depth_order` applies
+        globally.
+        """
+
+        def front_key(member: int) -> tuple[int, ...]:
+            member_rank = self._member_rank(rank, bit, member, k)
+            return tuple(
+                0 if plan.local_in_front(member_rank, s, view_dir) else 1
+                for s in range(bit + group_bits - 1, bit - 1, -1)
+            )
+
+        ordered = sorted(range(k), key=front_key)  # front to back
+        mine = ordered.index(me)
+        slot_of = {me ^ t: t - 1 for t in range(1, k)}
+        behind = ordered[mine + 1 :]  # near to far
+        in_front = ordered[:mine]  # front to back
+        order = [(slot_of[m], True) for m in behind]
+        order += [(slot_of[m], False) for m in reversed(in_front)]
+        return tuple(order)
+
+
+class BinarySwapSchedule(RadixKSchedule):
+    """Classic binary swap: radix ``[2] * log2(P)``."""
+
+    name = "binary-swap"
+    description = "pairwise halving exchange (binary swap)"
+
+    def __init__(self, *, split_policy: str = "longest"):
+        super().__init__(radix=None, split_policy=split_policy)
+
+
+class DirectSendSchedule(RadixKSchedule):
+    """Single-stage direct send: one group of size P, ``P - 1`` rounds.
+
+    Regions still come from the recursive centerline splits, so the
+    final ownership map matches the swap-structured schedules (unlike
+    the row-strip ``direct`` baseline, which is kept as-is).
+    """
+
+    name = "direct-send"
+    description = "single-stage all-pairs exchange of bisected regions"
+
+    def __init__(self, *, split_policy: str = "longest"):
+        super().__init__(radix=None, split_policy=split_policy)
+
+    def effective_radix(self, size: int) -> tuple[int, ...]:
+        log2_int(size)
+        return (size,) if size > 1 else ()
+
+
+# --------------------------------------------------------------------------
+# sectioned (BSLC's interleaved distribution)
+# --------------------------------------------------------------------------
+class SectionedSchedule(Schedule):
+    """BSLC's load-balanced distribution: interleaved index sections.
+
+    Parts are index sets into the flattened frame.  At stage ``k`` the
+    pair ``rank ^ 2^k`` splits the owned sequence into interleaved
+    sections of ``section`` pixels (Figure 6); both partners derive the
+    identical index sets, so sent subsets travel positionally and the
+    receiver addresses its kept array directly.
+    """
+
+    name = "sectioned"
+    part_kind = "index"
+    description = "interleaved-section distribution (BSLC load balancing)"
+
+    def __init__(self, *, section: int = DEFAULT_SECTION):
+        if section < 1:
+            raise CompositingError(f"section must be >= 1, got {section}")
+        self.section = int(section)
+
+    def build(
+        self,
+        rank: int,
+        size: int,
+        frame: Rect,
+        num_pixels: int,
+        plan: PartitionPlan,
+        view_dir: np.ndarray,
+    ) -> RankProgram:
+        num_stages = log2_int(size)
+        indices = initial_indices(num_pixels)
+        stages: list[ScheduleStage] = []
+        for stage in range(num_stages):
+            partner = rank ^ (1 << stage)
+            kept, sent = split_interleaved(
+                indices, self.section, keeps_low_half(rank, stage)
+            )
+            local_in_front = plan.local_in_front(rank, stage, view_dir)
+            stages.append(
+                ScheduleStage(
+                    index=stage,
+                    keep_part=IndexPart(kept),
+                    steps=(ExchangeStep(peer=partner, send_part=IndexPart(sent)),),
+                    composite_order=((0, local_in_front),),
+                )
+            )
+            indices = kept
+        return RankProgram(stages=tuple(stages), final_part=IndexPart(indices))

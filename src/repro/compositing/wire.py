@@ -53,6 +53,10 @@ __all__ = [
     "unpack_bslc",
     "pack_bsbrc",
     "unpack_bsbrc",
+    "pack_raw_seq",
+    "unpack_raw_seq",
+    "pack_rle_rect",
+    "unpack_rle_rect",
 ]
 
 _PIXEL_DTYPE = np.dtype("<f8")
@@ -204,6 +208,58 @@ def unpack_bslc(msg: bytes, seq_len: int) -> tuple[np.ndarray, np.ndarray, np.nd
     npix = count_nonblank(codes)
     flat_i, flat_a = _pixels_from_bytes(msg[off:], npix)
     return np.flatnonzero(mask), flat_i, flat_a
+
+
+# --------------------------------------------------------------------------
+# schedule × codec extensions: raw sequences, RLE over a known rect
+# --------------------------------------------------------------------------
+def pack_raw_seq(
+    intensity_flat: np.ndarray, opacity_flat: np.ndarray, indices: np.ndarray
+) -> WireMessage:
+    """Raw pixels of an owned-sequence subset, 16 B each, blanks included.
+
+    Positions are implicit: the receiver owns the identical index set
+    (the sectioned-schedule invariant) and decodes positionally — the
+    sequence analogue of :func:`pack_bs`.
+    """
+    vals_i = np.asarray(intensity_flat, dtype=np.float64)[indices]
+    vals_a = np.asarray(opacity_flat, dtype=np.float64)[indices]
+    buf = _pixels_to_bytes(vals_i, vals_a)
+    return WireMessage(buffer=buf, accounted_bytes=int(indices.shape[0]) * PIXEL_BYTES)
+
+
+def unpack_raw_seq(msg: bytes, seq_len: int) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_raw_seq` for a ``seq_len``-pixel sequence."""
+    return _pixels_from_bytes(msg, seq_len)
+
+
+def pack_rle_rect(intensity: np.ndarray, opacity: np.ndarray, rect: Rect) -> WireMessage:
+    """RLE codes + non-blank pixels of ``rect``, without rect info.
+
+    The BSLC wire layout applied to a rect's row-major pixels: the
+    receiver already knows the exchanged region (it is the kept part of
+    a fixed-region schedule), so unlike :func:`pack_bsbrc` no 8-byte
+    rect header ships.
+    """
+    rows, cols = rect.slices()
+    block_i = np.asarray(intensity[rows, cols], dtype=np.float64)
+    block_a = np.asarray(opacity[rows, cols], dtype=np.float64)
+    mask2d = nonblank_mask(block_i, block_a)
+    codes = rle_encode_mask(mask2d.ravel())
+    pixels = _pixels_to_bytes(block_i[mask2d], block_a[mask2d])
+    header = np.asarray([codes.size], dtype=_LEN_DTYPE).tobytes()
+    buf = header + codes.astype(_CODE_DTYPE, copy=False).tobytes() + pixels
+    accounted = codes.size * RLE_CODE_BYTES + int(mask2d.sum()) * PIXEL_BYTES
+    return WireMessage(buffer=buf, accounted_bytes=accounted)
+
+
+def unpack_rle_rect(msg: bytes, rect: Rect) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode to ``(positions, intensity, opacity)``.
+
+    ``positions`` are row-major offsets inside ``rect`` of the non-blank
+    pixels carried by the message.
+    """
+    return unpack_bslc(msg, rect.area)
 
 
 # --------------------------------------------------------------------------

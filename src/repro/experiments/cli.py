@@ -11,10 +11,16 @@ Subcommands regenerate each paper artifact::
     compare   fidelity metrics vs the paper's published Tables 1-2
     sparsity  dataset sparsity profiles (the structure behind §3)
     stages    per-stage breakdown of one run (the §3 per-stage view)
+    methods   list every addressable compositing method with a one-line
+              description (registry names plus schedule:codec combos)
     run       one full pipeline run on a chosen backend
               (``--backend {sim,mp,mpi}``, ``--trace-out timeline.json``;
               fault injection via ``--fault-plan plan.json`` with
               ``--comm-timeout``/``--no-degrade``)
+
+``stages`` and ``run`` take ``--method`` specs like ``bsbrc`` or
+``radix-k:rect-rle`` plus the schedule options ``--radix 4,4`` and
+``--section N``.
 
 ``--quick`` shrinks the volumes, the image, and the processor sweep so
 every command finishes in seconds (useful for smoke tests); results are
@@ -27,6 +33,7 @@ import argparse
 import os
 import sys
 
+from ..compositing.registry import available_methods, method_catalog
 from .compare import compare_to_paper, format_fidelity
 from .figures import format_figure, render_figure7, run_figures
 from .harness import save_rows
@@ -42,6 +49,44 @@ _QUICK = {
     "volume_shape": (64, 64, 28),
     "image_size": 96,
 }
+
+
+def _method_help() -> str:
+    """``--method`` help text, generated from the live registry."""
+    return (
+        "compositing method: a registry name or a schedule:codec combo; "
+        "one of " + ", ".join(available_methods())
+        + " (see the 'methods' subcommand for descriptions)"
+    )
+
+
+def _add_method_options(sub: argparse.ArgumentParser, default: str = "bsbrc") -> None:
+    sub.add_argument("--method", default=default, help=_method_help())
+    sub.add_argument(
+        "--radix",
+        default=None,
+        help="radix-k round sizes as comma-separated powers of two, e.g. "
+             "'4,4' (only meaningful with radix-k schedules; adapts to "
+             "smaller P by clamping/repeating the last factor)",
+    )
+    sub.add_argument(
+        "--section",
+        type=int,
+        default=None,
+        help="BSLC section length in pixels (sectioned schedules only)",
+    )
+
+
+def _method_options_from(args) -> dict:
+    """Collect compositor options from parsed CLI flags."""
+    from ..compositing.schedule import parse_radix
+
+    options: dict = {}
+    if getattr(args, "radix", None):
+        options["radix"] = parse_radix(args.radix)
+    if getattr(args, "section", None) is not None:
+        options["section"] = args.section
+    return options
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,13 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sparsity")
     stages = sub.add_parser("stages")
     stages.add_argument("--dataset", default="engine_high")
-    stages.add_argument("--method", default="bsbrc")
+    _add_method_options(stages)
     stages.add_argument("--ranks", type=int, default=16)
+    sub.add_parser(
+        "methods", help="list every addressable compositing method"
+    )
     run = sub.add_parser(
         "run", help="one full pipeline run on a chosen execution backend"
     )
     run.add_argument("--dataset", default="engine_low")
-    run.add_argument("--method", default="bsbrc")
+    _add_method_options(run)
     run.add_argument("--ranks", type=int, default=8)
     run.add_argument("--image-size", type=int, default=384)
     run.add_argument("--machine", default="sp2",
@@ -186,6 +234,9 @@ def _run_one(args, command: str) -> None:
             method=getattr(args, "method", "bsbrc"),
             num_ranks=getattr(args, "ranks", 16),
         )
+        method_options = _method_options_from(args)
+        if method_options:
+            kwargs["method_options"] = method_options
         if args.quick:
             kwargs.update(
                 num_ranks=min(kwargs["num_ranks"], 8),
@@ -212,6 +263,7 @@ def _run_one(args, command: str) -> None:
         cfg = RunConfig(
             dataset=getattr(args, "dataset", "engine_low"),
             method=getattr(args, "method", "bsbrc"),
+            method_options=_method_options_from(args),
             num_ranks=getattr(args, "ranks", 8),
             image_size=(
                 _QUICK["image_size"] if args.quick
@@ -260,6 +312,13 @@ def _run_one(args, command: str) -> None:
 
             write_pgm(args.out_image, to_gray8(luminance(result.final_image), gain=2.0))
             print(f"[image written to {args.out_image}]")
+    elif command == "methods":
+        catalog = method_catalog()
+        width = max(len(name) for name in catalog)
+        lines = ["Available compositing methods (name or schedule:codec):", ""]
+        for name, desc in catalog.items():
+            lines.append(f"  {name:<{width}}  {desc}" if desc else f"  {name}")
+        print("\n".join(lines))
     elif command == "rotation":
         kwargs = {}
         if args.quick:

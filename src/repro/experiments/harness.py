@@ -34,7 +34,7 @@ import os
 from zipfile import BadZipFile as zipfile_error
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -333,9 +333,16 @@ def run_grid(
     max_ranks: int | None = None,
     step: float = 1.0,
     verbose: bool = False,
+    method_options: Mapping[str, Mapping] | None = None,
 ) -> list[MethodMeasurement]:
-    """Run the full (dataset x P x method) grid — the Tables 1/2 engine."""
+    """Run the full (dataset x P x method) grid — the Tables 1/2 engine.
+
+    ``method_options`` maps a method name to extra factory keywords for
+    that method's runs (e.g. ``{"radix-k:rect-rle": {"radix": (4, 4)}}``),
+    so schedule ablations sweep through the same grid.
+    """
     top = max_ranks if max_ranks is not None else max(rank_counts)
+    per_method = dict(method_options or {})
     rows: list[MethodMeasurement] = []
     for dataset in datasets:
         work = workload(
@@ -348,7 +355,10 @@ def run_grid(
         )
         for num_ranks in rank_counts:
             for method in methods:
-                row, _ = run_method(work, method, num_ranks, machine=machine)
+                row, _ = run_method(
+                    work, method, num_ranks, machine=machine,
+                    **per_method.get(method, {}),
+                )
                 rows.append(row)
                 if verbose:
                     print(

@@ -45,6 +45,7 @@ def run_stage_breakdown(
     machine: MachineModel = SP2,
     volume_shape=None,
     max_ranks: int | None = None,
+    method_options: dict | None = None,
 ) -> list[StageBreakdown]:
     """Run one configuration and reduce its stats per stage."""
     work = workload(
@@ -53,10 +54,19 @@ def run_stage_breakdown(
         max_ranks=max_ranks if max_ranks is not None else max(num_ranks, 8),
         volume_shape=volume_shape,
     )
-    _, run = run_method(work, method, num_ranks, machine=machine)
-    stages = log2_int(num_ranks)
+    _, run = run_method(
+        work, method, num_ranks, machine=machine, **(method_options or {})
+    )
+    # Report the stages the method actually ran: grouped schedules
+    # (e.g. radix-k 4,2) finish in fewer rounds than log2 P.
+    observed = {
+        idx
+        for rank_stats in run.stats.rank_stats
+        for idx in rank_stats.stages
+        if 0 <= idx < log2_int(num_ranks)
+    }
     out: list[StageBreakdown] = []
-    for stage in range(stages):
+    for stage in sorted(observed):
         buckets = [
             rank_stats.stages.get(stage) for rank_stats in run.stats.rank_stats
         ]

@@ -28,7 +28,8 @@ class RunConfig:
         other counts use the folding extension (extra ranks pre-merge
         into buddies before the swap).
     method:
-        Compositing method registry name.
+        Compositing method: a registry name (``"bsbrc"``) or a
+        ``"<schedule>:<codec>"`` combo (``"radix-k:rect-rle"``).
     machine:
         Machine model instance or preset name.
     rot_x / rot_y / rot_z:
@@ -92,12 +93,9 @@ class RunConfig:
             object.__setattr__(self, "machine", preset)
         elif not isinstance(self.machine, MachineModel):
             raise ConfigurationError(f"machine must be a MachineModel or preset name")
-        from ..compositing.registry import available_methods
+        from ..compositing.registry import validate_method
 
-        if self.method.lower() not in available_methods():
-            raise ConfigurationError(
-                f"unknown method {self.method!r}; available: {available_methods()}"
-            )
+        validate_method(self.method)
         if self.step <= 0:
             raise ConfigurationError(f"step must be > 0, got {self.step}")
         if self.renderer not in ("raycast", "splat"):

@@ -207,7 +207,11 @@ async def composite_phase(
 
         compositor = FoldedCompositor(compositor)
     with perf.timer("pipeline.composite"):
-        return await compositor.run(ctx, image, scene.plan, scene.camera.view_dir)
+        outcome = await compositor.run(ctx, image, scene.plan, scene.camera.view_dir)
+    if outcome.producer is None:
+        # Legacy methods predate the producer field; stamp for diagnostics.
+        outcome.producer = compositor.name
+    return outcome
 
 
 # ---- gather phase -----------------------------------------------------------

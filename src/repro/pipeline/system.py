@@ -294,7 +294,10 @@ class SortLastSystem:
         folded machine."""
         cfg = self.config
         failed = [err.rank]
-        folded, rank_map = refold_survivors(scene.plan, failed)
+        compositor = make_compositor(cfg.method, **cfg.method_options)
+        pairs_of = getattr(compositor, "refold_pairs", None)
+        pairs = pairs_of(scene.plan.num_ranks) if pairs_of is not None else None
+        folded, rank_map = refold_survivors(scene.plan, failed, pairs=pairs)
         orchestrator_events = list(err.events) + [
             {
                 "event": "detected",

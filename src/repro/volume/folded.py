@@ -140,7 +140,7 @@ def partition_folded(
 
 
 def refold_survivors(
-    plan: PartitionPlan, failed
+    plan: PartitionPlan, failed, *, pairs=None
 ) -> tuple[FoldedPartition, list[int]]:
     """Refold a power-of-two bisection plan onto the survivors of ``failed``.
 
@@ -175,6 +175,18 @@ def refold_survivors(
     if not failed:
         raise PartitionError("refold_survivors called with no failed ranks")
     core = num_ranks // 2
+    # Schedules advertise their stage-0 fold pairing via ``refold_pairs``;
+    # degradation only knows how to merge the bisection's (2i, 2i+1)
+    # buddies, so anything else must fail loudly rather than silently
+    # rerun with a mismatched depth order.
+    if pairs is not None:
+        expected = [(2 * i, 2 * i + 1) for i in range(core)]
+        if [tuple(p) for p in pairs] != expected:
+            raise PartitionError(
+                f"schedule's fold pairing {list(pairs)} does not match the "
+                f"bisection buddies {expected}; graceful degradation is only "
+                "defined for binary-swap-style stage-0 pairs"
+            )
 
     core_extents: list[Extent3] = []
     core_axes: list[tuple[int, ...]] = []

@@ -35,7 +35,14 @@ from repro.pipeline.system import SortLastSystem
 
 pytestmark = pytest.mark.chaos
 
-METHODS = ("bs", "bsbr", "bslc", "bsbrc")
+#: Paper methods plus a sample of schedule × codec combos, so fault
+#: handling is exercised through the generic engine too (radix-k keeps
+#: its default binary radix here: degraded reruns fold onto P/2 ranks
+#: and the effective radix must adapt).
+METHODS = (
+    "bs", "bsbr", "bslc", "bsbrc",
+    "radix-k:rect-rle", "binary-swap:rle", "sectioned:raw",
+)
 BACKENDS = ("sim", "mp")
 NUM_RANKS = 4
 NUM_STAGES = 2  # log2(4)
@@ -177,6 +184,22 @@ class TestCrashFaults:
         reloaded = RunTimeline.load(path)
         assert reloaded.meta["degraded"] is True
         assert reloaded.events == result.timeline.events
+
+    @pytest.mark.parametrize(
+        "method", ("radix-k:rect-rle", "binary-swap:rle", "sectioned:raw")
+    )
+    def test_render_crash_degrades_combo_methods(self, method):
+        """The engine path degrades too: the schedule's refold pairing
+        feeds :func:`~repro.volume.folded.refold_survivors` and the
+        schedule re-adapts to the folded core count."""
+        plan = FaultPlan(
+            rules=(FaultRule(kind="crash", rank=2, phase="render"),), seed=5
+        )
+        result = SortLastSystem(_config(method)).run(backend="sim", fault_plan=plan)
+        assert result.degraded
+        reference = result.reference_image()
+        assert np.allclose(result.final_image.intensity, reference.intensity)
+        assert np.allclose(result.final_image.opacity, reference.opacity)
 
     def test_degraded_images_are_bit_identical_across_substrates(self):
         plan = FaultPlan(

@@ -129,8 +129,12 @@ class TestRegistry:
         assert make_compositor("custom-test-method").name == "custom-test-method"
 
     def test_options_forwarded(self):
+        # Paper aliases route through the engine; schedule options land
+        # on the schedule plane.
         compositor = make_compositor("bslc", section=11)
-        assert compositor.section == 11
+        assert compositor.schedule.section == 11
+        compositor = make_compositor("bsbrc", split_policy="alternate")
+        assert compositor.schedule.split_policy == "alternate"
 
     def test_check_plan_mismatch(self):
         from repro.cluster.model import IDEALIZED
