@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick chaos grid verify lint results quick clean
+.PHONY: install test bench bench-quick chaos grid soak verify lint results quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +23,12 @@ bench-quick:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_chaos.py -q \
 		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo --timeout=120 --timeout-method=signal)
+
+# Nightly soak: loop the chaos + recovery suites on fresh seed windows
+# for SOAK_MINUTES (default 20), saving failing fault plans as JSON
+# artifacts under soak-artifacts/ so every failure reproduces offline.
+soak:
+	$(PYTHON) tools/soak.py
 
 # Schedule x codec equivalence grid: every combo vs the sequential
 # oracle, plus bit-parity of the paper aliases against the recorded

@@ -64,6 +64,9 @@ class BackendRunResult:
     #: On SPMD backends (MPI) the rank this process ran as; ``None`` when
     #: the calling process orchestrated all ranks (sim, mp).
     local_rank: Optional[int] = None
+    #: Supervisor-level recovery events (worker respawns on mp); empty
+    #: elsewhere.  Merged into :meth:`timeline` output automatically.
+    events: list[dict] = field(default_factory=list)
 
     def to_run_result(self) -> RunResult:
         """View as the classic stats container used by the tables."""
@@ -83,9 +86,11 @@ class BackendRunResult:
         """Export as the unified run-timeline document.
 
         Per-rank fault events are harvested from the stats automatically;
-        ``events`` appends orchestrator-level entries (failure detection,
-        degradation) on top.
+        the backend's own supervisor events (``self.events``) come next,
+        and ``events`` appends orchestrator-level entries (failure
+        detection, degradation) on top.
         """
+        merged = list(self.events) + list(events or [])
         return RunTimeline.from_parts(
             backend=self.backend,
             clock=self.clock,
@@ -95,7 +100,7 @@ class BackendRunResult:
             rank_perf=self.rank_perf,
             trace_events=self.trace_events,
             meta=meta,
-            events=events,
+            events=merged or None,
         )
 
 
@@ -117,12 +122,19 @@ class Backend(abc.ABC):
         model: Optional[MachineModel] = None,
         trace: bool = False,
         timeout: Optional[float] = None,
+        respawn=None,
+        heartbeat: Optional[float] = None,
     ) -> BackendRunResult:
         """Run ``program(ctx, *args)`` on ``num_ranks`` ranks.
 
         ``model`` is required by the simulator and ignored by real
         transports; ``trace`` enables the simulator's event trace;
         ``timeout`` bounds per-receive blocking on real transports.
+        ``respawn`` (a :class:`~repro.cluster.recovery.RespawnPlan`) and
+        ``heartbeat`` (liveness-stamp interval in seconds) configure the
+        multiprocessing supervisor's recovery machinery; other
+        substrates ignore them (the simulator recovers by lockstep
+        re-run, MPI cannot respawn ranks mid-job).
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -144,6 +156,8 @@ class SimBackend(Backend):
         model: Optional[MachineModel] = None,
         trace: bool = False,
         timeout: Optional[float] = None,
+        respawn=None,
+        heartbeat: Optional[float] = None,
     ) -> BackendRunResult:
         if model is None:
             raise ConfigurationError(
@@ -179,14 +193,18 @@ class MPBackend(Backend):
         model: Optional[MachineModel] = None,
         trace: bool = False,
         timeout: Optional[float] = None,
+        respawn=None,
+        heartbeat: Optional[float] = None,
     ) -> BackendRunResult:
-        from .mp_backend import DEFAULT_TIMEOUT, run_rank_programs_mp
+        from .mp_backend import DEFAULT_TIMEOUT, HEARTBEAT_INTERVAL, run_rank_programs_mp
 
         result = run_rank_programs_mp(
             num_ranks,
             program,
             args,
             timeout=DEFAULT_TIMEOUT if timeout is None else timeout,
+            respawn=respawn,
+            heartbeat_interval=HEARTBEAT_INTERVAL if heartbeat is None else heartbeat,
         )
         return BackendRunResult(
             backend=self.name,
@@ -197,6 +215,7 @@ class MPBackend(Backend):
             makespan=max(result.wall_times, default=0.0),
             wall_times=result.wall_times,
             rank_perf=result.perf_reports,
+            events=list(result.events),
         )
 
 
@@ -218,6 +237,8 @@ class MPIBackend(Backend):
         model: Optional[MachineModel] = None,
         trace: bool = False,
         timeout: Optional[float] = None,
+        respawn=None,
+        heartbeat: Optional[float] = None,
     ) -> BackendRunResult:
         from .. import perf
         from .mpi_backend import MPIRankContext, require_mpi

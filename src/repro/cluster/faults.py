@@ -71,6 +71,8 @@ __all__ = [
     "check_received",
     "corrupt_bytes",
     "crash_phase_of",
+    "crash_stage_of",
+    "random_plan",
 ]
 
 FAULT_PLAN_SCHEMA = "repro.fault-plan/1"
@@ -470,3 +472,59 @@ def crash_phase_of(err: BaseException) -> Optional[str]:
         return original.phase
     phase = getattr(err, "fault_phase", None)
     return phase if isinstance(phase, str) else None
+
+
+def crash_stage_of(err: BaseException) -> Optional[int]:
+    """Compositing stage of an injected crash behind ``err``, if any.
+
+    The simulator wraps the live :class:`InjectedCrash` in
+    ``err.original``; the multiprocessing supervisor ships the stage as
+    ``err.fault_stage``.  Phase crashes (``render``/``gather``) have no
+    stage and return ``None``.
+    """
+    original = getattr(err, "original", None)
+    if isinstance(original, InjectedCrash):
+        return original.stage
+    stage = getattr(err, "fault_stage", None)
+    return stage if isinstance(stage, int) else None
+
+
+def random_plan(seed: int, *, num_ranks: int = 4, num_stages: int = 2) -> FaultPlan:
+    """One seeded random chaos scenario: 1-3 rules over every fault kind.
+
+    Shared by the chaos test matrix and the nightly soak loop so a
+    failing soak seed is reproducible as a plan file artifact.
+    """
+    rng = random.Random(seed)
+    rules: list[FaultRule] = []
+    for _ in range(rng.randint(1, 3)):
+        kind = rng.choice(FAULT_KINDS)
+        rank = rng.randrange(num_ranks)
+        if kind == "crash":
+            if rng.random() < 0.5:
+                rules.append(
+                    FaultRule(kind="crash", rank=rank, stage=rng.randrange(num_stages))
+                )
+            else:
+                rules.append(
+                    FaultRule(kind="crash", rank=rank, phase=rng.choice(CRASH_PHASES))
+                )
+        elif kind in ("delay", "slow"):
+            rules.append(
+                FaultRule(
+                    kind=kind,
+                    rank=rank,
+                    seconds=rng.choice((0.005, 0.02)),
+                    max_applications=rng.choice((1, 2, 0)),
+                )
+            )
+        else:
+            rules.append(
+                FaultRule(
+                    kind=kind,
+                    rank=rank,
+                    stage=rng.randrange(num_stages),
+                    probability=rng.choice((1.0, 0.5)),
+                )
+            )
+    return FaultPlan(rules=tuple(rules), seed=rng.randrange(1 << 16))

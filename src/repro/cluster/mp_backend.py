@@ -28,12 +28,28 @@ raises :class:`~repro.errors.WireFormatError` on mismatch.  Sends retry
 transient queue pressure with exponential backoff up to
 :data:`RETRANSMIT_BUDGET` attempts; receives poll in growing slices and
 raise a typed :class:`~repro.errors.DeadlockError` naming the blocked
-``(src, tag)`` when the configured timeout expires.  The parent
-supervises worker liveness through process sentinels and fails fast with
+``(src, tag)`` — plus the waiting rank's pipeline phase and stage — when
+the configured timeout expires.  The parent supervises worker liveness
+through process sentinels and fails fast with
 :class:`~repro.errors.RankFailedError` — carrying the worker's formatted
 traceback — the moment a rank dies, instead of blocking out the full
 receive timeout.  Teardown terminates stragglers and releases every
 queue buffer.
+
+Liveness is additionally tracked through **heartbeats**: every worker
+stamps a shared ``monotonic`` slot from a daemon thread every
+:data:`HEARTBEAT_INTERVAL` seconds, and a blocked receiver checks its
+peer's slot between poll slices — a dead peer surfaces as a typed
+:class:`~repro.errors.DeadlockError` after a couple of seconds instead
+of the full receive timeout, independent of how long that timeout is.
+
+Recovery (see :mod:`repro.cluster.recovery`): pass a
+:class:`~repro.cluster.recovery.RespawnPlan` and the supervisor restarts
+a dead worker in place — bounded by the plan's budget, and only when the
+replay is protocol-safe (the dead rank never sent a message, or a stage
+checkpoint pins its resume point).  Respawned ranks rerun the
+replacement args (fault injection stripped, resume at the latest
+checkpoint); every decision lands in ``MPRunResult.events``.
 """
 
 from __future__ import annotations
@@ -68,6 +84,7 @@ __all__ = [
     "run_rank_programs_mp",
     "DEFAULT_TIMEOUT",
     "RETRANSMIT_BUDGET",
+    "HEARTBEAT_INTERVAL",
 ]
 
 #: Per-receive timeout (seconds) after which a rank assumes deadlock.
@@ -76,9 +93,21 @@ DEFAULT_TIMEOUT = 60.0
 #: Send attempts before the transport gives up on a message.
 RETRANSMIT_BUDGET = 8
 
+#: Seconds between worker heartbeat stamps (shared monotonic slots).
+HEARTBEAT_INTERVAL = 0.25
+
 _RETRY_BACKOFF = 0.001  # first retry sleep; doubles per attempt
 _POLL_START = 0.02  # first receive poll slice; doubles up to _POLL_MAX
 _POLL_MAX = 0.5
+
+
+def _stale_after(interval: float) -> float:
+    """Seconds without a heartbeat before a peer is presumed dead.
+
+    Generous relative to the stamping interval so GIL scheduling hiccups
+    and the supervisor's respawn window never false-positive.
+    """
+    return max(10.0 * interval, 2.5)
 
 
 class MPRequest:
@@ -127,7 +156,17 @@ class MPRankContext(BaseRankContext):
 
     backend_name = "multiprocessing"
 
-    def __init__(self, rank: int, size: int, queues, barrier, timeout: float):
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        queues,
+        barrier,
+        timeout: float,
+        *,
+        heartbeats=None,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+    ):
         self._rank = rank
         self._size = size
         self._queues = queues  # queues[src][dst]
@@ -135,6 +174,10 @@ class MPRankContext(BaseRankContext):
         self._timeout = timeout
         self._stats = RankStats(rank=rank)
         self._current_stage = -1
+        # Shared monotonic heartbeat slots (one per rank); None disables
+        # peer-liveness checks in blocked receives.
+        self._heartbeats = heartbeats
+        self._hb_stale = _stale_after(heartbeat_interval)
         # Unwaited irecv requests, FIFO per (src, tag).
         self._pending_irecvs: dict[tuple[int, int], deque] = {}
 
@@ -188,9 +231,14 @@ class MPRankContext(BaseRankContext):
                 last = exc
                 time.sleep(backoff)
                 backoff = min(backoff * 2.0, 0.25)
+        # Budget exhausted: account the attempts *before* raising so the
+        # retransmission pressure is visible in the stats the failure
+        # report ships (previously the counter vanished with the raise).
+        self._bucket().add_counter("retransmits", RETRANSMIT_BUDGET)
         raise SimulationError(
             f"rank {self._rank} exhausted the {RETRANSMIT_BUDGET}-attempt "
-            f"retransmit budget sending to rank {dst}: {last!r}"
+            f"retransmit budget sending to rank {dst} "
+            f"(stage {self._current_stage}): {last!r}"
         )
 
     def _put(
@@ -229,8 +277,10 @@ class MPRankContext(BaseRankContext):
 
         Polls in exponentially growing slices so a dead sender surfaces
         as a typed :class:`~repro.errors.DeadlockError` naming the
-        blocked ``(src, tag)`` after the configured timeout; transport
-        errors are distinguished from plain queue emptiness."""
+        blocked ``(src, tag)``, the waiting rank's phase/stage, and the
+        peer — after the configured timeout, or much sooner when the
+        peer's heartbeat goes stale; transport errors are distinguished
+        from plain queue emptiness."""
         start = time.perf_counter()
         deadline = start + self._timeout
         channel = self._queues[src][self._rank]
@@ -244,13 +294,34 @@ class MPRankContext(BaseRankContext):
                             f"recv from rank {src} (tag {tag}) timed out after "
                             f"{self._timeout:.1f}s on the {self.backend_name} backend"
                         )
-                    }
+                    },
+                    phase=self.current_phase,
+                    stage=self._current_stage,
+                    peer=src,
                 )
             try:
                 frame = channel.get(timeout=min(poll, remaining))
                 break
             except queue_mod.Empty:
                 poll = min(poll * 2.0, _POLL_MAX)
+                # Fast liveness: a peer whose heartbeat slot has gone
+                # stale is dead — no point waiting out the full timeout.
+                # Slot 0.0 means "never stamped" (still forking): skip.
+                if self._heartbeats is not None:
+                    last = self._heartbeats[src]
+                    if last > 0.0 and time.monotonic() - last > self._hb_stale:
+                        raise DeadlockError(
+                            {
+                                self._rank: (
+                                    f"peer rank {src} stopped heartbeating "
+                                    f"(>{self._hb_stale:.1f}s stale) while this "
+                                    f"rank waited on tag {tag}"
+                                )
+                            },
+                            phase=self.current_phase,
+                            stage=self._current_stage,
+                            peer=src,
+                        )
             except (OSError, EOFError, ValueError) as exc:
                 raise SimulationError(
                     f"rank {self._rank}: transport failure receiving from "
@@ -349,21 +420,44 @@ class MPRankContext(BaseRankContext):
                         f"barrier broken or timed out after {self._timeout:.1f}s "
                         "(a partner rank died or never arrived)"
                     )
-                }
+                },
+                phase=self.current_phase,
+                stage=self._current_stage,
             ) from exc
         self._bucket().comm_time += time.perf_counter() - start
 
 
-def _worker(rank, size, program, args, queues, barrier, timeout, result_queue):
+def _heartbeat_loop(heartbeats, rank: int, interval: float, stop: threading.Event) -> None:
+    """Daemon thread: stamp this rank's shared liveness slot."""
+    while not stop.wait(interval):
+        heartbeats[rank] = time.monotonic()
+
+
+def _worker(
+    rank, size, program, args, queues, barrier, timeout, result_queue,
+    heartbeats=None, heartbeat_interval=HEARTBEAT_INTERVAL,
+):
     """Subprocess entry: drive the rank coroutine to completion.
 
     Failures ship the exception *type name*, message, and formatted
     traceback (plus the rank's stats, whose ``events`` list records any
     injected faults) so the parent can rebuild a diagnosable error."""
     ctx = None
+    stop = None
     try:
         perf.reset()  # the fork inherits the parent's counters; start clean
-        ctx = MPRankContext(rank, size, queues, barrier, timeout)
+        if heartbeats is not None:
+            heartbeats[rank] = time.monotonic()
+            stop = threading.Event()
+            threading.Thread(
+                target=_heartbeat_loop,
+                args=(heartbeats, rank, heartbeat_interval, stop),
+                daemon=True,
+            ).start()
+        ctx = MPRankContext(
+            rank, size, queues, barrier, timeout,
+            heartbeats=heartbeats, heartbeat_interval=heartbeat_interval,
+        )
         start = time.perf_counter()
         with perf.timer("backend.mp.rank_program"):
             value = drive(program(ctx, *args))
@@ -376,13 +470,21 @@ def _worker(rank, size, program, args, queues, barrier, timeout, result_queue):
             "traceback": traceback.format_exc(),
             "phase": getattr(exc, "phase", None),
             "stage": getattr(exc, "stage", None),
+            "peer": getattr(exc, "peer", None),
             "blocked": getattr(exc, "blocked", None),
+            # Where the *rank* was (vs where the error says it was):
+            # lets the supervisor judge whether a replay is safe.
+            "ctx_phase": ctx.current_phase if ctx is not None else None,
+            "ctx_stage": ctx.current_stage if ctx is not None else None,
         }
         stats = ctx.stats if ctx is not None else RankStats(rank=rank)
         try:
             result_queue.put((rank, "error", info, stats, 0.0, {}))
         except Exception:
             pass  # the parent's liveness supervisor notices the exit
+    finally:
+        if stop is not None:
+            stop.set()
 
 
 @dataclass
@@ -393,6 +495,9 @@ class MPRunResult:
     rank_stats: list[RankStats]
     wall_times: list[float] = field(default_factory=list)
     perf_reports: list[dict] = field(default_factory=list)
+    #: Supervisor-level recovery events (detected failures, respawns);
+    #: empty on clean runs.
+    events: list[dict] = field(default_factory=list)
 
     @property
     def counters(self) -> list[dict[str, int]]:
@@ -412,14 +517,26 @@ def _error_from_info(rank: int, info: dict, stats: Optional[RankStats]) -> Excep
         return err
     if info.get("type") == "DeadlockError":
         # A rank's receive timeout surfaces as the same typed error the
-        # simulator's structural detection raises.
+        # simulator's structural detection raises, with the blocked
+        # rank's phase/stage/peer diagnostics carried across processes.
         blocked = info.get("blocked")
         if not isinstance(blocked, dict) or not blocked:
             blocked = {rank: info.get("message", "")}
-        deadlock = DeadlockError(blocked)
+        phase = info.get("phase") or info.get("ctx_phase")
+        stage = info.get("stage")
+        if not isinstance(stage, int):
+            stage = info.get("ctx_stage")
+        peer = info.get("peer")
+        deadlock = DeadlockError(
+            blocked,
+            phase=phase if isinstance(phase, str) else None,
+            stage=stage if isinstance(stage, int) else None,
+            peer=peer if isinstance(peer, int) else None,
+        )
         deadlock.events = events  # type: ignore[attr-defined]
         return deadlock
     phase = info.get("phase")
+    stage = info.get("stage")
     return RankFailedError(
         rank,
         original_type=info.get("type"),
@@ -427,6 +544,7 @@ def _error_from_info(rank: int, info: dict, stats: Optional[RankStats]) -> Excep
         detail=f"{info.get('type')}: {info.get('message')}",
         events=events,
         fault_phase=phase if isinstance(phase, str) else None,
+        fault_stage=stage if isinstance(stage, int) else None,
     )
 
 
@@ -446,12 +564,21 @@ def _release_queue(channel) -> None:
         pass
 
 
+def _total_msgs_sent(stats: Optional[RankStats]) -> Optional[int]:
+    """Messages a failed worker put on the wire (``None`` = unknown)."""
+    if stats is None:
+        return None
+    return sum(bucket.msgs_sent for bucket in stats.stages.values())
+
+
 def run_rank_programs_mp(
     num_ranks: int,
     program,
     args: Sequence[Any] = (),
     *,
     timeout: float = DEFAULT_TIMEOUT,
+    respawn=None,
+    heartbeat_interval: float = HEARTBEAT_INTERVAL,
 ) -> MPRunResult:
     """Run ``program(ctx, *args)`` on ``num_ranks`` real processes.
 
@@ -463,6 +590,21 @@ def run_rank_programs_mp(
     worker's traceback (or :class:`~repro.errors.WireFormatError` for
     detected corruption) — rather than stalling out the full timeout.
     Teardown terminates any stragglers and releases every queue.
+
+    ``respawn`` (a :class:`~repro.cluster.recovery.RespawnPlan`) turns
+    the fail-fast supervisor into a recovering one: a crashed worker is
+    restarted in place with the plan's replacement args, bounded by its
+    budget, as long as the replay is protocol-safe — the dead rank never
+    sent a message (peers' frames still sit in its inbound queues), or a
+    stage checkpoint pins its resume point.  Protocol-level failures
+    (``DeadlockError``/``WireFormatError``) are never respawned — a
+    replay would repeat them.  Every decision is a structured event in
+    ``MPRunResult.events``; an unrecoverable failure carries the events
+    on the raised error so orchestrators can fall down the policy
+    lattice without losing the audit trail.
+
+    ``heartbeat_interval`` spaces worker liveness stamps (``<= 0``
+    disables heartbeats and with them fast peer-death detection).
     """
     if num_ranks < 1:
         raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
@@ -473,17 +615,21 @@ def run_rank_programs_mp(
     ]
     barrier = mp_ctx.Barrier(num_ranks)
     result_queue = mp_ctx.Queue()
+    heartbeats = (
+        mp_ctx.Array("d", num_ranks) if heartbeat_interval > 0.0 else None
+    )
 
-    workers = [
-        mp_ctx.Process(
+    def _spawn(rank: int, worker_args: tuple):
+        process = mp_ctx.Process(
             target=_worker,
-            args=(rank, num_ranks, program, tuple(args), queues, barrier,
-                  timeout, result_queue),
+            args=(rank, num_ranks, program, worker_args, queues, barrier,
+                  timeout, result_queue, heartbeats, heartbeat_interval),
         )
-        for rank in range(num_ranks)
-    ]
-    for worker in workers:
-        worker.start()
+        process.start()
+        return process
+
+    workers = [_spawn(rank, tuple(args)) for rank in range(num_ranks)]
+    retired: list = []  # replaced processes, joined at teardown
 
     returns: list[Any] = [None] * num_ranks
     rank_stats = [RankStats(rank=r) for r in range(num_ranks)]
@@ -491,9 +637,81 @@ def run_rank_programs_mp(
     perf_reports: list[dict] = [{} for _ in range(num_ranks)]
     pending = set(range(num_ranks))
     failure: Optional[Exception] = None
+    events: list[dict] = []
+    respawns_left = respawn.budget if respawn is not None else 0
     # Workers bound their own receives by `timeout`, so honest runs
     # always report within it; the slack covers result shipping.
     deadline = time.monotonic() + timeout + 10.0
+
+    def _replay_safe(rank: int, info: Optional[dict], stats: Optional[RankStats]) -> bool:
+        """Would restarting ``rank`` keep the message protocol intact?"""
+        if info is not None and info.get("type") in ("DeadlockError", "WireFormatError"):
+            return False  # protocol-level failure: a replay repeats it
+        sent = _total_msgs_sent(stats)
+        if sent == 0:
+            # Nothing on the wire yet: peers' frames still sit in this
+            # rank's inbound queues, so a from-scratch replay re-consumes
+            # them at exactly the right points.
+            return True
+        store = respawn.store if respawn is not None else None
+        # Sent something (or unknown, e.g. a silent death): only a stage
+        # checkpoint pins the resume point precisely enough to rejoin.
+        return store is not None and store.latest_stage(rank) is not None
+
+    def _try_respawn(rank: int, info: Optional[dict], stats: Optional[RankStats]) -> bool:
+        """Restart ``rank`` in place if the plan, budget, and protocol allow."""
+        nonlocal respawns_left, deadline
+        if respawn is None:
+            return False
+        detected = {
+            "event": "detected",
+            "fault": "crash" if info is not None and info.get("type") == "InjectedCrash" else "failure",
+            "rank": rank,
+            "backend": "mp",
+        }
+        if info is not None:
+            if isinstance(info.get("phase"), str):
+                detected["phase"] = info["phase"]
+            if isinstance(info.get("stage"), int):
+                detected["stage"] = info["stage"]
+            detected["error"] = info.get("type")
+        if stats is not None:
+            # The dead incarnation's injected-fault events would vanish
+            # with its discarded stats; harvest them into the run record.
+            events.extend(dict(ev) for ev in stats.events)
+        events.append(detected)
+        if not _replay_safe(rank, info, stats):
+            events.append(
+                {"event": "respawn", "action": "refused", "rank": rank,
+                 "reason": "replay would violate the message protocol"}
+            )
+            return False
+        if respawns_left <= 0:
+            events.append(
+                {"event": "respawn", "action": "exhausted", "rank": rank,
+                 "budget": respawn.budget}
+            )
+            return False
+        respawns_left -= 1
+        old = workers[rank]
+        if old.is_alive():
+            old.terminate()
+        retired.append(old)
+        if heartbeats is not None:
+            # Re-stamp so peers don't declare the rank dead during the
+            # respawn window before its own heartbeat thread starts.
+            heartbeats[rank] = time.monotonic()
+        store = respawn.store
+        events.append(
+            {"event": "respawn", "action": "restart", "rank": rank,
+             "attempt": respawn.budget - respawns_left,
+             "budget": respawn.budget,
+             "resume_stage": store.latest_stage(rank) if store is not None else None}
+        )
+        workers[rank] = _spawn(rank, tuple(respawn.args))
+        pending.add(rank)
+        deadline = time.monotonic() + timeout + 10.0
+        return True
 
     def _drain(block_for: float = 0.0) -> bool:
         """Consume every available result; returns whether any arrived."""
@@ -517,7 +735,8 @@ def run_rank_programs_mp(
                 wall_times[rank] = wall
                 perf_reports[rank] = report
             elif failure is None:  # first failure wins (fail fast)
-                failure = _error_from_info(rank, value, stats)
+                if not _try_respawn(rank, value, stats):
+                    failure = _error_from_info(rank, value, stats)
 
     try:
         while pending and failure is None:
@@ -533,13 +752,15 @@ def run_rank_programs_mp(
                 dead = [r for r in dead if r in pending]
                 if dead and failure is None:
                     first = dead[0]
-                    failure = RankFailedError(
-                        first,
-                        detail=(
-                            f"worker process exited with code "
-                            f"{workers[first].exitcode} before reporting a result"
-                        ),
-                    )
+                    exitcode = workers[first].exitcode
+                    if not _try_respawn(first, None, None):
+                        failure = RankFailedError(
+                            first,
+                            detail=(
+                                f"worker process exited with code "
+                                f"{exitcode} before reporting a result"
+                            ),
+                        )
                 continue
             if time.monotonic() > deadline:
                 failure = SimulationError(
@@ -556,9 +777,9 @@ def run_rank_programs_mp(
             for worker in workers:
                 if worker.is_alive():
                     worker.terminate()
-        for worker in workers:
+        for worker in list(workers) + retired:
             worker.join(timeout=5.0)
-        for worker in workers:
+        for worker in list(workers) + retired:
             if worker.is_alive():  # pragma: no cover - terminate() sufficed so far
                 worker.kill()
                 worker.join(timeout=1.0)
@@ -567,10 +788,14 @@ def run_rank_programs_mp(
             for channel in row:
                 _release_queue(channel)
     if failure is not None:
+        if events:
+            merged = list(getattr(failure, "events", None) or []) + events
+            failure.events = merged  # type: ignore[attr-defined]
         raise failure
     return MPRunResult(
         returns=returns,
         rank_stats=rank_stats,
         wall_times=wall_times,
         perf_reports=perf_reports,
+        events=events,
     )

@@ -205,10 +205,43 @@ class BaseRankContext(abc.ABC):
 
     def fault_checkpoint(self, phase: str) -> None:
         """Give an installed injector a chance to crash this rank at a
-        named pipeline phase boundary; a no-op without an injector."""
+        named pipeline phase boundary; a no-op without an injector.
+
+        Also records the phase so failure reports (and
+        :class:`~repro.errors.DeadlockError` diagnostics) can name where
+        the rank was, even without an injector installed.
+        """
+        self._current_phase = phase
         injector = self._fault_injector
         if injector is not None:
             injector.checkpoint(phase, stage=self.current_stage)
+
+    #: Last pipeline phase this rank entered (set by ``fault_checkpoint``).
+    _current_phase: Optional[str] = None
+
+    @property
+    def current_phase(self) -> Optional[str]:
+        """The pipeline phase the rank last entered, or ``None``."""
+        return self._current_phase
+
+    # ---- stage checkpointing ----------------------------------------------
+    #: The installed :class:`~repro.cluster.recovery.StageCheckpointer`
+    #: (class-level default keeps plain contexts checkpoint-free for free).
+    _checkpointer = None
+
+    def install_checkpointer(self, checkpointer) -> None:
+        """Attach a per-rank stage checkpointer (see
+        :mod:`repro.cluster.recovery`).  The compositing engine consults
+        it to restore a resume point before its stage loop and to
+        snapshot after each completed exchange stage.  ``None``
+        uninstalls.
+        """
+        self._checkpointer = checkpointer
+
+    @property
+    def checkpointer(self):
+        """The installed stage checkpointer, or ``None``."""
+        return self._checkpointer
 
     def _message_faults(self, verb: str, dst: int, tag: int):
         """Injector verdict for one outgoing message (``None`` = clean)."""

@@ -196,7 +196,7 @@ class Simulator:
             matched = self._resolve_matches()
             if not matched and not stepped:
                 blocked = {
-                    p.rank: repr(p.pending)
+                    p.rank: f"{p.pending!r} (stage {p.current_stage})"
                     for p in self._procs
                     if p.state is _State.BLOCKED
                 }

@@ -74,12 +74,31 @@ class ScheduledCompositor(Compositor):
         program = self.schedule.build(
             ctx.rank, ctx.size, image.full_rect(), image.num_pixels, plan, view_dir
         )
-        state = codec.make_state(image)
-        if codec.needs_bound_scan:
-            ctx.begin_stage(PRE_STAGE)
-            await codec.scan(ctx, image, state)
+        # Stage-level recovery: an installed checkpointer restores the
+        # resume-point snapshot (image planes, codec state, and the
+        # already-accounted stage buckets) so the loop below replays
+        # only the stages after it — the restored counters keep their
+        # original deterministic values, which is what makes a resumed
+        # run's byte/message accounting bit-identical to a clean one.
+        checkpointer = getattr(ctx, "checkpointer", None)
+        snapshot = (
+            checkpointer.restore(image, self.name) if checkpointer is not None else None
+        )
+        if snapshot is not None:
+            state = snapshot.codec_state
+            resume_after = snapshot.stage
+            ctx.stats.stages.clear()
+            ctx.stats.stages.update(snapshot.stats.stages)
+        else:
+            resume_after = None
+            state = codec.make_state(image)
+            if codec.needs_bound_scan:
+                ctx.begin_stage(PRE_STAGE)
+                await codec.scan(ctx, image, state)
 
         for stage in program.stages:
+            if resume_after is not None and stage.index <= resume_after:
+                continue
             ctx.begin_stage(stage.index)
             sends: list[tuple[int, bytes, int]] = []
             metas: list[object] = []
@@ -102,6 +121,8 @@ class ScheduledCompositor(Compositor):
                 if folded:
                     await ctx.charge_over(folded)
             codec.update_state(state, stage.keep_part, contribs)
+            if checkpointer is not None:
+                checkpointer.save(stage.index, image, state, ctx.stats, self.name)
 
         final = program.final_part
         if isinstance(final, IndexPart):

@@ -38,13 +38,36 @@ class DeadlockError(SimulationError):
     """Every live rank is blocked on communication and no pair matches.
 
     Carries a human-readable summary of what each rank was blocked on so
-    that protocol bugs in compositing methods are diagnosable.
+    that protocol bugs in compositing methods are diagnosable.  When the
+    detecting substrate knows them, ``phase`` (pipeline phase), ``stage``
+    (compositing stage bucket) and ``peer`` (the rank being waited on)
+    pinpoint the blockage without reading the timeline.
     """
 
-    def __init__(self, blocked: dict[int, str]):
+    def __init__(
+        self,
+        blocked: dict[int, str],
+        *,
+        phase: str | None = None,
+        stage: int | None = None,
+        peer: int | None = None,
+    ):
         self.blocked = dict(blocked)
+        self.phase = phase
+        self.stage = stage
+        self.peer = peer
         detail = "; ".join(f"rank {r}: {what}" for r, what in sorted(blocked.items()))
-        super().__init__(f"cluster deadlocked ({len(blocked)} ranks blocked): {detail}")
+        where = []
+        if phase is not None:
+            where.append(f"phase {phase!r}")
+        if stage is not None:
+            where.append(f"stage {stage}")
+        if peer is not None:
+            where.append(f"waiting on rank {peer}")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        super().__init__(
+            f"cluster deadlocked ({len(blocked)} ranks blocked): {detail}{suffix}"
+        )
 
 
 class RankFailedError(SimulationError):
@@ -55,8 +78,9 @@ class RankFailedError(SimulationError):
     object reliably, so they carry ``original_type`` (the exception
     class name) and ``traceback_text`` (the worker's formatted
     traceback) instead.  ``events`` holds any structured fault events
-    the failed rank recorded before dying; ``fault_phase`` names the
-    pipeline phase of an injected crash (``None`` for organic failures).
+    the failed rank recorded before dying; ``fault_phase`` /
+    ``fault_stage`` name the pipeline phase and compositing stage of an
+    injected crash (``None`` for organic failures).
     """
 
     def __init__(
@@ -69,6 +93,7 @@ class RankFailedError(SimulationError):
         detail: str | None = None,
         events: list | None = None,
         fault_phase: str | None = None,
+        fault_stage: int | None = None,
     ):
         self.rank = rank
         self.original = original
@@ -78,6 +103,7 @@ class RankFailedError(SimulationError):
         self.traceback_text = traceback_text
         self.events = list(events) if events else []
         self.fault_phase = fault_phase
+        self.fault_stage = fault_stage
         if detail is None:
             detail = (
                 repr(original)

@@ -16,7 +16,10 @@ Subcommands regenerate each paper artifact::
     run       one full pipeline run on a chosen backend
               (``--backend {sim,mp,mpi}``, ``--trace-out timeline.json``;
               fault injection via ``--fault-plan plan.json`` with
-              ``--comm-timeout``/``--no-degrade``)
+              ``--comm-timeout``; recovery via ``--recovery
+              {abort,degrade,respawn,checkpoint-resume}`` and
+              ``--respawn-budget N``; ``--no-degrade`` is shorthand for
+              ``--recovery abort``)
 
 ``stages`` and ``run`` take ``--method`` specs like ``bsbrc`` or
 ``radix-k:rect-rle`` plus the schedule options ``--radix 4,4`` and
@@ -137,9 +140,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--comm-timeout", type=float, default=None,
                      help="per-receive deadlock timeout in seconds on real "
                           "transports (default: backend's 60s)")
+    run.add_argument("--recovery", default=None,
+                     choices=("abort", "degrade", "respawn", "checkpoint-resume"),
+                     help="recovery policy when a rank is lost: abort "
+                          "(re-raise), degrade (re-fold onto survivors), "
+                          "respawn (mp: restart the dead worker in place), "
+                          "checkpoint-resume (resume from the last completed "
+                          "compositing stage); stronger policies fall back "
+                          "down this lattice when inapplicable "
+                          "(default: degrade)")
+    run.add_argument("--respawn-budget", type=int, default=2,
+                     help="total worker restarts the mp supervisor may "
+                          "spend per run (respawn/checkpoint-resume only; "
+                          "default: 2)")
+    run.add_argument("--heartbeat-interval", type=float, default=None,
+                     help="mp worker liveness heartbeat period in seconds; "
+                          "0 disables heartbeats (default: 0.25)")
     run.add_argument("--no-degrade", action="store_true",
-                     help="fail instead of re-folding onto survivors when "
-                          "a rank is lost before compositing")
+                     help="shorthand for --recovery abort: fail instead of "
+                          "recovering when a rank is lost")
     sub.add_parser("all")
     return parser
 
@@ -273,6 +292,12 @@ def _run_one(args, command: str) -> None:
             machine=getattr(args, "machine", "sp2"),
             backend=getattr(args, "backend", "sim"),
             comm_timeout=getattr(args, "comm_timeout", None),
+            recovery=(
+                getattr(args, "recovery", None)
+                or ("abort" if getattr(args, "no_degrade", False) else "degrade")
+            ),
+            respawn_budget=getattr(args, "respawn_budget", 2),
+            heartbeat_interval=getattr(args, "heartbeat_interval", None),
         )
         fault_plan = None
         if getattr(args, "fault_plan", None):
@@ -280,7 +305,6 @@ def _run_one(args, command: str) -> None:
         result = SortLastSystem(cfg).run(
             trace=cfg.backend == "sim",
             fault_plan=fault_plan,
-            degrade=not getattr(args, "no_degrade", False),
         )
         stats = result.compositing.stats
         clock = result.timeline.clock if result.timeline else "modelled"
@@ -295,6 +319,11 @@ def _run_one(args, command: str) -> None:
             lines.append(
                 f"  DEGRADED: lost rank(s) {result.failed_ranks}; re-folded "
                 f"onto {result.plan.num_ranks} survivors"
+            )
+        if result.recovered:
+            lines.append(
+                "  RECOVERED: failure absorbed losslessly "
+                "(checkpoint resume / worker respawn); full-fidelity image"
             )
         if result.timeline is not None and result.timeline.events:
             lines.append(f"  fault events        = {len(result.timeline.events)}")

@@ -72,6 +72,18 @@ class RunConfig:
     #: rank declares deadlock; ``None`` uses the backend default.  The
     #: simulator detects deadlock structurally and ignores this.
     comm_timeout: float | None = None
+    #: Recovery policy on rank failure: one of
+    #: :data:`repro.cluster.recovery.RECOVERY_POLICIES`
+    #: ("abort" < "degrade" < "respawn" < "checkpoint-resume"); stronger
+    #: policies fall back down the lattice when their mechanism does not
+    #: apply (see DESIGN.md §5f).
+    recovery: str = "degrade"
+    #: Total worker restarts the mp supervisor may spend per run (only
+    #: meaningful under "respawn"/"checkpoint-resume").
+    respawn_budget: int = 2
+    #: Worker liveness-stamp spacing in seconds on the mp backend;
+    #: ``None`` uses the backend default, ``0`` disables heartbeats.
+    heartbeat_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
@@ -111,6 +123,21 @@ class RunConfig:
         if self.comm_timeout is not None and self.comm_timeout <= 0:
             raise ConfigurationError(
                 f"comm_timeout must be > 0 seconds, got {self.comm_timeout}"
+            )
+        from ..cluster.recovery import RECOVERY_POLICIES
+
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ConfigurationError(
+                f"unknown recovery policy {self.recovery!r}; "
+                f"choose from {RECOVERY_POLICIES}"
+            )
+        if self.respawn_budget < 0:
+            raise ConfigurationError(
+                f"respawn_budget must be >= 0, got {self.respawn_budget}"
+            )
+        if self.heartbeat_interval is not None and self.heartbeat_interval < 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be >= 0 seconds, got {self.heartbeat_interval}"
             )
 
     @property

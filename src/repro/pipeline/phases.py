@@ -249,6 +249,7 @@ async def pipeline_rank_program(
     cfg: RunConfig,
     gather_final: bool = True,
     fault_plan=None,
+    recovery=None,
 ):
     """One rank's full pipeline; module-level so every backend can ship it.
 
@@ -260,10 +261,26 @@ async def pipeline_rank_program(
     ``fault_plan`` (a :class:`~repro.cluster.faults.FaultPlan`) installs
     this rank's seeded injector, sinking its event records into
     ``ctx.stats.events``; each phase boundary is a crash checkpoint.
+
+    ``recovery`` (a :class:`~repro.cluster.recovery.RecoveryRuntime`)
+    installs the stage checkpointer: the compositing engine snapshots
+    into ``recovery.store`` after every exchange stage, and restores at
+    ``recovery.resume`` before its stage loop (``None`` = fresh run).
     """
     if fault_plan is not None:
         ctx.install_fault_injector(
             fault_plan.injector_for(ctx.rank, sink=ctx.stats.events)
+        )
+    if recovery is not None and recovery.store is not None:
+        from ..cluster.recovery import StageCheckpointer
+
+        ctx.install_checkpointer(
+            StageCheckpointer(
+                recovery.store,
+                ctx.rank,
+                resume=recovery.resume,
+                sink=ctx.stats.events,
+            )
         )
     scene = build_scene(cfg)
     ctx.fault_checkpoint("render")

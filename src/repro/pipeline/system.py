@@ -18,14 +18,26 @@ Two entry points:
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
 from ..cluster.backend import Backend, BackendRunResult, SimBackend, make_backend
-from ..cluster.faults import FaultPlan, crash_phase_of
+from ..cluster.faults import FaultPlan, crash_phase_of, crash_stage_of
 from ..cluster.model import MachineModel
+from ..cluster.recovery import (
+    RESUME_LATEST,
+    CheckpointStore,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+    RecoveryPolicy,
+    RecoveryRuntime,
+    RespawnPlan,
+)
 from ..cluster.run_timeline import RunTimeline
 from ..cluster.stats import RankStats, RunResult
 from ..compositing.base import CompositeOutcome, Compositor
@@ -207,6 +219,10 @@ class SystemResult:
     degraded: bool = False
     #: Original ranks lost before compositing (degraded runs only).
     failed_ranks: list[int] = field(default_factory=list)
+    #: True when a failure was absorbed *losslessly* — a checkpoint
+    #: resume or an in-place worker respawn produced the full-fidelity
+    #: image (contrast ``degraded``, which drops the failed rank's data).
+    recovered: bool = False
 
     def reference_image(self) -> SubImage:
         """Sequential depth-order composite of the rendered subimages."""
@@ -231,6 +247,7 @@ class SortLastSystem:
         trace: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         degrade: bool = True,
+        recovery: "str | RecoveryPolicy | None" = None,
     ) -> SystemResult:
         """Execute partition → render → composite (→ gather & assemble).
 
@@ -240,70 +257,253 @@ class SortLastSystem:
         records the simulator's event trace into the timeline.
 
         ``fault_plan`` injects the plan's faults through the shared
-        protocol layer (identically on every backend).  When a rank is
-        lost before compositing and ``degrade`` is on, the run re-folds
-        the bisection plan onto the survivors
-        (:func:`~repro.volume.folded.refold_survivors`) and returns a
-        valid image flagged ``degraded``; any other failure — or
-        ``degrade=False`` — re-raises the typed error.
+        protocol layer (identically on every backend).  What happens
+        when a rank is then lost is decided by one recovery policy on
+        the lattice ``abort < degrade < respawn < checkpoint-resume``
+        (see :mod:`repro.cluster.recovery`): ``recovery`` overrides the
+        config's ``recovery`` field; the legacy ``degrade=False``
+        maps to ``abort``.  Stronger policies fall back down the lattice
+        when their mechanism does not apply — a respawn whose replay
+        would break the message protocol (or whose budget ran out)
+        degrades; a crash that cannot degrade re-raises the typed error.
+        Every recovery decision lands as a structured event in the
+        result's timeline.
         """
         cfg = self.config
         if backend is None:
             backend = cfg.backend
         engine = make_backend(backend) if isinstance(backend, str) else backend
+        if recovery is not None:
+            policy = RecoveryPolicy.resolve(recovery, respawn_budget=cfg.respawn_budget)
+        elif not degrade:
+            policy = RecoveryPolicy.resolve("abort")
+        else:
+            policy = RecoveryPolicy.resolve(cfg.recovery, respawn_budget=cfg.respawn_budget)
 
         # Host-side scene build: the result mirrors what every rank
         # derives (memoized, and inherited by forked mp workers).
         scene = build_scene(cfg)
 
+        store, cleanup = self._make_store(engine, policy)
+        runtime = RecoveryRuntime(store=store) if store is not None else None
         args: tuple = (cfg, gather_final)
-        if fault_plan is not None:
-            args = (cfg, gather_final, fault_plan)
+        if fault_plan is not None or runtime is not None:
+            args = (cfg, gather_final, fault_plan, runtime)
+        respawn = None
+        if (
+            engine.name == "mp"
+            and policy.allows_respawn
+            and not isinstance(scene.plan, FoldedPartition)
+        ):
+            # Folded plans resend their fold messages on replay, which a
+            # peer that already consumed them cannot absorb — in-place
+            # respawn is gated to plain bisection plans.
+            respawn = RespawnPlan(
+                budget=policy.respawn_budget,
+                args=(
+                    cfg,
+                    gather_final,
+                    None,  # never re-arm the fault plan in a replacement
+                    RecoveryRuntime(store, RESUME_LATEST) if store is not None else None,
+                ),
+                store=store,
+            )
         try:
-            backend_result = engine.run(
-                cfg.num_ranks,
-                pipeline_rank_program,
-                args,
-                model=cfg.machine,
-                trace=trace,
-                timeout=cfg.comm_timeout,
+            try:
+                backend_result = engine.run(
+                    cfg.num_ranks,
+                    pipeline_rank_program,
+                    args,
+                    model=cfg.machine,
+                    trace=trace,
+                    timeout=cfg.comm_timeout,
+                    respawn=respawn,
+                    heartbeat=cfg.heartbeat_interval,
+                )
+            except RankFailedError as err:
+                return self._recover(
+                    engine, scene, err, policy, store,
+                    gather_final=gather_final, trace=trace,
+                )
+            return self._build_result(
+                engine, scene, backend_result, gather_final=gather_final
             )
-        except RankFailedError as err:
-            if (
-                not degrade
-                or fault_plan is None
-                or crash_phase_of(err) != "render"
-                or not isinstance(scene.plan, PartitionPlan)
-                or scene.plan.num_ranks < 2
-            ):
-                raise
-            return self._run_degraded(
-                engine, scene, err, gather_final=gather_final, trace=trace
-            )
+        finally:
+            if cleanup is not None:
+                cleanup()
 
+    def _make_store(
+        self, engine: Backend, policy: RecoveryPolicy
+    ) -> "tuple[Optional[CheckpointStore], Optional[Callable[[], None]]]":
+        """Checkpoint store matched to the substrate (plus its cleanup).
+
+        Only ``checkpoint-resume`` pays for snapshots.  The simulator
+        runs all ranks in one process (memory store); multiprocessing
+        crosses process boundaries (disk store under ``REPRO_CACHE_DIR``
+        or a private temp dir removed after the run).
+        """
+        if not policy.allows_resume:
+            return None, None
+        if engine.name == "sim":
+            store: CheckpointStore = MemoryCheckpointStore()
+            return store, store.clear
+        if engine.name == "mp":
+            root = os.environ.get("REPRO_CACHE_DIR", "").strip()
+            tmp_root = None
+            if not root:
+                tmp_root = tempfile.mkdtemp(prefix="repro-ckpt-")
+                root = tmp_root
+            disk = DiskCheckpointStore(root)
+
+            def _cleanup() -> None:
+                disk.clear()
+                if tmp_root is not None:
+                    shutil.rmtree(tmp_root, ignore_errors=True)
+
+            return disk, _cleanup
+        return None, None  # MPI: no mid-job respawn/resume substrate yet
+
+    def _recover(
+        self,
+        engine: Backend,
+        scene,
+        err: RankFailedError,
+        policy: RecoveryPolicy,
+        store: Optional[CheckpointStore],
+        *,
+        gather_final: bool,
+        trace: bool,
+    ) -> SystemResult:
+        """Walk down the policy lattice after an unrecovered rank failure.
+
+        Order: lockstep checkpoint-resume (simulator), then refold-based
+        degradation, then re-raise (abort).  The mp backend's in-place
+        respawn already ran inside the supervisor; reaching here means
+        it was refused or exhausted, and ``err.events`` carries its
+        audit trail.
+        """
+        cfg = self.config
+        phase = crash_phase_of(err)
+        stage = crash_stage_of(err)
+        if (
+            policy.allows_resume
+            and engine.name == "sim"
+            and store is not None
+        ):
+            # Lockstep resume needs a stage checkpointed by *every* rank;
+            # when the crash hit before one exists the lossless fallback
+            # is a clean full replay (resume=None) — still bit-identical,
+            # it just starts from stage 0.
+            resume = store.common_stage(cfg.num_ranks)
+            return self._run_resumed(
+                engine, scene, err, store, resume,
+                gather_final=gather_final, trace=trace, policy=policy,
+            )
+        degradable = (
+            policy.allows_degrade
+            and (
+                phase in ("render", "composite")
+                or (phase is None and stage is not None and stage != GATHER_STAGE)
+            )
+            and isinstance(scene.plan, PartitionPlan)
+            and scene.plan.num_ranks >= 2
+        )
+        if not degradable:
+            raise err
+        return self._run_degraded(
+            engine, scene, err,
+            gather_final=gather_final, trace=trace, phase=phase, stage=stage,
+        )
+
+    def _run_resumed(
+        self,
+        engine: Backend,
+        scene,
+        err: RankFailedError,
+        store: CheckpointStore,
+        resume: Optional[int],
+        *,
+        gather_final: bool,
+        trace: bool,
+        policy: RecoveryPolicy,
+    ) -> SystemResult:
+        """Lockstep checkpoint-resume on the simulator.
+
+        Every rank restores the *common* minimum checkpointed stage and
+        replays from there — all ranks move together, so the replayed
+        exchange sequence is exactly the fault-free tail and the final
+        image (and the deterministic byte/message counters) land
+        bit-identical to a clean run.  ``resume=None`` means no stage is
+        checkpointed everywhere yet: the replay starts from scratch,
+        which is equally lossless.  The fault plan is not re-armed.
+        """
+        cfg = self.config
+        events = list(err.events) + [
+            {
+                "event": "detected",
+                "fault": "crash",
+                "rank": err.rank,
+                "phase": crash_phase_of(err),
+                "stage": crash_stage_of(err),
+                "backend": engine.name,
+            },
+            {
+                "event": "recovery",
+                "policy": policy.name,
+                "action": "checkpoint-resume",
+                "failed_ranks": [err.rank],
+                "resume_stage": resume,
+                "backend": engine.name,
+            },
+        ]
+        backend_result = engine.run(
+            cfg.num_ranks,
+            pipeline_rank_program,
+            (cfg, gather_final, None, RecoveryRuntime(store, resume)),
+            model=cfg.machine,
+            trace=trace,
+            timeout=cfg.comm_timeout,
+        )
         return self._build_result(
-            engine, scene, backend_result, gather_final=gather_final
+            engine,
+            scene,
+            backend_result,
+            gather_final=gather_final,
+            extra_events=events,
+            recovered=True,
         )
 
     def _run_degraded(
         self, engine: Backend, scene, err: RankFailedError, *, gather_final: bool,
-        trace: bool,
+        trace: bool, phase: Optional[str] = "render", stage: Optional[int] = None,
     ) -> SystemResult:
-        """Re-fold onto the survivors of a render-phase rank loss and
-        rerun the pipeline clean (no fault injection) on the smaller
-        folded machine."""
+        """Re-fold onto the survivors of a rank loss and rerun the
+        pipeline clean (no fault injection) on the smaller folded
+        machine.  Works for render- *and* composite-phase losses: the
+        survivors re-render their merged blocks either way."""
         cfg = self.config
         failed = [err.rank]
         compositor = make_compositor(cfg.method, **cfg.method_options)
         pairs_of = getattr(compositor, "refold_pairs", None)
         pairs = pairs_of(scene.plan.num_ranks) if pairs_of is not None else None
         folded, rank_map = refold_survivors(scene.plan, failed, pairs=pairs)
+        detected: dict[str, Any] = {
+            "event": "detected",
+            "fault": "crash",
+            "rank": err.rank,
+            "backend": engine.name,
+        }
+        if phase is not None:
+            detected["phase"] = phase
+        if stage is not None:
+            detected["stage"] = stage
         orchestrator_events = list(err.events) + [
+            detected,
             {
-                "event": "detected",
-                "fault": "crash",
-                "rank": err.rank,
-                "phase": "render",
+                "event": "recovery",
+                "policy": "degrade",
+                "action": "degrade",
+                "failed_ranks": failed,
                 "backend": engine.name,
             },
             {
@@ -344,10 +544,18 @@ class SortLastSystem:
         degraded: bool = False,
         failed_ranks: Optional[list[int]] = None,
         extra_events: Optional[list[dict]] = None,
+        recovered: bool = False,
     ) -> SystemResult:
         cfg = self.config
         subimages = [ret[0] for ret in backend_result.returns]
         outcomes = [ret[1] for ret in backend_result.returns]
+        # An mp run that respawned a worker in place succeeded *because*
+        # of recovery; surface that even though no exception reached us.
+        if any(
+            ev.get("event") == "respawn" and ev.get("action") == "restart"
+            for ev in backend_result.events
+        ):
+            recovered = True
 
         compositor = make_compositor(cfg.method, **cfg.method_options)
         if isinstance(scene.plan, FoldedPartition):
@@ -376,6 +584,7 @@ class SortLastSystem:
                 "renderer": cfg.renderer,
                 "gather_final": gather_final,
                 "degraded": degraded,
+                "recovered": recovered,
                 "failed_ranks": list(failed_ranks or []),
             },
             events=extra_events,
@@ -391,4 +600,5 @@ class SortLastSystem:
             timeline=timeline,
             degraded=degraded,
             failed_ranks=list(failed_ranks or []),
+            recovered=recovered,
         )

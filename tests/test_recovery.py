@@ -1,0 +1,529 @@
+"""Recovery subsystem: checkpoints, respawn, and the policy lattice.
+
+The acceptance contract (ISSUE: recovery subsystem):
+
+* a seeded crash at *any* compositing stage under
+  ``--recovery checkpoint-resume`` produces a final image and per-rank
+  byte/message counters **bit-identical** to the fault-free run, on the
+  simulator and on multiprocessing;
+* ``--recovery degrade`` still yields a valid degraded image when
+  resume is disabled;
+* respawn-budget exhaustion (or a protocol-unsafe replay) falls back
+  down the lattice instead of hanging;
+* every recovery action lands as a structured event in the run
+  timeline.
+
+The small pieces — stores, policies, heartbeat staleness, enriched
+``DeadlockError`` diagnostics, the retransmit-counter accounting fix —
+are unit-tested alongside.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue as queue_mod
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import FaultPlan, FaultRule
+from repro.cluster.mp_backend import (
+    RETRANSMIT_BUDGET,
+    MPRankContext,
+    _stale_after,
+    run_rank_programs_mp,
+)
+from repro.cluster.protocol import drive
+from repro.cluster.recovery import (
+    RECOVERY_POLICIES,
+    CheckpointSnapshot,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+    RecoveryPolicy,
+    RespawnPlan,
+    StageCheckpointer,
+)
+from repro.cluster.stats import RankStats
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    RankFailedError,
+    SimulationError,
+)
+from repro.pipeline.config import RunConfig
+from repro.pipeline.phases import GATHER_STAGE
+from repro.pipeline.system import SortLastSystem
+
+pytestmark = pytest.mark.recovery
+
+_WATCHDOG_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog():
+    """Hard per-test hang guard (see test_chaos for the rationale)."""
+
+    def _fire(signum, frame):  # pragma: no cover - only on a real hang
+        raise RuntimeError(
+            f"recovery test exceeded the {_WATCHDOG_SECONDS}s hang watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.alarm(_WATCHDOG_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+#: The crash matrix: paper methods plus engine combos, covering rect
+#: and index parts, RLE and raw codecs, and a multi-round radix plan.
+MATRIX_METHODS = (
+    ("bs", {}),
+    ("bsbrc", {}),
+    ("radix-k:rect-rle", {"radix": [4, 4]}),
+    ("sectioned:rle", {}),
+)
+BACKENDS = ("sim", "mp")
+NUM_RANKS = 4
+
+
+def _config(method: str, options: dict, recovery: str = "checkpoint-resume") -> RunConfig:
+    return RunConfig(
+        dataset="engine_low",
+        image_size=32,
+        num_ranks=NUM_RANKS,
+        method=method,
+        method_options=options,
+        volume_shape=(32, 32, 16),
+        comm_timeout=5.0,
+        recovery=recovery,
+    )
+
+
+def _images_equal(a, b) -> bool:
+    return np.array_equal(a.intensity, b.intensity) and np.array_equal(
+        a.opacity, b.opacity
+    )
+
+
+def _comm_fingerprint(result) -> list[tuple]:
+    """Deterministic per-rank, per-stage byte/message counts (no times)."""
+    rows = []
+    for rs in result.compositing.stats.rank_stats:
+        for k in sorted(rs.stages):
+            b = rs.stages[k]
+            rows.append(
+                (rs.rank, k, b.bytes_sent, b.bytes_recv, b.msgs_sent, b.msgs_recv)
+            )
+    return rows
+
+
+_BASELINES: dict[tuple, object] = {}
+
+
+def _baseline(method: str, options: dict, backend: str):
+    key = (method, repr(sorted(options.items())), backend)
+    found = _BASELINES.get(key)
+    if found is None:
+        found = SortLastSystem(_config(method, dict(options))).run(backend=backend)
+        _BASELINES[key] = found
+    return found
+
+
+def _composite_stages(result) -> list[int]:
+    """Exchange-stage indices of a run (pre-scan and gather excluded)."""
+    return sorted(
+        k
+        for k in result.compositing.stats.rank_stats[0].stages
+        if 0 <= k < GATHER_STAGE
+    )
+
+
+# ---------------------------------------------------------------------------
+# The tentpole contract: crash at every stage, recover bit-identically
+# ---------------------------------------------------------------------------
+class TestCheckpointResumeMatrix:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "method,options", MATRIX_METHODS, ids=[m for m, _ in MATRIX_METHODS]
+    )
+    def test_stage_crash_resumes_bit_identically(self, method, options, backend):
+        clean = _baseline(method, options, backend)
+        stages = _composite_stages(clean)
+        assert stages, "matrix method must have at least one exchange stage"
+        for stage in stages:
+            plan = FaultPlan(
+                rules=(FaultRule(kind="crash", rank=1, stage=stage),), seed=3
+            )
+            result = SortLastSystem(_config(method, dict(options))).run(
+                backend=backend, fault_plan=plan
+            )
+            assert result.recovered, f"stage {stage} was not recovered"
+            assert not result.degraded
+            assert _images_equal(result.final_image, clean.final_image)
+            assert _comm_fingerprint(result) == _comm_fingerprint(clean)
+
+    def test_resume_restores_a_real_checkpoint_at_p8(self):
+        """At P=8 a late-stage crash leaves a common checkpoint, so the
+        replay genuinely restores state instead of starting over."""
+        cfg = RunConfig(
+            dataset="engine_low",
+            image_size=32,
+            num_ranks=8,
+            method="bsbrc",
+            volume_shape=(32, 32, 16),
+            recovery="checkpoint-resume",
+        )
+        clean = SortLastSystem(cfg).run()
+        plan = FaultPlan(rules=(FaultRule(kind="crash", rank=1, stage=2),), seed=3)
+        result = SortLastSystem(cfg).run(fault_plan=plan)
+        assert result.recovered
+        assert _images_equal(result.final_image, clean.final_image)
+        assert _comm_fingerprint(result) == _comm_fingerprint(clean)
+        recovery = [
+            e for e in result.timeline.events if e.get("event") == "recovery"
+        ]
+        assert recovery and recovery[0]["action"] == "checkpoint-resume"
+        assert recovery[0]["resume_stage"] is not None
+        restores = [
+            e
+            for e in result.timeline.events
+            if e.get("event") == "checkpoint" and e.get("action") == "restore"
+        ]
+        assert len(restores) == 8  # every rank restored the common stage
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_degrade_still_works_when_resume_disabled(self, backend):
+        plan = FaultPlan(rules=(FaultRule(kind="crash", rank=1, stage=1),), seed=3)
+        result = SortLastSystem(_config("bsbrc", {}, recovery="degrade")).run(
+            backend=backend, fault_plan=plan
+        )
+        assert result.degraded and not result.recovered
+        reference = result.reference_image()
+        assert np.allclose(result.final_image.intensity, reference.intensity)
+        assert np.allclose(result.final_image.opacity, reference.opacity)
+
+    def test_timeline_carries_structured_recovery_events(self):
+        plan = FaultPlan(rules=(FaultRule(kind="crash", rank=1, stage=1),), seed=3)
+        result = SortLastSystem(_config("bsbrc", {})).run(
+            backend="sim", fault_plan=plan
+        )
+        events = result.timeline.events
+        kinds = {e["event"] for e in events}
+        assert {"injected", "detected", "recovery", "checkpoint"} <= kinds
+        saves = [
+            e
+            for e in events
+            if e["event"] == "checkpoint" and e["action"] == "save"
+        ]
+        assert saves  # stage snapshots were actually taken
+        assert result.timeline.to_dict()["meta"]["recovered"] is True
+
+
+# ---------------------------------------------------------------------------
+# Multiprocessing respawn: in-place worker restart
+# ---------------------------------------------------------------------------
+class TestWorkerRespawn:
+    def test_render_crash_respawns_without_checkpoints(self):
+        """A rank that dies before sending anything replays from scratch
+        under plain ``respawn`` — no checkpoint store needed."""
+        clean = _baseline("bsbrc", {}, "mp")
+        plan = FaultPlan(
+            rules=(FaultRule(kind="crash", rank=2, phase="render"),), seed=3
+        )
+        result = SortLastSystem(_config("bsbrc", {}, recovery="respawn")).run(
+            backend="mp", fault_plan=plan
+        )
+        assert result.recovered and not result.degraded
+        assert _images_equal(result.final_image, clean.final_image)
+        restarts = [
+            e
+            for e in result.timeline.events
+            if e.get("event") == "respawn" and e.get("action") == "restart"
+        ]
+        assert restarts and restarts[0]["rank"] == 2
+        assert restarts[0]["resume_stage"] is None
+
+    def test_mid_compositing_crash_respawns_from_checkpoint(self):
+        clean = _baseline("bsbrc", {}, "mp")
+        plan = FaultPlan(rules=(FaultRule(kind="crash", rank=1, stage=1),), seed=3)
+        result = SortLastSystem(_config("bsbrc", {})).run(
+            backend="mp", fault_plan=plan
+        )
+        assert result.recovered and not result.degraded
+        assert _images_equal(result.final_image, clean.final_image)
+        assert _comm_fingerprint(result) == _comm_fingerprint(clean)
+        restarts = [
+            e
+            for e in result.timeline.events
+            if e.get("event") == "respawn" and e.get("action") == "restart"
+        ]
+        assert restarts and restarts[0]["resume_stage"] == 0
+
+    def test_unsafe_replay_falls_back_to_degrade(self):
+        """Plain ``respawn`` (no checkpoints) cannot replay a rank that
+        already sent messages — the lattice drops to degrade, fast."""
+        plan = FaultPlan(rules=(FaultRule(kind="crash", rank=1, stage=1),), seed=3)
+        start = time.monotonic()
+        result = SortLastSystem(_config("bsbrc", {}, recovery="respawn")).run(
+            backend="mp", fault_plan=plan
+        )
+        assert time.monotonic() - start < 30.0  # no hang, no timeout wait
+        assert result.degraded and not result.recovered
+        refusals = [
+            e
+            for e in result.timeline.events
+            if e.get("event") == "respawn" and e.get("action") == "refused"
+        ]
+        assert refusals and refusals[0]["rank"] == 1
+
+    def test_budget_exhaustion_raises_instead_of_looping(self):
+        with pytest.raises(RankFailedError) as err:
+            run_rank_programs_mp(
+                2,
+                _always_failing_program,
+                timeout=5.0,
+                respawn=RespawnPlan(budget=2, args=()),
+            )
+        events = getattr(err.value, "events", [])
+        restarts = [
+            e
+            for e in events
+            if e.get("event") == "respawn" and e.get("action") == "restart"
+        ]
+        exhausted = [
+            e
+            for e in events
+            if e.get("event") == "respawn" and e.get("action") == "exhausted"
+        ]
+        assert len(restarts) == 2  # the full budget was spent
+        assert exhausted and exhausted[0]["budget"] == 2
+
+
+async def _always_failing_program(ctx):
+    """Crashes before any communication: replay-safe, never succeeds."""
+    raise RuntimeError("persistent failure for budget-exhaustion test")
+
+
+# ---------------------------------------------------------------------------
+# Policy lattice
+# ---------------------------------------------------------------------------
+class TestRecoveryPolicy:
+    def test_lattice_ordering(self):
+        levels = [RecoveryPolicy(name=n).level for n in RECOVERY_POLICIES]
+        assert levels == sorted(levels) and len(set(levels)) == len(levels)
+
+    def test_capabilities_accumulate(self):
+        abort = RecoveryPolicy(name="abort")
+        assert not (abort.allows_degrade or abort.allows_respawn or abort.allows_resume)
+        degrade = RecoveryPolicy(name="degrade")
+        assert degrade.allows_degrade and not degrade.allows_respawn
+        respawn = RecoveryPolicy(name="respawn")
+        assert respawn.allows_degrade and respawn.allows_respawn
+        assert not respawn.allows_resume
+        resume = RecoveryPolicy(name="checkpoint-resume")
+        assert resume.allows_degrade and resume.allows_respawn and resume.allows_resume
+
+    def test_resolve_and_validation(self):
+        assert RecoveryPolicy.resolve(None).name == "degrade"
+        assert RecoveryPolicy.resolve("respawn", respawn_budget=5).respawn_budget == 5
+        already = RecoveryPolicy(name="abort")
+        assert RecoveryPolicy.resolve(already) is already
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(name="retry-forever")
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(respawn_budget=-1)
+
+    def test_run_config_validates_recovery_fields(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(recovery="nope")
+        with pytest.raises(ConfigurationError):
+            RunConfig(respawn_budget=-2)
+        with pytest.raises(ConfigurationError):
+            RunConfig(heartbeat_interval=-1.0)
+
+    def test_abort_policy_reraises(self):
+        plan = FaultPlan(rules=(FaultRule(kind="crash", rank=1, stage=0),), seed=3)
+        with pytest.raises(RankFailedError):
+            SortLastSystem(_config("bsbrc", {}, recovery="abort")).run(
+                backend="sim", fault_plan=plan
+            )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint stores
+# ---------------------------------------------------------------------------
+def _snapshot(stage: int, fill: float, producer: str = "bsbrc") -> CheckpointSnapshot:
+    stats = RankStats(rank=0)
+    stats.stage(stage).bytes_sent = 123
+    return CheckpointSnapshot(
+        stage=stage,
+        intensity=np.full((4, 4), fill),
+        opacity=np.full((4, 4), fill / 2.0),
+        codec_state=None,
+        stats=stats,
+        producer=producer,
+    )
+
+
+class TestCheckpointStores:
+    @pytest.mark.parametrize("kind", ("memory", "disk"))
+    def test_save_load_latest_clear(self, kind, tmp_path):
+        store = (
+            MemoryCheckpointStore()
+            if kind == "memory"
+            else DiskCheckpointStore(str(tmp_path))
+        )
+        assert store.latest_stage(0) is None
+        store.save(0, 0, _snapshot(0, 1.0))
+        store.save(0, 1, _snapshot(1, 2.0))
+        store.save(1, 0, _snapshot(0, 3.0))
+        assert store.latest_stage(0) == 1
+        assert store.latest_stage(1) == 0
+        loaded = store.load(0, 1)
+        assert loaded is not None and loaded.stage == 1
+        assert np.array_equal(loaded.intensity, np.full((4, 4), 2.0))
+        assert loaded.stats.stages[1].bytes_sent == 123
+        assert store.load(2, 0) is None
+        store.clear()
+        assert store.latest_stage(0) is None and store.load(0, 1) is None
+
+    def test_common_stage_requires_every_rank(self):
+        store = MemoryCheckpointStore()
+        assert store.common_stage(2) is None
+        store.save(0, 0, _snapshot(0, 1.0))
+        store.save(0, 1, _snapshot(1, 1.0))
+        assert store.common_stage(2) is None  # rank 1 has nothing
+        store.save(1, 0, _snapshot(0, 1.0))
+        assert store.common_stage(2) == 0  # min over per-rank latests
+
+    def test_disk_store_survives_torn_files_and_isolates_runs(self, tmp_path):
+        store = DiskCheckpointStore(str(tmp_path), run_id="aaa")
+        store.save(0, 0, _snapshot(0, 1.0))
+        # A torn/corrupt checkpoint must read as "absent", not crash.
+        path = store._path(0, 1)
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        assert store.load(0, 1) is None
+        # Unreadable-but-present files still count for latest_stage; a
+        # second run id sees none of them.
+        other = DiskCheckpointStore(str(tmp_path), run_id="bbb")
+        assert other.latest_stage(0) is None
+        other.clear()
+        assert store.load(0, 0) is not None  # clear() scoped to run id
+
+    def test_disk_store_is_picklable(self, tmp_path):
+        store = DiskCheckpointStore(str(tmp_path), run_id="ccc")
+        clone = pickle.loads(pickle.dumps(store))
+        store.save(3, 2, _snapshot(2, 4.0))
+        assert clone.latest_stage(3) == 2  # same root + run id
+
+    def test_checkpointer_skips_stale_producer(self):
+        store = MemoryCheckpointStore()
+        events: list = []
+        saver = StageCheckpointer(store, rank=0, sink=events)
+        image = _snapshot(0, 7.0)
+        saver.save(0, image, None, RankStats(rank=0), "bsbrc")
+        restorer = StageCheckpointer(store, rank=0, resume="latest", sink=events)
+        target = _snapshot(0, 0.0)
+        assert restorer.restore(target, "radix-k:rect-rle") is None  # stale
+        got = restorer.restore(target, "bsbrc")
+        assert got is not None and np.array_equal(
+            target.intensity, np.full((4, 4), 7.0)
+        )
+        actions = [(e["event"], e["action"]) for e in events]
+        assert actions == [("checkpoint", "save"), ("checkpoint", "restore")]
+
+
+# ---------------------------------------------------------------------------
+# Liveness and diagnosability satellites
+# ---------------------------------------------------------------------------
+class _EmptyChannel:
+    def get(self, timeout=None):
+        raise queue_mod.Empty
+
+
+class _FullChannel:
+    def put(self, frame, timeout=None):
+        raise queue_mod.Full
+
+
+class TestLivenessAndDiagnostics:
+    def test_stale_heartbeat_fails_long_before_timeout(self):
+        queues = [[None, None], [_EmptyChannel(), None]]
+        heartbeats = [0.0, time.monotonic() - 100.0]  # peer long dead
+        ctx = MPRankContext(
+            0, 2, queues, None, 60.0, heartbeats=heartbeats,
+            heartbeat_interval=0.25,
+        )
+        ctx.fault_checkpoint("composite")
+        ctx.begin_stage(1)
+        start = time.monotonic()
+        with pytest.raises(DeadlockError) as err:
+            drive(ctx.recv(1))
+        assert time.monotonic() - start < 10.0  # not the 60s timeout
+        assert err.value.peer == 1
+        assert err.value.phase == "composite"
+        assert err.value.stage == 1
+        assert "stopped heartbeating" in str(err.value)
+
+    def test_never_stamped_heartbeat_is_not_stale(self):
+        """Slot 0.0 means the peer has not started yet — the receiver
+        must wait out its normal timeout, not declare death."""
+        queues = [[None, None], [_EmptyChannel(), None]]
+        ctx = MPRankContext(
+            0, 2, queues, None, 0.3, heartbeats=[0.0, 0.0],
+            heartbeat_interval=0.25,
+        )
+        with pytest.raises(DeadlockError) as err:
+            drive(ctx.recv(1))
+        assert "timed out" in str(err.value)  # the plain-timeout path
+
+    def test_stale_after_floor(self):
+        assert _stale_after(0.25) == 2.5
+        assert _stale_after(1.0) == 10.0
+
+    def test_retransmit_exhaustion_accounts_attempts_and_names_peer(self):
+        queues = [[None, _FullChannel()], [None, None]]
+        ctx = MPRankContext(0, 2, queues, None, 0.01)
+        ctx.begin_stage(1)
+        with pytest.raises(SimulationError) as err:
+            drive(ctx.send(1, b"payload"))
+        message = str(err.value)
+        assert "to rank 1" in message and "stage 1" in message
+        # The satellite fix: attempts are accounted even on the raise.
+        assert ctx.counters.get("retransmits") == RETRANSMIT_BUDGET
+
+    def test_deadlock_error_carries_location(self):
+        err = DeadlockError(
+            {0: "RecvOp(src=1)"}, phase="composite", stage=2, peer=1
+        )
+        assert err.phase == "composite" and err.stage == 2 and err.peer == 1
+        assert "phase 'composite'" in str(err)
+        assert "stage 2" in str(err)
+        assert "waiting on rank 1" in str(err)
+
+    def test_deadlock_error_back_compat(self):
+        err = DeadlockError({0: "RecvOp(src=1)", 1: "RecvOp(src=0)"})
+        assert err.blocked == {0: "RecvOp(src=1)", 1: "RecvOp(src=0)"}
+        assert err.phase is None and err.stage is None and err.peer is None
+        assert "[" not in str(err)
+
+    def test_sim_deadlock_names_stages(self):
+        from repro.cluster.backend import SimBackend
+        from repro.cluster.model import SP2
+
+        with pytest.raises(DeadlockError) as err:
+            SimBackend().run(2, _deadlock_program, model=SP2)
+        assert "(stage 3)" in str(err.value)
+        assert set(err.value.blocked) == {0, 1}
+
+
+async def _deadlock_program(ctx):
+    """Both ranks receive, nobody sends: a structural deadlock."""
+    ctx.begin_stage(3)
+    await ctx.recv((ctx.rank + 1) % ctx.size)

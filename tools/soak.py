@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Nightly chaos soak: loop the randomized fault matrix on fresh seeds.
+
+Each iteration runs the chaos + recovery suites with a distinct
+``REPRO_CHAOS_SEED_OFFSET``, so the randomized matrix keeps exploring
+new fault scenarios while every failure stays reproducible: on a failing
+iteration the exact seed window is known, and the fault plans behind it
+are regenerated (via :func:`repro.cluster.faults.random_plan`) and saved
+as ``repro.fault-plan/1`` JSON artifacts for the bug report.
+
+Usage::
+
+    python tools/soak.py [--minutes N] [--artifacts DIR] [--offset-step K]
+
+Environment:
+
+* ``SOAK_MINUTES`` — default time budget (CLI ``--minutes`` wins).
+* ``REPRO_CHAOS_SEED_OFFSET`` — starting offset (default: derived from
+  the clock so independent nightly runs diverge).
+
+Exit status is non-zero when any iteration failed; the artifacts
+directory then holds one ``fail-<offset>/`` folder per failing window
+with the pytest tail and the regenerated fault plans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Mirrors the chaos matrix geometry (tests/test_chaos.py).
+MATRIX_SEEDS = 8
+NUM_RANKS = 4
+NUM_STAGES = 2
+
+
+def _pytest_command(offset: int, timeout_flag: bool) -> list[str]:
+    cmd = [
+        sys.executable, "-m", "pytest",
+        "tests/test_chaos.py", "tests/test_recovery.py", "-q",
+    ]
+    if timeout_flag:
+        cmd += ["--timeout=120", "--timeout-method=signal"]
+    return cmd
+
+
+def _have_pytest_timeout() -> bool:
+    try:
+        import pytest_timeout  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def _save_failure_artifacts(artifacts: str, offset: int, output: str) -> None:
+    """Persist the failing window: pytest tail + regenerated fault plans."""
+    folder = os.path.join(artifacts, f"fail-{offset}")
+    os.makedirs(folder, exist_ok=True)
+    with open(os.path.join(folder, "pytest-output.txt"), "w", encoding="utf-8") as fh:
+        fh.write(output)
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from repro.cluster.faults import random_plan
+
+        for seed in range(offset, offset + MATRIX_SEEDS):
+            plan = random_plan(seed, num_ranks=NUM_RANKS, num_stages=NUM_STAGES)
+            plan.save(os.path.join(folder, f"fault-plan-seed{seed}.json"))
+    except Exception as exc:  # artifact capture is best-effort
+        with open(os.path.join(folder, "plan-dump-error.txt"), "w", encoding="utf-8") as fh:
+            fh.write(repr(exc))
+    finally:
+        sys.path.pop(0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--minutes", type=float,
+        default=float(os.environ.get("SOAK_MINUTES", "20")),
+        help="soak time budget in minutes (default: $SOAK_MINUTES or 20)",
+    )
+    parser.add_argument(
+        "--artifacts", default=os.path.join(REPO_ROOT, "soak-artifacts"),
+        help="where failing fault plans and logs are written",
+    )
+    parser.add_argument(
+        "--offset-step", type=int, default=MATRIX_SEEDS,
+        help="seed-offset stride between iterations (default: matrix width)",
+    )
+    args = parser.parse_args(argv)
+
+    offset = int(
+        os.environ.get("REPRO_CHAOS_SEED_OFFSET", str(int(time.time()) % 100_000))
+    )
+    deadline = time.monotonic() + args.minutes * 60.0
+    timeout_flag = _have_pytest_timeout()
+    env_base = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+
+    iterations = failures = 0
+    while time.monotonic() < deadline:
+        iterations += 1
+        env = dict(env_base, REPRO_CHAOS_SEED_OFFSET=str(offset))
+        started = time.monotonic()
+        proc = subprocess.run(
+            _pytest_command(offset, timeout_flag),
+            cwd=REPO_ROOT, env=env, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        elapsed = time.monotonic() - started
+        status = "ok" if proc.returncode == 0 else f"FAIL rc={proc.returncode}"
+        print(
+            f"[soak] iteration {iterations} offset={offset} "
+            f"{elapsed:.0f}s: {status}",
+            flush=True,
+        )
+        if proc.returncode != 0:
+            failures += 1
+            tail = "\n".join(proc.stdout.splitlines()[-200:])
+            _save_failure_artifacts(args.artifacts, offset, tail)
+        offset += args.offset_step
+
+    print(f"[soak] done: {iterations} iterations, {failures} failing windows")
+    if failures:
+        print(f"[soak] artifacts in {args.artifacts}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
