@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick chaos grid soak verify lint results quick clean
+.PHONY: install test bench bench-quick bench-scale chaos grid soak verify lint results quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,12 @@ bench:
 # Seconds-fast hot-path speedup report (no baseline write).
 bench-quick:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpaths.py --smoke
+
+# Simulator-scale smoke: reduced P=256 event-vs-lockstep + compositing
+# runs, failing when any workload takes > 2x the committed baseline in
+# BENCH_sim_scale.json (the CI wall-clock regression guard).
+bench-scale:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sim_scale.py --smoke --check
 
 # Randomized fault-injection suite (seeded, so failures reproduce).
 # Uses pytest-timeout's per-test kill switch when installed; the suite

@@ -124,6 +124,8 @@ class Backend(abc.ABC):
         timeout: Optional[float] = None,
         respawn=None,
         heartbeat: Optional[float] = None,
+        network=None,
+        engine: Optional[str] = None,
     ) -> BackendRunResult:
         """Run ``program(ctx, *args)`` on ``num_ranks`` ranks.
 
@@ -134,7 +136,11 @@ class Backend(abc.ABC):
         ``heartbeat`` (liveness-stamp interval in seconds) configure the
         multiprocessing supervisor's recovery machinery; other
         substrates ignore them (the simulator recovers by lockstep
-        re-run, MPI cannot respawn ranks mid-job).
+        re-run, MPI cannot respawn ranks mid-job).  ``network`` (a
+        :class:`~repro.cluster.model.Network` topology) and ``engine``
+        (``"event"``/``"lockstep"`` scheduler choice) are
+        simulator-only; real transports reject a non-flat network since
+        they cannot model one.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -158,12 +164,20 @@ class SimBackend(Backend):
         timeout: Optional[float] = None,
         respawn=None,
         heartbeat: Optional[float] = None,
+        network=None,
+        engine: Optional[str] = None,
     ) -> BackendRunResult:
         if model is None:
             raise ConfigurationError(
                 "the sim backend needs a MachineModel (pass model=...)"
             )
-        simulator = Simulator(num_ranks, model, trace=trace)
+        simulator = Simulator(
+            num_ranks,
+            model,
+            trace=trace,
+            network=network,
+            engine="event" if engine is None else engine,
+        )
         result = simulator.run(lambda ctx: program(ctx, *args))
         return BackendRunResult(
             backend=self.name,
@@ -195,8 +209,12 @@ class MPBackend(Backend):
         timeout: Optional[float] = None,
         respawn=None,
         heartbeat: Optional[float] = None,
+        network=None,
+        engine: Optional[str] = None,
     ) -> BackendRunResult:
         from .mp_backend import DEFAULT_TIMEOUT, HEARTBEAT_INTERVAL, run_rank_programs_mp
+
+        _require_flat_network(self.name, network)
 
         result = run_rank_programs_mp(
             num_ranks,
@@ -239,11 +257,14 @@ class MPIBackend(Backend):
         timeout: Optional[float] = None,
         respawn=None,
         heartbeat: Optional[float] = None,
+        network=None,
+        engine: Optional[str] = None,
     ) -> BackendRunResult:
         from .. import perf
         from .mpi_backend import MPIRankContext, require_mpi
         from .protocol import drive
 
+        _require_flat_network(self.name, network)
         require_mpi()
         ctx = MPIRankContext()
         if ctx.size != num_ranks:
@@ -267,6 +288,15 @@ class MPIBackend(Backend):
             wall_times=[g[2] for g in gathered],
             rank_perf=[g[3] for g in gathered],
             local_rank=ctx.rank,
+        )
+
+
+def _require_flat_network(backend_name: str, network) -> None:
+    """Real transports cannot model a switched topology: reject early."""
+    if network is not None and getattr(network, "name", "flat") != "flat":
+        raise ConfigurationError(
+            f"backend {backend_name!r} runs on real hardware and cannot apply "
+            f"a modelled topology ({network.name!r}); use the sim backend"
         )
 
 

@@ -53,17 +53,29 @@ async def gather(
     *,
     root: int = 0,
     nbytes: Optional[int] = None,
+    algorithm: str = "linear",
 ) -> Optional[list[Any]]:
     """Gather one payload per rank to ``root``.
 
     Returns the rank-ordered list at the root and ``None`` elsewhere.
-    Implemented as a linear gather: fine for a display-node image
-    collection, and its cost model (``P-1`` serialized receives at the
-    root) matches the paper's assumption that the final image is simply
-    collected after compositing.
+
+    ``algorithm="linear"`` (default) is ``P-1`` serialized receives at
+    the root: the paper's assumption that the final image is simply
+    collected after compositing, and the accounting every pinned counter
+    was recorded against.  ``algorithm="tree"`` is a binomial-tree
+    gather — ``ceil(log2 P)`` rounds where each subtree root forwards
+    its accumulated slice — which trades larger forwarded messages for
+    exponentially fewer serialized root receives (the at-scale choice
+    for ``P >= 256``).
     """
     if not (0 <= root < ctx.size):
         raise ConfigurationError(f"gather root {root} out of range")
+    if algorithm == "tree":
+        return await _gather_tree(ctx, payload, root=root, nbytes=nbytes)
+    if algorithm != "linear":
+        raise ConfigurationError(
+            f"unknown gather algorithm {algorithm!r}; choose 'linear' or 'tree'"
+        )
     if ctx.rank == root:
         out: list[Any] = [None] * ctx.size
         out[root] = payload
@@ -74,6 +86,48 @@ async def gather(
         return out
     await ctx.send(root, payload, nbytes=nbytes, tag=_GATHER_TAG)
     return None
+
+
+async def _gather_tree(
+    ctx: RankContext,
+    payload: Any,
+    *,
+    root: int,
+    nbytes: Optional[int],
+) -> Optional[list[Any]]:
+    """Binomial-tree gather (the mirror image of :func:`bcast`).
+
+    Each rank accumulates ``{vrank: payload}`` from progressively larger
+    subtrees, then forwards the dict to its parent; doubling distances
+    ascend so round ``d`` merges subtrees of size ``d``.  Message cost is
+    priced per hop on the actual forwarded chunk (the sum of its members'
+    ``nbytes``), so the modelled traffic reflects the real tree volume.
+    """
+    size = ctx.size
+    vrank = (ctx.rank - root) % size
+    own_nbytes = payload_nbytes(payload) if nbytes is None else nbytes
+    chunk: dict[int, Any] = {vrank: payload}
+    chunk_nbytes = own_nbytes
+    d = 1
+    while d < size:
+        if vrank % (2 * d) == 0:
+            src_v = vrank + d
+            if src_v < size:
+                src = (src_v + root) % size
+                theirs, theirs_nbytes = await ctx.recv(src, tag=_GATHER_TAG + d)
+                chunk.update(theirs)
+                chunk_nbytes += theirs_nbytes
+        elif vrank % (2 * d) == d:
+            dst = (vrank - d + root) % size
+            await ctx.send(
+                dst, (chunk, chunk_nbytes), nbytes=chunk_nbytes, tag=_GATHER_TAG + d
+            )
+            return None
+        d <<= 1
+    out: list[Any] = [None] * size
+    for v, item in chunk.items():
+        out[(v + root) % size] = item
+    return out
 
 
 async def bcast(

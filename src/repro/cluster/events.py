@@ -149,7 +149,7 @@ class Request:
     """
 
     __slots__ = ("kind", "rank", "peer", "tag", "nbytes", "post_time",
-                 "payload", "matched", "arrival")
+                 "payload", "matched", "arrival", "waiter")
 
     def __init__(self, kind: str, rank: int, peer: int, tag: int,
                  nbytes: int, post_time: float, payload: Any = None):
@@ -162,6 +162,9 @@ class Request:
         self.payload = payload
         self.matched = False
         self.arrival: float | None = None
+        # Event-engine hook: the proc blocked in a WaitOp on this request
+        # (set by the scheduler so a late match can wake the waiter).
+        self.waiter: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = f"arrival={self.arrival:.6f}" if self.matched else "pending"

@@ -21,6 +21,7 @@ that the paper's crossovers reproduce.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError
@@ -35,6 +36,14 @@ __all__ = [
     "ETHERNET_CLUSTER",
     "MODERN_CLUSTER",
     "PRESETS",
+    "Network",
+    "FlatNetwork",
+    "ContentionNetwork",
+    "FatTreeNetwork",
+    "TorusNetwork",
+    "DragonflyNetwork",
+    "NETWORKS",
+    "make_network",
 ]
 
 
@@ -185,3 +194,377 @@ PRESETS: dict[str, MachineModel] = {
         MODERN_CLUSTER,
     )
 }
+
+
+# ===========================================================================
+# Network / Topology plane
+# ===========================================================================
+#
+# The paper prices every message with the flat link ``Ts + nbytes*Tc`` —
+# adequate for the SP2's P<=64 crossover study, but a contention-blind
+# model cannot be trusted for at-scale (P=1024+) experiments where many
+# messages share switch uplinks or torus links.  A :class:`Network`
+# decides *when a message arrives* given who else is using the wires;
+# the :class:`MachineModel` still prices the endpoint cost, so the flat
+# default reproduces the legacy simulator bit-for-bit and every
+# topology's arrival times are pointwise >= the flat ones (contention
+# only ever delays).
+
+
+class Network:
+    """Pluggable interconnect topology: prices message *arrival* times.
+
+    The simulator asks :meth:`deliver` when each matched transfer
+    arrives; stateful subclasses keep per-link busy-until queues so that
+    transfers sharing a link serialize.  :meth:`reset` is called once
+    per simulation run with the rank count, and must clear any queues so
+    a network instance can be reused across runs.
+    """
+
+    name = "abstract"
+
+    def __init__(self, model: MachineModel):
+        self.model = model
+        self.num_ranks = 0
+
+    def reset(self, num_ranks: int) -> None:
+        """Bind to a run's rank count and drop all contention state."""
+        self.num_ranks = int(num_ranks)
+
+    def deliver(self, src: int, dst: int, nbytes: int, start: float) -> float:
+        """Arrival time of an ``nbytes`` message injected at ``start``."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-friendly summary for run timelines and benchmarks."""
+        return {"topology": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.model.name})"
+
+
+class FlatNetwork(Network):
+    """The paper's flat link: every pair connected at full bandwidth.
+
+    Stateless — ``arrival = start + Ts + nbytes*Tc`` — and therefore
+    bit-identical to the pre-topology simulator on every workload.
+    """
+
+    name = "flat"
+
+    def deliver(self, src: int, dst: int, nbytes: int, start: float) -> float:
+        return start + self.model.message_time(nbytes)
+
+
+class ContentionNetwork(Network):
+    """Base of the switched topologies: per-link bandwidth sharing.
+
+    A message first pays the flat endpoint cost ``Ts + nbytes*Tc`` (the
+    topology never undercuts the paper's linear model), then crosses the
+    *shared* links on its route in order.  Each crossing holds the link
+    for ``hop_latency + nbytes*Tc/capacity`` and crossings of one link
+    serialize in delivery order — ``capacity`` is the link's bandwidth
+    as a multiple of the base per-byte rate.  An infinite-capacity,
+    zero-latency link is free and keeps no state, which degrades every
+    topology here to *exact* flat-link timings (property-tested).
+    """
+
+    name = "contention"
+
+    def __init__(
+        self,
+        model: MachineModel,
+        *,
+        capacity: float = 4.0,
+        hop_latency: float = 0.0,
+    ):
+        super().__init__(model)
+        if not (capacity > 0.0):  # also rejects NaN
+            raise ConfigurationError(f"link capacity must be > 0, got {capacity!r}")
+        if not (hop_latency >= 0.0):
+            raise ConfigurationError(f"hop_latency must be >= 0, got {hop_latency!r}")
+        self.capacity = float(capacity)
+        self.hop_latency = float(hop_latency)
+        self._busy: dict = {}
+
+    def reset(self, num_ranks: int) -> None:
+        super().reset(num_ranks)
+        self._busy = {}
+
+    def route(self, src: int, dst: int) -> list:
+        """Hashable keys of the shared links a message crosses, in order."""
+        raise NotImplementedError
+
+    def link_capacity(self, link) -> float:
+        """Bandwidth multiple of one link (uniform unless overridden)."""
+        return self.capacity
+
+    def _cross(self, link, t: float, nbytes: int) -> float:
+        capacity = self.link_capacity(link)
+        if capacity == math.inf and self.hop_latency == 0.0:
+            return t  # free link: no queue, no state
+        begin = self._busy.get(link, 0.0)
+        if begin < t:
+            begin = t
+        done = begin + self.hop_latency + nbytes * self.model.tc / capacity
+        self._busy[link] = done
+        return done
+
+    def deliver(self, src: int, dst: int, nbytes: int, start: float) -> float:
+        t = start + self.model.message_time(nbytes)
+        for link in self.route(src, dst):
+            t = self._cross(link, t, nbytes)
+        return t
+
+    def describe(self) -> dict:
+        return {
+            "topology": self.name,
+            "capacity": self.capacity,
+            "hop_latency": self.hop_latency,
+        }
+
+
+class FatTreeNetwork(ContentionNetwork):
+    """Switched fat-tree: ``radix`` ranks per leaf switch, shared up/down
+    links through the core.
+
+    Intra-switch traffic sees the flat link; traffic between switches
+    crosses the source switch's uplink and the destination switch's
+    downlink, both shared by every rank of that switch.  A single-switch
+    instance (``radix >= P``) never touches a shared link and is exactly
+    flat regardless of capacity.
+    """
+
+    name = "fat-tree"
+
+    def __init__(
+        self,
+        model: MachineModel,
+        *,
+        radix: int = 16,
+        capacity: float = 4.0,
+        hop_latency: float = 0.0,
+    ):
+        super().__init__(model, capacity=capacity, hop_latency=hop_latency)
+        if int(radix) < 1:
+            raise ConfigurationError(f"fat-tree radix must be >= 1, got {radix}")
+        self.radix = int(radix)
+
+    def route(self, src: int, dst: int) -> list:
+        up, down = src // self.radix, dst // self.radix
+        if up == down:
+            return []
+        return [("up", up), ("down", down)]
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["radix"] = self.radix
+        if self.num_ranks:
+            out["switches"] = -(-self.num_ranks // self.radix)
+        return out
+
+
+def _grid_dims(count: int) -> tuple[int, int]:
+    """Nearest-to-square factorization ``rows * cols == count``."""
+    best = (1, count)
+    for rows in range(1, int(math.isqrt(count)) + 1):
+        if count % rows == 0:
+            best = (rows, count // rows)
+    return best
+
+
+class TorusNetwork(ContentionNetwork):
+    """2-D torus with dimension-ordered routing over directed links.
+
+    Ranks map row-major onto a near-square ``rows x cols`` grid (or an
+    explicit ``dims``); a message walks its column ring first, then its
+    row ring, taking the shorter wrap direction, and every directed link
+    it crosses is a shared contention queue.  Long-haul partners (the
+    late binary-swap stages) therefore pay for every intermediate hop —
+    the effect a flat link hides.
+    """
+
+    name = "torus"
+
+    def __init__(
+        self,
+        model: MachineModel,
+        *,
+        capacity: float = 1.0,
+        hop_latency: float = 0.0,
+        dims: "tuple[int, int] | None" = None,
+    ):
+        super().__init__(model, capacity=capacity, hop_latency=hop_latency)
+        if dims is not None:
+            dims = (int(dims[0]), int(dims[1]))
+            if dims[0] < 1 or dims[1] < 1:
+                raise ConfigurationError(f"torus dims must be >= 1, got {dims}")
+        self.dims = dims
+        self.shape: tuple[int, int] = (1, 1)
+
+    def reset(self, num_ranks: int) -> None:
+        super().reset(num_ranks)
+        if self.dims is not None:
+            if self.dims[0] * self.dims[1] != num_ranks:
+                raise ConfigurationError(
+                    f"torus dims {self.dims} do not tile {num_ranks} ranks"
+                )
+            self.shape = self.dims
+        else:
+            self.shape = _grid_dims(num_ranks)
+
+    @staticmethod
+    def _ring_steps(pos: int, target: int, size: int) -> list[tuple[int, int]]:
+        """(position, step) pairs along one ring, shortest wrap direction."""
+        if pos == target or size < 2:
+            return []
+        forward = (target - pos) % size
+        backward = (pos - target) % size
+        step = 1 if forward <= backward else -1
+        hops = []
+        while pos != target:
+            hops.append((pos, step))
+            pos = (pos + step) % size
+        return hops
+
+    def route(self, src: int, dst: int) -> list:
+        rows, cols = self.shape
+        r0, c0 = divmod(src, cols)
+        r1, c1 = divmod(dst, cols)
+        links: list = []
+        for col, step in self._ring_steps(c0, c1, cols):
+            links.append(("x", r0, col, step))
+        for row, step in self._ring_steps(r0, r1, rows):
+            links.append(("y", c1, row, step))
+        return links
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["dims"] = list(self.shape)
+        return out
+
+
+class DragonflyNetwork(ContentionNetwork):
+    """Dragonfly-style hierarchy: all-to-all groups over global links.
+
+    Ranks split into groups of ``group_size`` (default ``~sqrt(P)``,
+    the balanced dragonfly sizing).  Intra-group traffic is flat;
+    inter-group traffic crosses the source group's exit link, one global
+    link per ordered group pair (typically the narrow resource —
+    ``global_capacity``), and the destination group's entry link.
+    """
+
+    name = "dragonfly"
+
+    def __init__(
+        self,
+        model: MachineModel,
+        *,
+        group_size: "int | None" = None,
+        capacity: float = 4.0,
+        global_capacity: float = 1.0,
+        hop_latency: float = 0.0,
+    ):
+        super().__init__(model, capacity=capacity, hop_latency=hop_latency)
+        if group_size is not None and int(group_size) < 1:
+            raise ConfigurationError(f"group_size must be >= 1, got {group_size}")
+        if not (global_capacity > 0.0):
+            raise ConfigurationError(
+                f"global_capacity must be > 0, got {global_capacity!r}"
+            )
+        self._group_size = None if group_size is None else int(group_size)
+        self.global_capacity = float(global_capacity)
+        self.group_size = 1
+
+    def reset(self, num_ranks: int) -> None:
+        super().reset(num_ranks)
+        if self._group_size is not None:
+            self.group_size = self._group_size
+        else:
+            self.group_size = max(1, round(math.sqrt(num_ranks)))
+
+    def route(self, src: int, dst: int) -> list:
+        a, b = src // self.group_size, dst // self.group_size
+        if a == b:
+            return []
+        return [("exit", a), ("global", a, b), ("entry", b)]
+
+    def link_capacity(self, link) -> float:
+        return self.global_capacity if link[0] == "global" else self.capacity
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["group_size"] = self.group_size
+        out["global_capacity"] = self.global_capacity
+        return out
+
+
+#: Registry of topology names to network classes (see :func:`make_network`).
+NETWORKS: dict[str, type[Network]] = {
+    FlatNetwork.name: FlatNetwork,
+    FatTreeNetwork.name: FatTreeNetwork,
+    TorusNetwork.name: TorusNetwork,
+    DragonflyNetwork.name: DragonflyNetwork,
+}
+
+
+def _coerce_option(raw: str):
+    """Parse one ``key=value`` right-hand side from a topology spec."""
+    text = raw.strip()
+    if text.lower() in ("inf", "infinite"):
+        return math.inf
+    if "x" in text:
+        parts = text.split("x")
+        if all(p.strip().isdigit() for p in parts) and len(parts) == 2:
+            return (int(parts[0]), int(parts[1]))
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError(f"cannot parse topology option value {raw!r}") from None
+
+
+def make_network(
+    spec: "str | Network | None",
+    model: MachineModel,
+    **overrides,
+) -> Network:
+    """Build a :class:`Network` from a CLI-style spec string.
+
+    ``spec`` is ``None``/``"flat"`` for the legacy flat link, a bare
+    topology name (``"fat-tree"``, ``"torus"``, ``"dragonfly"``), or a
+    name with options: ``"fat-tree:radix=8,capacity=2"``,
+    ``"torus:dims=32x32"``, ``"dragonfly:global_capacity=0.5"``.  Option
+    values parse as int/float, ``inf``, or ``AxB`` dims tuples.
+    ``overrides`` (e.g. ``capacity=`` from ``--links``) win over the
+    spec; ``None`` overrides are ignored.  An already-built network
+    passes through unchanged.
+    """
+    if isinstance(spec, Network):
+        return spec
+    name, _, params = ("flat" if spec is None else str(spec)).partition(":")
+    name = name.strip() or "flat"
+    cls = NETWORKS.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; choose from {sorted(NETWORKS)}"
+        )
+    kwargs: dict = {}
+    if params:
+        for item in params.split(","):
+            key, eq, raw = item.partition("=")
+            if not eq:
+                raise ConfigurationError(
+                    f"malformed topology option {item!r} (expected key=value)"
+                )
+            kwargs[key.strip().replace("-", "_")] = _coerce_option(raw)
+    kwargs.update({k: v for k, v in overrides.items() if v is not None})
+    try:
+        return cls(model, **kwargs)
+    except TypeError:
+        raise ConfigurationError(
+            f"topology {name!r} does not accept options {sorted(kwargs)}"
+        ) from None

@@ -224,11 +224,23 @@ class DiskCheckpointStore(CheckpointStore):
     restore from.  The instance is picklable — workers inherit it via
     program args and the supervisor consults it when deciding whether a
     respawn is protocol-safe.
+
+    With ``compact=True`` (default), landing stage ``k`` deletes that
+    rank's snapshots for stages ``< k``, so the store holds at most one
+    file per rank instead of one per (rank, stage).  Safe because every
+    restore path reads the *latest* stage: mp respawns restore
+    ``RESUME_LATEST`` per rank, and the simulator's common-stage resume
+    uses the in-memory store.  The delete runs *after* the replace, so a
+    crash mid-compaction can only leave an extra older file — never lose
+    the newest one.
     """
 
-    def __init__(self, root: str, run_id: Optional[str] = None) -> None:
+    def __init__(
+        self, root: str, run_id: Optional[str] = None, *, compact: bool = True
+    ) -> None:
         self.root = root
         self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.compact = bool(compact)
         os.makedirs(root, exist_ok=True)
 
     def _path(self, rank: int, stage: int) -> str:
@@ -240,6 +252,28 @@ class DiskCheckpointStore(CheckpointStore):
         with open(tmp, "wb") as fh:
             pickle.dump(snapshot, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
+        if self.compact:
+            self._drop_older(rank, stage)
+
+    def _drop_older(self, rank: int, stage: int) -> None:
+        """Delete this rank's snapshots for stages strictly below ``stage``."""
+        prefix = f"ckpt-{self.run_id}-r{rank}-s"
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in names:
+            if not (name.startswith(prefix) and name.endswith(".pkl")):
+                continue
+            try:
+                old = int(name[len(prefix):-4])
+            except ValueError:
+                continue
+            if old < stage:
+                try:
+                    os.remove(os.path.join(self.root, name))
+                except OSError:
+                    pass  # best-effort: a leftover file only wastes space
 
     def load(self, rank: int, stage: int) -> Optional[CheckpointSnapshot]:
         try:

@@ -18,13 +18,37 @@ according to the :class:`~repro.cluster.model.MachineModel`:
 * ``BarrierOp``                — all ranks released at
   ``max(post times) + Ts·ceil(log2 P)`` (tree barrier).
 
-The scheduler is deterministic: ranks are stepped in rank order and
-matches are resolved in rank order, so a given program always yields
-bit-identical results, timings, and traces.
+Arrival times optionally route through a pluggable
+:class:`~repro.cluster.model.Network` (``network=``): the default flat
+link prices exactly ``Ts + nbytes·Tc`` as above, while switched
+topologies (fat-tree, torus, dragonfly) add per-link contention queues
+on top of the same endpoint cost.
+
+Two schedulers drive the coroutines:
+
+* ``engine="event"`` (default) — a single min-heap of ready ranks keyed
+  ``(virtual clock, rank, sequence)``.  Popping the earliest entry runs
+  that rank until it blocks; a blocking operation attempts its match
+  *immediately* against the partner's posted state, and a successful
+  match re-schedules both sides at their completion clocks.  Idle ranks
+  cost zero scheduler work, so a run is ``O(events · log P)`` instead of
+  the lockstep engine's ``O(rounds · P)`` — serialized protocols such as
+  a linear gather drop from ``O(P²)`` to ``O(P log P)``.
+* ``engine="lockstep"`` — the original round-robin reference: step every
+  ready rank in rank order, then resolve all possible matches, repeat.
+  Kept as the oracle for engine-equivalence tests and benchmarks.
+
+Both engines are deterministic and — on the flat network — produce
+bit-identical results: the same images, statistics, per-stage counters
+and per-rank trace sequences.  The match timings are order-independent
+(every blocking completion is a pure function of the two posts), so the
+only freedom between the engines is *when* a match is discovered, which
+is unobservable in virtual time.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from enum import Enum
@@ -52,10 +76,13 @@ from .events import (
     SendRecvOp,
     WaitOp,
 )
-from .model import MachineModel
+from .model import MachineModel, Network
 from .stats import RankStats, RunResult
 
-__all__ = ["Simulator", "TraceEvent"]
+__all__ = ["Simulator", "TraceEvent", "ENGINES"]
+
+#: Available scheduler engines (see module docstring).
+ENGINES = ("event", "lockstep")
 
 
 class _State(Enum):
@@ -97,7 +124,7 @@ class _Proc:
 
 
 class Simulator:
-    """Run ``num_ranks`` coroutine programs in lock-step virtual time.
+    """Run ``num_ranks`` coroutine programs in deterministic virtual time.
 
     Parameters
     ----------
@@ -111,6 +138,13 @@ class Simulator:
     max_steps:
         Safety valve against runaway programs: the total number of
         coroutine resumptions is capped.
+    network:
+        Optional :class:`~repro.cluster.model.Network` topology pricing
+        message arrivals.  ``None`` (default) is the paper's flat link,
+        ``Ts + nbytes·Tc``, with no contention state.
+    engine:
+        ``"event"`` (min-heap scheduler, default) or ``"lockstep"``
+        (round-robin reference).  Identical results on the flat network.
     """
 
     def __init__(
@@ -120,14 +154,22 @@ class Simulator:
         *,
         trace: bool = False,
         max_steps: int = 50_000_000,
+        network: Network | None = None,
+        engine: str = "event",
     ):
         if num_ranks < 1:
             raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown simulator engine {engine!r}; choose from {ENGINES}"
+            )
         self.num_ranks = int(num_ranks)
         self.model = model
         self.trace = bool(trace)
         self.trace_events: list[TraceEvent] = []
         self.max_steps = int(max_steps)
+        self.network = network
+        self.engine = engine
         self._procs: list[_Proc] = []
         # Nonblocking machinery: FIFO queues of unmatched requests keyed
         # by (src, dst, tag), and a per-rank incoming-link availability
@@ -136,6 +178,12 @@ class Simulator:
         self._pending_isends: dict[tuple[int, int, int], deque] = {}
         self._pending_irecvs: dict[tuple[int, int, int], deque] = {}
         self._link_free: list[float] = []
+        # Event-engine state: min-heap of (clock, rank, seq, proc) for
+        # READY procs; None while the lockstep engine drives the run.
+        self._heap: list | None = None
+        self._seq = 0
+        self._steps = 0
+        self._done_count = 0
 
     # ------------------------------------------------------------------ api
     def run(self, program_factory: Callable[["RankContext"], Coroutine]) -> RunResult:
@@ -150,6 +198,12 @@ class Simulator:
         self._pending_isends.clear()
         self._pending_irecvs.clear()
         self._link_free = [0.0] * self.num_ranks
+        self._heap = None
+        self._seq = 0
+        self._steps = 0
+        self._done_count = 0
+        if self.network is not None:
+            self.network.reset(self.num_ranks)
         for rank in range(self.num_ranks):
             proc = _Proc(rank=rank, coro=None)  # type: ignore[arg-type]
             ctx = RankContext(simulator=self, proc=proc)
@@ -163,7 +217,10 @@ class Simulator:
             self._procs.append(proc)
 
         try:
-            self._event_loop()
+            if self.engine == "event":
+                self._event_engine()
+            else:
+                self._lockstep_engine()
         except BaseException:
             self._close_all()
             raise
@@ -176,31 +233,92 @@ class Simulator:
             makespan=makespan,
         )
 
-    # ------------------------------------------------------------ event loop
-    def _event_loop(self) -> None:
-        steps = 0
+    # ------------------------------------------------------ min-heap engine
+    def _event_engine(self) -> None:
+        """Pop ready ranks in (clock, rank, seq) order; match on block."""
+        self._heap = []
+        for proc in self._procs:
+            self._schedule(proc)
+        while self._heap:
+            _, _, _, proc = heapq.heappop(self._heap)
+            if proc.state is not _State.READY:
+                continue  # defensively skip a stale entry
+            self._advance(proc)
+        if self._done_count < self.num_ranks:
+            self._raise_deadlock()
+
+    def _schedule(self, proc: _Proc) -> None:
+        """Enqueue a READY proc at its current clock (event engine only)."""
+        if self._heap is None or proc.state is not _State.READY:
+            return
+        self._seq += 1
+        heapq.heappush(self._heap, (proc.clock, proc.rank, self._seq, proc))
+
+    def _advance(self, proc: _Proc) -> None:
+        """Run one rank until it blocks or finishes, then try its match."""
+        while proc.state is _State.READY:
+            self._count_step()
+            self._step(proc)
+        if proc.state is _State.DONE:
+            self._done_count += 1
+            # A rank exiting can complete (or poison) a pending barrier.
+            self._try_release_barrier()
+            return
+        op = proc.pending
+        if isinstance(op, RecvOp):
+            self._try_match_recv(proc, op)
+        elif isinstance(op, SendOp):
+            # The receiver side owns recv-matching; poke it if it is
+            # already blocked on us.  An out-of-range dst simply never
+            # matches (surfacing as a deadlock, like the lockstep engine).
+            if 0 <= op.dst < self.num_ranks:
+                receiver = self._procs[op.dst]
+                if receiver.state is _State.BLOCKED and isinstance(
+                    receiver.pending, RecvOp
+                ):
+                    self._try_match_recv(receiver, receiver.pending)
+        elif isinstance(op, SendRecvOp):
+            self._try_match_exchange(proc, op)
+        elif isinstance(op, WaitOp):
+            if not self._try_complete_wait(proc, op):
+                for request in op.requests:
+                    if not request.matched:
+                        request.waiter = proc
+        elif isinstance(op, BarrierOp):
+            self._try_release_barrier()
+
+    def _count_step(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise SimulationError(
+                f"exceeded max_steps={self.max_steps}; "
+                "likely an unbounded loop in a rank program"
+            )
+
+    def _raise_deadlock(self) -> None:
+        blocked = {}
+        last_progress = {}
+        for p in self._procs:
+            if p.state is _State.BLOCKED:
+                blocked[p.rank] = f"{p.pending!r} (stage {p.current_stage})"
+                last_progress[p.rank] = p.post_time
+        raise DeadlockError(blocked, last_progress=last_progress)
+
+    # ------------------------------------------------------ lockstep engine
+    def _lockstep_engine(self) -> None:
+        """Reference scheduler: step every rank, resolve matches, repeat."""
         while True:
             stepped = False
             for proc in self._procs:
                 while proc.state is _State.READY:
                     stepped = True
-                    steps += 1
-                    if steps > self.max_steps:
-                        raise SimulationError(
-                            f"exceeded max_steps={self.max_steps}; "
-                            "likely an unbounded loop in a rank program"
-                        )
+                    self._count_step()
                     self._step(proc)
             if all(p.state is _State.DONE for p in self._procs):
                 return
             matched = self._resolve_matches()
             if not matched and not stepped:
-                blocked = {
-                    p.rank: f"{p.pending!r} (stage {p.current_stage})"
-                    for p in self._procs
-                    if p.state is _State.BLOCKED
-                }
-                raise DeadlockError(blocked)
+                self._raise_deadlock()
 
     def _step(self, proc: _Proc) -> None:
         value, proc.resume_value = proc.resume_value, None
@@ -226,7 +344,7 @@ class Simulator:
             bucket.comp_time += op.seconds
             bucket.add_counter(op.kind, op.count)
             self._trace(proc, "compute", f"{op.kind} dt={op.seconds:.3e} count={op.count}")
-            # stays READY; the outer while-loop resumes it immediately.
+            # stays READY; the driving engine resumes it immediately.
         elif isinstance(op, IsendOp):
             request = Request(
                 kind="isend", rank=proc.rank, peer=op.dst, tag=op.tag,
@@ -251,6 +369,13 @@ class Simulator:
                 f"rank {proc.rank} awaited an unknown object {op!r}; "
                 "only repro.cluster.events ops may be awaited"
             )
+
+    # --------------------------------------------------------------- pricing
+    def _deliver(self, src: int, dst: int, nbytes: int, start: float) -> float:
+        """Arrival time of a message, through the topology when present."""
+        if self.network is None:
+            return start + self.model.message_time(nbytes)
+        return self.network.deliver(src, dst, nbytes, start)
 
     # ------------------------------------------------ nonblocking machinery
     def _post_nonblocking(self, proc: _Proc, request: Request) -> None:
@@ -281,7 +406,7 @@ class Simulator:
         dst = recv_req.rank
         start = max(send_req.post_time, recv_req.post_time)
         begin = max(start, self._link_free[dst])
-        arrival = begin + self.model.message_time(send_req.nbytes)
+        arrival = self._deliver(send_req.rank, dst, send_req.nbytes, begin)
         self._link_free[dst] = arrival
         for request in (send_req, recv_req):
             request.matched = True
@@ -295,6 +420,18 @@ class Simulator:
         recv_bucket = self._procs[dst].bucket()
         recv_bucket.bytes_recv += send_req.nbytes
         recv_bucket.msgs_recv += 1
+        if self._heap is not None:
+            self._notify_waiters(send_req, recv_req)
+
+    def _notify_waiters(self, *requests: Request) -> None:
+        """Wake event-engine procs whose WaitOp just became completable."""
+        for request in requests:
+            waiter = request.waiter
+            if waiter is None:
+                continue
+            request.waiter = None
+            if waiter.state is _State.BLOCKED and isinstance(waiter.pending, WaitOp):
+                self._try_complete_wait(waiter, waiter.pending)
 
     def _try_complete_wait(self, proc: _Proc, wop: WaitOp) -> bool:
         if not all(request.matched for request in wop.requests):
@@ -315,6 +452,7 @@ class Simulator:
         proc.state = _State.READY
         proc.pending = None
         self._trace(proc, "waitdone", f"{len(wop.requests)} reqs t={completion:.6f}")
+        self._schedule(proc)
         return True
 
     # ------------------------------------------------------------- matching
@@ -349,7 +487,7 @@ class Simulator:
         if rop.tag != ANY_TAG and rop.tag != sop.tag:
             return False
         start = max(sender.post_time, receiver.post_time)
-        completion = start + self.model.message_time(sop.nbytes)
+        completion = self._deliver(sender.rank, receiver.rank, sop.nbytes, start)
         self._complete_comm(sender, start, completion, sent=sop.nbytes)
         self._complete_comm(receiver, start, completion, received=sop.nbytes)
         receiver.resume_value = sop.payload
@@ -369,8 +507,8 @@ class Simulator:
             return False
         start = max(a.post_time, b.post_time)
         # Full duplex: each side pays start-up plus its *incoming* bytes.
-        completion_a = start + self.model.message_time(bop.nbytes)
-        completion_b = start + self.model.message_time(aop.nbytes)
+        completion_a = self._deliver(b.rank, a.rank, bop.nbytes, start)
+        completion_b = self._deliver(a.rank, b.rank, aop.nbytes, start)
         self._complete_comm(a, start, completion_a, sent=aop.nbytes, received=bop.nbytes)
         self._complete_comm(b, start, completion_b, sent=bop.nbytes, received=aop.nbytes)
         a.resume_value = bop.payload
@@ -429,6 +567,7 @@ class Simulator:
         proc.clock = max(proc.clock, completion)
         proc.state = _State.READY
         proc.pending = None
+        self._schedule(proc)
 
     # --------------------------------------------------------------- helpers
     def _trace(self, proc: _Proc, kind: str, detail: str) -> None:

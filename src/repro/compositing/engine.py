@@ -105,7 +105,11 @@ class ScheduledCompositor(Compositor):
             for step in stage.steps:
                 msg, meta = codec.encode(image, step.send_part, state)
                 await codec.charge_encode(ctx, step.send_part, meta)
-                if self.charge_pack:
+                if self.charge_pack and msg.buffer:
+                    # Zero-byte packs charge nothing (add_counter drops
+                    # zero counts), so skipping the simulator round-trip
+                    # is accounting-identical and saves a step per empty
+                    # message at scale.
                     await ctx.charge_pack(len(msg.buffer))
                 sends.append((step.peer, msg.buffer, msg.accounted_bytes))
                 metas.append(meta)

@@ -41,7 +41,11 @@ class DeadlockError(SimulationError):
     that protocol bugs in compositing methods are diagnosable.  When the
     detecting substrate knows them, ``phase`` (pipeline phase), ``stage``
     (compositing stage bucket) and ``peer`` (the rank being waited on)
-    pinpoint the blockage without reading the timeline.
+    pinpoint the blockage without reading the timeline.  The simulator
+    also supplies ``last_progress`` — each blocked rank's virtual time of
+    last forward progress (when it posted the operation it is stuck in) —
+    so large-P hangs are diagnosable without a full trace: the rank with
+    the *earliest* last-progress time is usually the root cause.
     """
 
     def __init__(
@@ -51,12 +55,22 @@ class DeadlockError(SimulationError):
         phase: str | None = None,
         stage: int | None = None,
         peer: int | None = None,
+        last_progress: dict[int, float] | None = None,
     ):
         self.blocked = dict(blocked)
         self.phase = phase
         self.stage = stage
         self.peer = peer
-        detail = "; ".join(f"rank {r}: {what}" for r, what in sorted(blocked.items()))
+        self.last_progress = dict(last_progress) if last_progress else {}
+        detail = "; ".join(
+            f"rank {r}: {what}"
+            + (
+                f" (idle since t={self.last_progress[r]:.6f})"
+                if r in self.last_progress
+                else ""
+            )
+            for r, what in sorted(blocked.items())
+        )
         where = []
         if phase is not None:
             where.append(f"phase {phase!r}")

@@ -19,7 +19,11 @@ Subcommands regenerate each paper artifact::
               ``--comm-timeout``; recovery via ``--recovery
               {abort,degrade,respawn,checkpoint-resume}`` and
               ``--respawn-budget N``; ``--no-degrade`` is shorthand for
-              ``--recovery abort``)
+              ``--recovery abort``; interconnect topology via
+              ``--topology fat-tree:radix=16`` and ``--links CAPACITY``)
+    scale     at-scale crossover study: the paper's method ranking
+              replayed at P=64 and extended to P=256/1024 on synthetic
+              sparse workloads (event-driven simulator core)
 
 ``stages`` and ``run`` take ``--method`` specs like ``bsbrc`` or
 ``radix-k:rect-rle`` plus the schedule options ``--radix 4,4`` and
@@ -159,8 +163,33 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-degrade", action="store_true",
                      help="shorthand for --recovery abort: fail instead of "
                           "recovering when a rank is lost")
+    _add_topology_options(run)
+    scale = sub.add_parser(
+        "scale",
+        help="at-scale crossover study (P=64/256/1024, synthetic workloads)",
+    )
+    scale.add_argument("--ranks", default=None,
+                       help="comma-separated processor counts "
+                            "(default: 64,256,1024; --quick: 16,64)")
+    scale.add_argument("--image-size", type=int, default=96,
+                       help="synthetic screen side in pixels (default: 96)")
+    scale.add_argument("--machine", default="sp2",
+                       help="machine-model preset (simulator pricing)")
+    _add_topology_options(scale)
     sub.add_parser("all")
     return parser
+
+
+def _add_topology_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--topology", default="flat",
+                     help="simulated interconnect: 'flat' (the paper's "
+                          "contention-free link), or a spec like "
+                          "'fat-tree:radix=16', 'torus:dims=32x32', "
+                          "'dragonfly:global_capacity=0.5'")
+    sub.add_argument("--links", type=float, default=None, metavar="CAPACITY",
+                     help="shared-link capacity override (bandwidth as a "
+                          "multiple of the base per-byte rate; 'inf' via "
+                          "the topology spec disables contention)")
 
 
 def _quick_kwargs(args) -> dict:
@@ -279,26 +308,33 @@ def _run_one(args, command: str) -> None:
         from ..pipeline.config import RunConfig
         from ..pipeline.system import SortLastSystem
 
-        cfg = RunConfig(
-            dataset=getattr(args, "dataset", "engine_low"),
-            method=getattr(args, "method", "bsbrc"),
-            method_options=_method_options_from(args),
-            num_ranks=getattr(args, "ranks", 8),
-            image_size=(
-                _QUICK["image_size"] if args.quick
-                else getattr(args, "image_size", 384)
-            ),
-            volume_shape=_QUICK["volume_shape"] if args.quick else None,
-            machine=getattr(args, "machine", "sp2"),
-            backend=getattr(args, "backend", "sim"),
-            comm_timeout=getattr(args, "comm_timeout", None),
-            recovery=(
-                getattr(args, "recovery", None)
-                or ("abort" if getattr(args, "no_degrade", False) else "degrade")
-            ),
-            respawn_budget=getattr(args, "respawn_budget", 2),
-            heartbeat_interval=getattr(args, "heartbeat_interval", None),
-        )
+        from ..errors import ConfigurationError
+
+        try:
+            cfg = RunConfig(
+                dataset=getattr(args, "dataset", "engine_low"),
+                method=getattr(args, "method", "bsbrc"),
+                method_options=_method_options_from(args),
+                num_ranks=getattr(args, "ranks", 8),
+                image_size=(
+                    _QUICK["image_size"] if args.quick
+                    else getattr(args, "image_size", 384)
+                ),
+                volume_shape=_QUICK["volume_shape"] if args.quick else None,
+                machine=getattr(args, "machine", "sp2"),
+                backend=getattr(args, "backend", "sim"),
+                comm_timeout=getattr(args, "comm_timeout", None),
+                recovery=(
+                    getattr(args, "recovery", None)
+                    or ("abort" if getattr(args, "no_degrade", False) else "degrade")
+                ),
+                respawn_budget=getattr(args, "respawn_budget", 2),
+                heartbeat_interval=getattr(args, "heartbeat_interval", None),
+                topology=getattr(args, "topology", "flat"),
+                link_capacity=getattr(args, "links", None),
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
         fault_plan = None
         if getattr(args, "fault_plan", None):
             fault_plan = FaultPlan.load(args.fault_plan)
@@ -341,6 +377,38 @@ def _run_one(args, command: str) -> None:
 
             write_pgm(args.out_image, to_gray8(luminance(result.final_image), gain=2.0))
             print(f"[image written to {args.out_image}]")
+    elif command == "scale":
+        from ..cluster.model import PRESETS, make_network
+        from .scale import format_scale, run_scale_crossover
+
+        machine = PRESETS.get(getattr(args, "machine", "sp2"))
+        if machine is None:
+            raise SystemExit(f"unknown machine preset {args.machine!r}")
+        if getattr(args, "ranks", None):
+            rank_counts = tuple(int(p) for p in args.ranks.split(","))
+        elif args.quick:
+            rank_counts = (16, 64)
+        else:
+            rank_counts = (64, 256, 1024)
+        topology = getattr(args, "topology", "flat")
+        network = None
+        if topology.partition(":")[0] != "flat":
+            from ..errors import ConfigurationError
+
+            try:
+                network = make_network(
+                    topology, machine, capacity=getattr(args, "links", None)
+                )
+            except ConfigurationError as exc:
+                raise SystemExit(str(exc)) from exc
+        rows = run_scale_crossover(
+            rank_counts=rank_counts,
+            image_size=getattr(args, "image_size", 96),
+            machine=machine,
+            network=network,
+            verbose=args.verbose,
+        )
+        _emit(args, "crossover_scale", format_scale(rows), rows)
     elif command == "methods":
         catalog = method_catalog()
         width = max(len(name) for name in catalog)
@@ -366,7 +434,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = (
         ["table1", "table2", "figures", "fig7", "mmax", "rotation",
-         "sparsity", "stages"]
+         "sparsity", "stages", "scale"]
         + ([] if args.quick else ["compare"])
         if args.command == "all"
         else [args.command]

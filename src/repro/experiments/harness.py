@@ -304,13 +304,21 @@ def run_method(
     num_ranks: int,
     *,
     machine: MachineModel = SP2,
+    network=None,
+    engine: str = "event",
     **method_options,
 ) -> tuple[MethodMeasurement, CompositingRun]:
-    """Composite one workload with one method at one processor count."""
+    """Composite one workload with one method at one processor count.
+
+    ``network`` (a :class:`~repro.cluster.model.Network` or ``None`` for
+    the flat link) and ``engine`` select the simulator's topology and
+    scheduler; see :func:`repro.pipeline.system.run_compositing`.
+    """
     images = work.subimages_for(num_ranks)
     plan = work.plan_for(num_ranks)
     run = run_compositing(
-        images, method, plan, work.camera.view_dir, machine, **method_options
+        images, method, plan, work.camera.view_dir, machine,
+        network=network, engine=engine, **method_options,
     )
     row = measure(
         run.stats,
@@ -334,12 +342,15 @@ def run_grid(
     step: float = 1.0,
     verbose: bool = False,
     method_options: Mapping[str, Mapping] | None = None,
+    network=None,
+    engine: str = "event",
 ) -> list[MethodMeasurement]:
     """Run the full (dataset x P x method) grid — the Tables 1/2 engine.
 
     ``method_options`` maps a method name to extra factory keywords for
     that method's runs (e.g. ``{"radix-k:rect-rle": {"radix": (4, 4)}}``),
-    so schedule ablations sweep through the same grid.
+    so schedule ablations sweep through the same grid.  ``network`` and
+    ``engine`` apply the same topology/scheduler to every cell.
     """
     top = max_ranks if max_ranks is not None else max(rank_counts)
     per_method = dict(method_options or {})
@@ -357,6 +368,7 @@ def run_grid(
             for method in methods:
                 row, _ = run_method(
                     work, method, num_ranks, machine=machine,
+                    network=network, engine=engine,
                     **per_method.get(method, {}),
                 )
                 rows.append(row)

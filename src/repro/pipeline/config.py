@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
-from ..cluster.model import PRESETS, SP2, MachineModel
+from ..cluster.model import PRESETS, SP2, MachineModel, Network, make_network
 from ..errors import ConfigurationError
 from ..volume.datasets import DATASETS
 
@@ -84,6 +84,15 @@ class RunConfig:
     #: Worker liveness-stamp spacing in seconds on the mp backend;
     #: ``None`` uses the backend default, ``0`` disables heartbeats.
     heartbeat_interval: float | None = None
+    #: Interconnect topology for the simulator: "flat" (the paper's
+    #: contention-free link, default) or a spec string understood by
+    #: :func:`repro.cluster.model.make_network` such as
+    #: ``"fat-tree:radix=8"`` or ``"torus:dims=32x32"``.
+    topology: str = "flat"
+    #: Shared-link capacity override (bandwidth as a multiple of the base
+    #: per-byte rate; ``inf`` disables contention).  ``None`` keeps the
+    #: topology's default; ignored by the flat link.
+    link_capacity: float | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
@@ -139,10 +148,32 @@ class RunConfig:
             raise ConfigurationError(
                 f"heartbeat_interval must be >= 0 seconds, got {self.heartbeat_interval}"
             )
+        if self.link_capacity is not None and not (self.link_capacity > 0):
+            raise ConfigurationError(
+                f"link_capacity must be > 0, got {self.link_capacity!r}"
+            )
+        # Validate the topology spec eagerly so a typo fails at config
+        # time, not deep inside a run.
+        self.build_network()
 
     @property
     def num_pixels(self) -> int:
         return self.image_size * self.image_size
+
+    def build_network(self) -> Network | None:
+        """Instantiate the configured topology (``None`` = flat link).
+
+        Returning ``None`` for the flat default keeps the simulator on
+        its stateless fast path, which is also the bit-identity contract
+        with the pre-topology engine.
+        """
+        spec = str(self.topology)
+        name = spec.partition(":")[0].strip() or "flat"
+        if name == "flat":
+            if ":" in spec:
+                make_network(spec, self.machine)  # validate any options
+            return None  # flat has no shared links; link_capacity is moot
+        return make_network(spec, self.machine, capacity=self.link_capacity)
 
     def with_(self, **kwargs) -> "RunConfig":
         """Derive a modified copy (sweep helper)."""

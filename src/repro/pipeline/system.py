@@ -87,6 +87,9 @@ def run_compositing(
     plan: PartitionPlan | FoldedPartition,
     view_dir: np.ndarray,
     model: MachineModel,
+    *,
+    network=None,
+    engine: str = "event",
     **method_options: Any,
 ) -> CompositingRun:
     """Composite pre-rendered subimages on the simulated cluster.
@@ -98,6 +101,12 @@ def run_compositing(
     Passing a :class:`~repro.volume.folded.FoldedPartition` (any rank
     count) automatically wraps swap-structured methods in a
     :class:`~repro.compositing.folding.FoldedCompositor`.
+
+    ``network`` routes message arrivals through a
+    :class:`~repro.cluster.model.Network` topology (``None`` = the
+    paper's flat link); ``engine`` picks the simulator scheduler
+    (``"event"`` min-heap, or ``"lockstep"`` for the round-robin
+    reference — identical results on the flat network).
     """
     num_ranks = len(images)
     if plan.num_ranks != num_ranks:
@@ -119,7 +128,9 @@ def run_compositing(
         local = images[ctx.rank].copy()
         outcomes[ctx.rank] = await compositor.run(ctx, local, plan, view_dir)
 
-    result = SimBackend().run(num_ranks, program, model=model)
+    result = SimBackend().run(
+        num_ranks, program, model=model, network=network, engine=engine
+    )
     assert all(o is not None for o in outcomes)
     return CompositingRun(
         compositor=compositor,
@@ -319,6 +330,7 @@ class SortLastSystem:
                     timeout=cfg.comm_timeout,
                     respawn=respawn,
                     heartbeat=cfg.heartbeat_interval,
+                    network=cfg.build_network(),
                 )
             except RankFailedError as err:
                 return self._recover(
@@ -463,6 +475,7 @@ class SortLastSystem:
             model=cfg.machine,
             trace=trace,
             timeout=cfg.comm_timeout,
+            network=cfg.build_network(),
         )
         return self._build_result(
             engine,
@@ -520,6 +533,7 @@ class SortLastSystem:
             model=cfg.machine,
             trace=trace,
             timeout=cfg.comm_timeout,
+            network=cfg.build_network(),
         )
         degraded_scene = type(scene)(
             scene.volume, scene.transfer, scene.camera, folded
@@ -581,6 +595,7 @@ class SortLastSystem:
                 "num_ranks": cfg.num_ranks,
                 "image_size": cfg.image_size,
                 "machine": cfg.machine.name,
+                "topology": cfg.topology,
                 "renderer": cfg.renderer,
                 "gather_final": gather_final,
                 "degraded": degraded,

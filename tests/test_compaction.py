@@ -1,0 +1,100 @@
+"""Checkpoint compaction: the disk store keeps one snapshot per rank.
+
+Safety argument (documented on :class:`DiskCheckpointStore`): every
+restore path reads the *latest* stage — mp respawns restore
+``RESUME_LATEST`` per rank, and the simulator's common-stage resume uses
+the in-memory store — so older snapshots are dead weight.  The delete
+runs after the atomic ``os.replace``, so a crash mid-compaction can at
+worst leave an extra older file, never lose the newest one.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster.recovery import CheckpointSnapshot, DiskCheckpointStore
+from repro.cluster.stats import RankStats
+
+
+def snapshot(rank: int, stage: int) -> CheckpointSnapshot:
+    stats = RankStats(rank=rank)
+    stats.stage(stage).bytes_sent = 100 + stage
+    return CheckpointSnapshot(
+        stage=stage,
+        intensity=np.full((4, 4), float(stage)),
+        opacity=np.full((4, 4), float(stage) / 2.0),
+        codec_state=None,
+        stats=stats,
+        producer="bsbrc",
+    )
+
+
+def checkpoint_files(root: str) -> list[str]:
+    return sorted(n for n in os.listdir(root) if n.endswith(".pkl"))
+
+
+class TestCompaction:
+    def test_p16_keeps_one_file_per_rank(self, tmp_path):
+        """The ISSUE's acceptance shape: P=16, several stages, 16 files."""
+        num_ranks, num_stages = 16, 4
+        store = DiskCheckpointStore(str(tmp_path), run_id="p16")
+        for stage in range(num_stages):
+            for rank in range(num_ranks):
+                store.save(rank, stage, snapshot(rank, stage))
+        assert len(checkpoint_files(str(tmp_path))) == num_ranks
+        for rank in range(num_ranks):
+            assert store.latest_stage(rank) == num_stages - 1
+            loaded = store.load(rank, num_stages - 1)
+            assert loaded is not None
+            assert loaded.stats.stages[num_stages - 1].bytes_sent == 100 + num_stages - 1
+
+    def test_compaction_off_keeps_every_stage(self, tmp_path):
+        num_ranks, num_stages = 16, 4
+        store = DiskCheckpointStore(str(tmp_path), run_id="all", compact=False)
+        for stage in range(num_stages):
+            for rank in range(num_ranks):
+                store.save(rank, stage, snapshot(rank, stage))
+        assert len(checkpoint_files(str(tmp_path))) == num_ranks * num_stages
+        assert store.load(3, 0) is not None  # history retained
+
+    def test_older_stages_read_as_absent_after_compaction(self, tmp_path):
+        store = DiskCheckpointStore(str(tmp_path), run_id="gone")
+        store.save(0, 0, snapshot(0, 0))
+        store.save(0, 1, snapshot(0, 1))
+        assert store.load(0, 0) is None
+        assert store.load(0, 1) is not None
+        assert store.latest_stage(0) == 1
+
+    def test_compaction_scoped_to_rank_and_run(self, tmp_path):
+        mine = DiskCheckpointStore(str(tmp_path), run_id="mine")
+        other = DiskCheckpointStore(str(tmp_path), run_id="other")
+        other.save(0, 0, snapshot(0, 0))
+        mine.save(0, 0, snapshot(0, 0))
+        mine.save(1, 0, snapshot(1, 0))
+        mine.save(0, 2, snapshot(0, 2))  # compacts rank 0 of run "mine" only
+        assert mine.load(1, 0) is not None
+        assert other.load(0, 0) is not None
+
+    def test_out_of_order_save_never_deletes_newer(self, tmp_path):
+        # A lagging writer landing an older stage must not clobber the
+        # newer snapshot (delete only targets stages strictly below).
+        store = DiskCheckpointStore(str(tmp_path), run_id="lag")
+        store.save(0, 3, snapshot(0, 3))
+        store.save(0, 1, snapshot(0, 1))
+        assert store.load(0, 3) is not None
+        assert store.latest_stage(0) == 3
+
+    def test_stray_files_ignored(self, tmp_path):
+        store = DiskCheckpointStore(str(tmp_path), run_id="x")
+        (tmp_path / "ckpt-x-r0-snotanint.pkl").write_bytes(b"junk")
+        (tmp_path / "unrelated.txt").write_text("hello")
+        store.save(0, 5, snapshot(0, 5))
+        assert store.latest_stage(0) == 5
+        assert (tmp_path / "unrelated.txt").exists()
+
+    @pytest.mark.parametrize("compact", [True, False])
+    def test_default_and_explicit_flags(self, tmp_path, compact):
+        store = DiskCheckpointStore(str(tmp_path), compact=compact)
+        assert store.compact is compact
+        assert DiskCheckpointStore(str(tmp_path)).compact is True

@@ -1,0 +1,179 @@
+"""Soak-runner telemetry: per-iteration records and the archive JSON.
+
+``tools/soak.py`` drives real pytest subprocesses in production; here
+the subprocess boundary is monkeypatched so the runner's bookkeeping —
+iteration records, flake-rate totals, incremental atomic archive writes,
+failure artifact capture — is tested hermetically in milliseconds.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import types
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture()
+def soak():
+    spec = importlib.util.spec_from_file_location(
+        "soak_under_test", os.path.join(REPO_ROOT, "tools", "soak.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def fake_run(returncodes):
+    """A subprocess.run stand-in yielding scripted exit codes."""
+    calls = []
+
+    def runner(cmd, **kwargs):
+        calls.append({"cmd": cmd, "env": kwargs.get("env", {})})
+        code = returncodes[min(len(calls) - 1, len(returncodes) - 1)]
+        return types.SimpleNamespace(returncode=code, stdout="1 failed\n" if code else "ok\n")
+
+    runner.calls = calls
+    return runner
+
+
+class TestIterationRecords:
+    def test_all_green(self, soak, monkeypatch, tmp_path):
+        monkeypatch.setattr(soak.subprocess, "run", fake_run([0]))
+        monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "100")
+        archive = tmp_path / "soak.json"
+        rc = soak.main(
+            [
+                "--iterations", "3",
+                "--artifacts", str(tmp_path / "artifacts"),
+                "--archive", str(archive),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(archive.read_text())
+        assert doc["schema"] == soak.ARCHIVE_SCHEMA
+        assert doc["totals"]["iterations"] == 3
+        assert doc["totals"]["failures"] == 0
+        assert doc["totals"]["flake_rate"] == 0.0
+        offsets = [it["offset"] for it in doc["iterations"]]
+        assert offsets == [100, 100 + soak.MATRIX_SEEDS, 100 + 2 * soak.MATRIX_SEEDS]
+        for it in doc["iterations"]:
+            assert it["ok"] is True and it["returncode"] == 0
+            assert isinstance(it["seconds"], float)
+
+    def test_flake_rate_and_exit_code(self, soak, monkeypatch, tmp_path):
+        monkeypatch.setattr(soak.subprocess, "run", fake_run([0, 1, 0, 1]))
+        monkeypatch.setattr(soak, "_save_failure_artifacts", lambda *a, **k: None)
+        monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "0")
+        archive = tmp_path / "soak.json"
+        rc = soak.main(
+            [
+                "--iterations", "4",
+                "--artifacts", str(tmp_path / "artifacts"),
+                "--archive", str(archive),
+            ]
+        )
+        assert rc == 1
+        doc = json.loads(archive.read_text())
+        assert doc["totals"]["failures"] == 2
+        assert doc["totals"]["flake_rate"] == 0.5
+        assert [it["ok"] for it in doc["iterations"]] == [True, False, True, False]
+
+    def test_offset_threaded_into_subprocess_env(self, soak, monkeypatch, tmp_path):
+        runner = fake_run([0])
+        monkeypatch.setattr(soak.subprocess, "run", runner)
+        monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "42")
+        soak.main(
+            [
+                "--iterations", "2",
+                "--offset-step", "5",
+                "--artifacts", str(tmp_path / "a"),
+                "--archive", str(tmp_path / "s.json"),
+            ]
+        )
+        offsets = [c["env"]["REPRO_CHAOS_SEED_OFFSET"] for c in runner.calls]
+        assert offsets == ["42", "47"]
+
+    def test_failure_artifacts_captured(self, soak, monkeypatch, tmp_path):
+        monkeypatch.setattr(soak.subprocess, "run", fake_run([1]))
+        monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "7")
+        artifacts = tmp_path / "artifacts"
+        rc = soak.main(
+            [
+                "--iterations", "1",
+                "--artifacts", str(artifacts),
+                "--archive", str(tmp_path / "s.json"),
+            ]
+        )
+        assert rc == 1
+        folder = artifacts / "fail-7"
+        assert (folder / "pytest-output.txt").read_text() == "1 failed"
+        plans = sorted(p.name for p in folder.glob("fault-plan-seed*.json"))
+        assert len(plans) == soak.MATRIX_SEEDS
+
+
+class TestArchiveWrites:
+    def test_archive_written_incrementally(self, soak, monkeypatch, tmp_path):
+        archive = tmp_path / "s.json"
+        seen = []
+        real_write = soak.write_archive
+
+        def spy(path, iterations, **kwargs):
+            real_write(path, iterations, **kwargs)
+            seen.append(json.loads(archive.read_text())["totals"]["iterations"])
+
+        monkeypatch.setattr(soak, "write_archive", spy)
+        monkeypatch.setattr(soak.subprocess, "run", fake_run([0]))
+        monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "0")
+        soak.main(
+            [
+                "--iterations", "3",
+                "--artifacts", str(tmp_path / "a"),
+                "--archive", str(archive),
+            ]
+        )
+        assert seen == [1, 2, 3]  # one complete archive after every iteration
+
+    def test_no_leftover_temp_files(self, soak, tmp_path):
+        archive = tmp_path / "nested" / "s.json"
+        soak.write_archive(
+            str(archive),
+            [{"offset": 0, "seconds": 1.0, "ok": True, "returncode": 0}],
+            started_at="2026-01-01T00:00:00+0000",
+        )
+        names = os.listdir(archive.parent)
+        assert names == ["s.json"]
+
+    def test_summarize_empty(self, soak):
+        totals = soak.summarize([])
+        assert totals["iterations"] == 0
+        assert totals["flake_rate"] == 0.0
+        assert totals["total_seconds"] == 0
+
+
+class TestCommandLine:
+    def test_iterations_beats_time_budget(self, soak, monkeypatch, tmp_path):
+        # With --iterations, a zero-minute budget must not stop the loop.
+        runner = fake_run([0])
+        monkeypatch.setattr(soak.subprocess, "run", runner)
+        monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "0")
+        rc = soak.main(
+            [
+                "--minutes", "0",
+                "--iterations", "2",
+                "--artifacts", str(tmp_path / "a"),
+                "--archive", str(tmp_path / "s.json"),
+            ]
+        )
+        assert rc == 0
+        assert len(runner.calls) == 2
+
+    def test_default_archive_lives_in_artifacts_dir(self, soak, monkeypatch, tmp_path):
+        monkeypatch.setattr(soak.subprocess, "run", fake_run([0]))
+        monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "0")
+        artifacts = tmp_path / "arts"
+        soak.main(["--iterations", "1", "--artifacts", str(artifacts)])
+        assert (artifacts / "soak-summary.json").exists()

@@ -8,9 +8,19 @@ iteration the exact seed window is known, and the fault plans behind it
 are regenerated (via :func:`repro.cluster.faults.random_plan`) and saved
 as ``repro.fault-plan/1`` JSON artifacts for the bug report.
 
+Every run also writes a ``repro.soak-summary/1`` archive JSON
+(``--archive``, default ``<artifacts>/soak-summary.json``) holding one
+record per iteration — seed offset, wall seconds, pass/fail — plus the
+aggregate flake rate, so nightly trends (slowdowns, rising flake rates)
+are visible by diffing archives across nights.  The archive is written
+atomically after *each* iteration, so a killed soak still leaves a
+complete record of what ran.
+
 Usage::
 
-    python tools/soak.py [--minutes N] [--artifacts DIR] [--offset-step K]
+    python tools/soak.py [--minutes N] [--iterations K]
+                         [--artifacts DIR] [--archive FILE]
+                         [--offset-step K]
 
 Environment:
 
@@ -26,6 +36,7 @@ with the pytest tail and the regenerated fault plans.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -37,6 +48,9 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 MATRIX_SEEDS = 8
 NUM_RANKS = 4
 NUM_STAGES = 2
+
+#: Archive schema identifier (bump on layout changes).
+ARCHIVE_SCHEMA = "repro.soak-summary/1"
 
 
 def _pytest_command(offset: int, timeout_flag: bool) -> list[str]:
@@ -77,6 +91,60 @@ def _save_failure_artifacts(artifacts: str, offset: int, output: str) -> None:
         sys.path.pop(0)
 
 
+def summarize(iterations: list[dict]) -> dict:
+    """Aggregate per-iteration records into the archive's totals block."""
+    count = len(iterations)
+    failures = sum(1 for it in iterations if not it["ok"])
+    seconds = [it["seconds"] for it in iterations]
+    return {
+        "iterations": count,
+        "failures": failures,
+        "flake_rate": (failures / count) if count else 0.0,
+        "total_seconds": sum(seconds),
+        "mean_seconds": (sum(seconds) / count) if count else 0.0,
+        "max_seconds": max(seconds) if seconds else 0.0,
+    }
+
+
+def write_archive(path: str, iterations: list[dict], *, started_at: str) -> None:
+    """Atomically persist the soak archive (schema ``repro.soak-summary/1``)."""
+    doc = {
+        "schema": ARCHIVE_SCHEMA,
+        "started_at": started_at,
+        "matrix_seeds": MATRIX_SEEDS,
+        "totals": summarize(iterations),
+        "iterations": iterations,
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def run_iteration(offset: int, env_base: dict, timeout_flag: bool, artifacts: str) -> dict:
+    """One soak iteration: run the suites at ``offset``, record telemetry."""
+    env = dict(env_base, REPRO_CHAOS_SEED_OFFSET=str(offset))
+    started = time.monotonic()
+    proc = subprocess.run(
+        _pytest_command(offset, timeout_flag),
+        cwd=REPO_ROOT, env=env, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    elapsed = time.monotonic() - started
+    ok = proc.returncode == 0
+    if not ok:
+        tail = "\n".join(proc.stdout.splitlines()[-200:])
+        _save_failure_artifacts(artifacts, offset, tail)
+    return {
+        "offset": offset,
+        "seconds": round(elapsed, 3),
+        "ok": ok,
+        "returncode": proc.returncode,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -85,14 +153,23 @@ def main(argv: list[str] | None = None) -> int:
         help="soak time budget in minutes (default: $SOAK_MINUTES or 20)",
     )
     parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="run exactly K iterations instead of a time budget",
+    )
+    parser.add_argument(
         "--artifacts", default=os.path.join(REPO_ROOT, "soak-artifacts"),
         help="where failing fault plans and logs are written",
+    )
+    parser.add_argument(
+        "--archive", default=None,
+        help="soak-summary JSON path (default: <artifacts>/soak-summary.json)",
     )
     parser.add_argument(
         "--offset-step", type=int, default=MATRIX_SEEDS,
         help="seed-offset stride between iterations (default: matrix width)",
     )
     args = parser.parse_args(argv)
+    archive = args.archive or os.path.join(args.artifacts, "soak-summary.json")
 
     offset = int(
         os.environ.get("REPRO_CHAOS_SEED_OFFSET", str(int(time.time()) % 100_000))
@@ -100,34 +177,37 @@ def main(argv: list[str] | None = None) -> int:
     deadline = time.monotonic() + args.minutes * 60.0
     timeout_flag = _have_pytest_timeout()
     env_base = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    started_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
 
-    iterations = failures = 0
-    while time.monotonic() < deadline:
-        iterations += 1
-        env = dict(env_base, REPRO_CHAOS_SEED_OFFSET=str(offset))
-        started = time.monotonic()
-        proc = subprocess.run(
-            _pytest_command(offset, timeout_flag),
-            cwd=REPO_ROOT, env=env, text=True,
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-        )
-        elapsed = time.monotonic() - started
-        status = "ok" if proc.returncode == 0 else f"FAIL rc={proc.returncode}"
+    records: list[dict] = []
+    while (
+        len(records) < args.iterations
+        if args.iterations is not None
+        else time.monotonic() < deadline
+    ):
+        record = run_iteration(offset, env_base, timeout_flag, args.artifacts)
+        records.append(record)
+        status = "ok" if record["ok"] else f"FAIL rc={record['returncode']}"
         print(
-            f"[soak] iteration {iterations} offset={offset} "
-            f"{elapsed:.0f}s: {status}",
+            f"[soak] iteration {len(records)} offset={offset} "
+            f"{record['seconds']:.0f}s: {status}",
             flush=True,
         )
-        if proc.returncode != 0:
-            failures += 1
-            tail = "\n".join(proc.stdout.splitlines()[-200:])
-            _save_failure_artifacts(args.artifacts, offset, tail)
+        # Archive after every iteration so a killed soak keeps its record.
+        write_archive(archive, records, started_at=started_at)
         offset += args.offset_step
 
-    print(f"[soak] done: {iterations} iterations, {failures} failing windows")
-    if failures:
+    totals = summarize(records)
+    print(
+        f"[soak] done: {totals['iterations']} iterations, "
+        f"{totals['failures']} failing windows "
+        f"(flake rate {totals['flake_rate']:.1%}, "
+        f"mean {totals['mean_seconds']:.0f}s/iter)"
+    )
+    print(f"[soak] archive at {archive}")
+    if totals["failures"]:
         print(f"[soak] artifacts in {args.artifacts}")
-    return 1 if failures else 0
+    return 1 if totals["failures"] else 0
 
 
 if __name__ == "__main__":
