@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-scale chaos grid soak verify lint results quick clean
+.PHONY: install test bench bench-quick bench-scale bench-tile chaos grid soak verify lint results quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,13 @@ bench-quick:
 # BENCH_sim_scale.json (the CI wall-clock regression guard).
 bench-scale:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sim_scale.py --smoke --check
+
+# Tile-routed latency smoke: small-P latency-to-first-pixel sweep with
+# bit-identity asserted against binary-swap:raw, failing when any
+# workload takes > 2x the committed baseline in BENCH_tile.json or the
+# P=64 first-pixel advantage drops below its 2x floor.
+bench-tile:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_tile.py --smoke --check
 
 # Randomized fault-injection suite (seeded, so failures reproduce).
 # Uses pytest-timeout's per-test kill switch when installed; the suite

@@ -111,6 +111,9 @@ class Backend(abc.ABC):
     name: str = "abstract"
     #: What this backend's makespan measures.
     clock: str = "wall"
+    #: Whether this backend can apply a modelled ``--topology`` (only
+    #: simulated interconnects can; real transports use real wires).
+    supports_topology: bool = False
 
     @abc.abstractmethod
     def run(
@@ -152,6 +155,7 @@ class SimBackend(Backend):
 
     name = "sim"
     clock = "modelled"
+    supports_topology = True
 
     def run(
         self,
@@ -294,9 +298,16 @@ class MPIBackend(Backend):
 def _require_flat_network(backend_name: str, network) -> None:
     """Real transports cannot model a switched topology: reject early."""
     if network is not None and getattr(network, "name", "flat") != "flat":
+        spec = getattr(network, "spec", None) or network.name
+        supported = sorted(
+            name for name, cls in BACKENDS.items() if cls.supports_topology
+        )
         raise ConfigurationError(
             f"backend {backend_name!r} runs on real hardware and cannot apply "
-            f"a modelled topology ({network.name!r}); use the sim backend"
+            f"the modelled topology --topology {spec!r}; modelled topologies "
+            f"need a simulated interconnect — rerun with --backend "
+            f"{' or '.join(repr(n) for n in supported)}, or drop --topology "
+            f"to use the real network"
         )
 
 

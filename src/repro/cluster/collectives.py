@@ -14,13 +14,107 @@ from typing import Any, Callable, Optional
 from ..errors import ConfigurationError
 from .context import RankContext, payload_nbytes
 
-__all__ = ["gather", "bcast", "allreduce", "exchange_grouped"]
+__all__ = [
+    "gather",
+    "bcast",
+    "allreduce",
+    "exchange_grouped",
+    "TileRouter",
+    "route_tiles",
+]
 
 #: Tag space reserved for collectives so they never collide with
 #: compositing-stage tags (which are small non-negative stage indices).
 _GATHER_TAG = 1 << 20
 _BCAST_TAG = 1 << 21
 _ALLREDUCE_TAG = 1 << 22
+#: Base of the per-tile tag space used by :class:`TileRouter`; tile ``t``
+#: travels under tag ``_TILE_TAG + t``, above every other reserved range.
+_TILE_TAG = 1 << 23
+
+
+class TileRouter:
+    """Tag-routed asynchronous tile pump over the isend/irecv surface.
+
+    Each tile travels under its own tag (``_TILE_TAG + tile_id``), so an
+    owner can complete any one tile independently of every other message
+    in flight — there is no stage structure and no barrier anywhere.
+
+    Ordering contract (what keeps the strictly-FIFO multiprocessing
+    channels happy): senders :meth:`push` tiles in ascending tile id and
+    owners :meth:`collect` their owned tiles in ascending tile id, so
+    the per-``(src, dst)`` message order matches the per-channel wait
+    order on every substrate.  The simulator needs no such care — its
+    matcher pairs nonblocking ops by exact tag.
+    """
+
+    def __init__(self, ctx, owners) -> None:
+        self._ctx = ctx
+        self._owners = tuple(owners)
+        self._inflight: dict[int, list] = {}
+        self._sends: list = []
+
+    async def post_receives(self, owned: "list[int]") -> None:
+        """Post one irecv per (owned tile, remote rank) pair."""
+        ctx = self._ctx
+        for tile_id in owned:
+            requests = []
+            for src in range(ctx.size):
+                if src == ctx.rank:
+                    continue
+                requests.append(await ctx.irecv(src, tag=_TILE_TAG + tile_id))
+            self._inflight[tile_id] = requests
+
+    async def push(self, tile_id: int, payload: Any, nbytes: int) -> None:
+        """Send this rank's contribution for ``tile_id`` to its owner."""
+        owner = self._owners[tile_id]
+        if owner == self._ctx.rank:
+            raise ConfigurationError(
+                f"rank {owner} owns tile {tile_id}; local contributions "
+                "never travel through the router"
+            )
+        self._sends.append(
+            await self._ctx.isend(
+                owner, payload, nbytes=nbytes, tag=_TILE_TAG + tile_id
+            )
+        )
+
+    async def collect(self, tile_id: int) -> list:
+        """Wait for ``tile_id``'s remote contributions (ascending src)."""
+        requests = self._inflight.pop(tile_id)
+        return await self._ctx.wait_all(requests)
+
+    async def flush(self) -> None:
+        """Complete every outstanding send (drains send buffers)."""
+        sends, self._sends = self._sends, []
+        await self._ctx.wait_all(sends)
+
+
+async def route_tiles(
+    ctx,
+    owners,
+    outgoing: "dict[int, tuple[Any, int]]",
+) -> "dict[int, list]":
+    """One-shot tile routing: push ``outgoing`` tiles, collect owned ones.
+
+    ``owners[t]`` names tile ``t``'s owner; ``outgoing`` maps the tile
+    ids this rank contributes to (remote owners only) to ``(payload,
+    nbytes)``.  Returns ``{tile_id: [payload per remote rank, ascending
+    src]}`` for every tile this rank owns.  The incremental surface
+    (:class:`TileRouter`) is what the tile engine drives so encoding and
+    communication overlap; this wrapper is the collective-shaped entry
+    point for everything else.
+    """
+    owners = tuple(owners)
+    router = TileRouter(ctx, owners)
+    owned = [t for t, owner in enumerate(owners) if owner == ctx.rank]
+    await router.post_receives(owned)
+    for tile_id in sorted(outgoing):
+        payload, nbytes = outgoing[tile_id]
+        await router.push(tile_id, payload, nbytes)
+    received = {tile_id: await router.collect(tile_id) for tile_id in owned}
+    await router.flush()
+    return received
 
 
 async def exchange_grouped(

@@ -178,7 +178,7 @@ class RankContext(BaseRankContext):
             return request
         return await IsendOp(dst, payload, size, tag=tag)
 
-    async def irecv(self, src: int, *, tag: int = 0):
+    async def irecv(self, src: int, *, tag: int = ANY_TAG):
         """Nonblocking receive; returns a Request whose payload is
         available after :meth:`wait`."""
         self._check_peer(src)
@@ -203,6 +203,11 @@ class RankContext(BaseRankContext):
     async def barrier(self) -> None:
         """Block until every rank reaches the barrier."""
         await BarrierOp()
+
+    # ---- misc ----------------------------------------------------------------------
+    def now(self) -> float:
+        """This rank's virtual clock (modelled seconds since run start)."""
+        return self._proc.clock
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RankContext(rank={self.rank}, size={self.size}, model={self.model.name})"

@@ -195,18 +195,20 @@ class IsendOp(Op):
 class IrecvOp(Op):
     """Nonblocking receive: returns a :class:`Request` immediately.
 
-    Matches isends from ``src`` with an **exact** tag (no wildcard) in
-    FIFO post order.  Nonblocking ops only pair with nonblocking
-    counterparts — mixing isend with a blocking recv is rejected by the
-    matcher staying silent (and surfaces as a deadlock), keeping the two
-    protocols' timing semantics separate.
+    Matches isends from ``src`` by exact tag in FIFO post order, or by
+    :data:`ANY_TAG` (the default via ``ctx.irecv``), which accepts the
+    oldest pending isend from ``src`` regardless of tag.  Nonblocking
+    ops only pair with nonblocking counterparts — mixing isend with a
+    blocking recv is rejected by the matcher staying silent (and
+    surfaces as a deadlock), keeping the two protocols' timing
+    semantics separate.
     """
 
     __slots__ = ("src", "tag")
 
-    def __init__(self, src: int, tag: int = 0):
-        if tag < 0:
-            raise ValueError(f"irecv tag must be >= 0, got {tag}")
+    def __init__(self, src: int, tag: int = ANY_TAG):
+        if tag < 0 and tag != ANY_TAG:
+            raise ValueError(f"irecv tag must be >= 0 or ANY_TAG, got {tag}")
         self.src = int(src)
         self.tag = int(tag)
 

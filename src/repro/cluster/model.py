@@ -223,6 +223,11 @@ class Network:
 
     name = "abstract"
 
+    #: The CLI spec string this instance was built from (stamped by
+    #: :func:`make_network`); error messages quote it so users see the
+    #: ``--topology`` value they typed, not just the class name.
+    spec: "str | None" = None
+
     def __init__(self, model: MachineModel):
         self.model = model
         self.num_ranks = 0
@@ -563,8 +568,10 @@ def make_network(
             kwargs[key.strip().replace("-", "_")] = _coerce_option(raw)
     kwargs.update({k: v for k, v in overrides.items() if v is not None})
     try:
-        return cls(model, **kwargs)
+        network = cls(model, **kwargs)
     except TypeError:
         raise ConfigurationError(
             f"topology {name!r} does not accept options {sorted(kwargs)}"
         ) from None
+    network.spec = name if spec is None else str(spec)
+    return network

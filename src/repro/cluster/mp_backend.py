@@ -388,7 +388,7 @@ class MPRankContext(BaseRankContext):
         request.nbytes, _ = self._put(dst, payload, nbytes, tag, verb="isend")
         return request
 
-    async def irecv(self, src: int, *, tag: int = 0):
+    async def irecv(self, src: int, *, tag: int = ANY_TAG):
         self._check_peer(src)
         request = MPRequest("irecv", src, tag)
         self._pending_irecvs.setdefault((src, tag), deque()).append(request)

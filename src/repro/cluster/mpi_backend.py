@@ -243,9 +243,10 @@ class MPIRankContext(BaseRankContext):
         self._account_sent(size)
         return MPIRequest("isend", dst, tag, mpi_request, size)
 
-    async def irecv(self, src: int, *, tag: int = 0):
+    async def irecv(self, src: int, *, tag: int = ANY_TAG):
         self._check_peer(src)
-        mpi_request = self._comm.irecv(source=src, tag=tag)
+        mpi_tag = self._mpi.ANY_TAG if tag == ANY_TAG else tag
+        mpi_request = self._comm.irecv(source=src, tag=mpi_tag)
         return MPIRequest("irecv", src, tag, mpi_request)
 
     async def wait(self, request) -> Any:

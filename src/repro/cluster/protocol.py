@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import abc
 import pickle
+import time
 from typing import Any, NamedTuple, Optional
 
 from ..errors import ConfigurationError, SimulationError
@@ -301,9 +302,13 @@ class BaseRankContext(abc.ABC):
         """Nonblocking send; returns a request completed by :meth:`wait`."""
 
     @abc.abstractmethod
-    async def irecv(self, src: int, *, tag: int = 0):
+    async def irecv(self, src: int, *, tag: int = ANY_TAG):
         """Nonblocking receive; returns a request whose payload is
-        available after :meth:`wait`."""
+        available after :meth:`wait`.
+
+        Defaults to :data:`~repro.cluster.events.ANY_TAG`, matching
+        :meth:`recv` — an untagged nonblocking receive accepts whatever
+        ``src`` sends next."""
 
     @abc.abstractmethod
     async def wait(self, request) -> Any:
@@ -325,6 +330,16 @@ class BaseRankContext(abc.ABC):
         """Block until every rank reaches the barrier."""
 
     # ---- misc --------------------------------------------------------------
+    def now(self) -> float:
+        """Monotonic substrate time in seconds.
+
+        Wall-clock on real transports; the simulator overrides this
+        with the rank's virtual clock.  Only *differences* are
+        meaningful (the zero point is substrate-defined) — this is what
+        per-tile completion events stamp their latencies with.
+        """
+        return time.perf_counter()
+
     def _check_peer(self, rank: int) -> None:
         if not (0 <= rank < self.size):
             raise ConfigurationError(

@@ -43,9 +43,49 @@ from ..errors import ConfigurationError
 from .simulator import TraceEvent
 from .stats import RankStats, RunResult, StageStats
 
-__all__ = ["RunTimeline", "TIMELINE_SCHEMA"]
+__all__ = ["RunTimeline", "TIMELINE_SCHEMA", "tile_latency_metrics"]
 
 TIMELINE_SCHEMA = "repro.run-timeline/1"
+
+
+def tile_latency_metrics(events: Iterable[dict]) -> dict[str, float]:
+    """Progressive-display latencies from ``tile_complete`` events.
+
+    The tile-routed engine appends one event per completed tile with the
+    substrate time ``t`` since compositing started and the tile's pixel
+    count.  Two summary latencies fall out:
+
+    * ``latency_to_first_pixel`` — time until *any* tile of the frame is
+      final (the earliest moment a progressive display has something
+      correct to show);
+    * ``latency_to_p50_pixels`` — time until half the completed pixels
+      are final (tiles accumulated in completion order).
+
+    Returns ``{}`` when no ``tile_complete`` events are present (every
+    stage-synchronous method: their first finished pixel *is* the
+    makespan, so the timeline's ``makespan`` already tells the story).
+    """
+    tiles = sorted(
+        (
+            (float(ev["t"]), int(ev["pixels"]))
+            for ev in events
+            if ev.get("event") == "tile_complete"
+        ),
+    )
+    if not tiles:
+        return {}
+    total = sum(pixels for _, pixels in tiles)
+    covered = 0
+    p50 = tiles[-1][0]
+    for t, pixels in tiles:
+        covered += pixels
+        if 2 * covered >= total:
+            p50 = t
+            break
+    return {
+        "latency_to_first_pixel": tiles[0][0],
+        "latency_to_p50_pixels": p50,
+    }
 
 
 def _stage_to_dict(st: StageStats) -> dict[str, Any]:

@@ -387,11 +387,23 @@ class Simulator:
             )
         if request.kind == "isend":
             key = (request.rank, request.peer, request.tag)  # (src, dst, tag)
+            # Exact-tag irecvs take precedence over ANY_TAG wildcards.
             counterpart = self._pending_irecvs.get(key)
+            if not counterpart:
+                counterpart = self._pending_irecvs.get(
+                    (request.rank, request.peer, ANY_TAG)
+                )
             if counterpart:
                 self._complete_transfer(request, counterpart.popleft())
             else:
                 self._pending_isends.setdefault(key, deque()).append(request)
+        elif request.tag == ANY_TAG:
+            counterpart = self._oldest_pending_isend(request.peer, request.rank)
+            if counterpart is not None:
+                self._complete_transfer(counterpart, request)
+            else:
+                key = (request.peer, request.rank, ANY_TAG)
+                self._pending_irecvs.setdefault(key, deque()).append(request)
         else:
             key = (request.peer, request.rank, request.tag)
             counterpart = self._pending_isends.get(key)
@@ -400,6 +412,27 @@ class Simulator:
             else:
                 self._pending_irecvs.setdefault(key, deque()).append(request)
         self._trace(proc, "post", repr(request))
+
+    def _oldest_pending_isend(self, src: int, dst: int) -> "Request | None":
+        """Pop the oldest pending isend on the ``src → dst`` channel.
+
+        The ANY_TAG wildcard match: deque heads are the oldest per tag,
+        so the overall oldest is the head with the smallest post time
+        (ties broken by tag for determinism).
+        """
+        best_key = None
+        best_order = None
+        for key, pending in self._pending_isends.items():
+            if not pending or key[0] != src or key[1] != dst:
+                continue
+            head = pending[0]
+            order = (head.post_time, key[2])
+            if best_order is None or order < best_order:
+                best_order = order
+                best_key = key
+        if best_key is None:
+            return None
+        return self._pending_isends[best_key].popleft()
 
     def _complete_transfer(self, send_req: Request, recv_req: Request) -> None:
         """Price a matched background transfer on the receiver's link."""

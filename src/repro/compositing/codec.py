@@ -149,6 +149,16 @@ class PixelCodec(abc.ABC):
     async def scan(self, ctx: BaseRankContext, image: SubImage, state: Any) -> None:
         """Pre-stage scan; only called when ``needs_bound_scan``."""
 
+    async def scan_region(
+        self, ctx: BaseRankContext, image: SubImage, state: Any, rect: Rect
+    ) -> None:
+        """Regional variant of :meth:`scan` for tile-grained engines.
+
+        Only called when ``needs_bound_scan``; charges ``T_bound`` for
+        the region's pixels.  Summed over a partition of the frame the
+        total charge equals one whole-image :meth:`scan`.
+        """
+
     @abc.abstractmethod
     def encode(
         self, image: SubImage, part: RectPart | IndexPart, state: Any
@@ -264,6 +274,14 @@ class _TrackedRectCodec(PixelCodec):
     async def scan(self, ctx, image, state):
         state.local_rect = image.bounding_rect()
         await ctx.charge_bound(image.num_pixels)
+
+    async def scan_region(self, ctx, image, state, rect):
+        # Tile-grained scan: the tracked rect covers only this region's
+        # foreground, which clips *tighter* than (whole-image rect ∩
+        # region) — fewer bytes ship, and the per-region charges sum to
+        # exactly one whole-image scan.
+        state.local_rect = image.bounding_rect(rect)
+        await ctx.charge_bound(rect.area)
 
     def update_state(self, state, keep, contribs):
         rect = state.local_rect.intersect(keep.rect)

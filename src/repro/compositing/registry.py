@@ -30,6 +30,7 @@ __all__ = [
     "register",
     "make_compositor",
     "make_scheduled",
+    "make_tile_routed",
     "available_methods",
     "method_catalog",
     "validate_method",
@@ -37,6 +38,7 @@ __all__ = [
     "COMBO_ALIASES",
     "SCHEDULES",
     "CODECS",
+    "TILE_ROUTED",
 ]
 
 _REGISTRY: dict[str, Callable[..., Compositor]] = {}
@@ -80,6 +82,12 @@ def _load_planes():
 
 SCHEDULES, CODECS = _load_planes()
 
+#: Pseudo-schedule name selecting the asynchronous tile-routed engine
+#: (``"tile-routed:<codec>"``); it is an execution model peer to
+#: :class:`~repro.compositing.engine.ScheduledCompositor`, not an entry
+#: of :data:`SCHEDULES`.
+TILE_ROUTED = "tile-routed"
+
 
 def register(name: str, factory: Callable[..., Compositor], *, description: str = "") -> None:
     """Register a compositor factory under ``name`` (lowercase)."""
@@ -101,12 +109,31 @@ def _compatible_codecs(schedule_name: str) -> list[str]:
     return sorted(c for c, cls in CODECS.items() if kind in cls.supports)
 
 
+def _tile_codecs() -> list[str]:
+    return sorted(c for c, cls in CODECS.items() if "rect" in cls.supports)
+
+
+def _resolve_tile_routed(codec_name: str) -> None:
+    """Validate a ``tile-routed:<codec>`` spec (raises on failure)."""
+    if codec_name not in CODECS:
+        raise ConfigurationError(
+            f"unknown codec {codec_name!r}; available codecs: {sorted(CODECS)}"
+            + _suggestion(codec_name, CODECS)
+        )
+    if "rect" not in CODECS[codec_name].supports:
+        raise ConfigurationError(
+            f"codec {codec_name!r} cannot carry the rect-shaped tiles of "
+            f"the tile-routed engine; compatible codecs: {_tile_codecs()}"
+        )
+
+
 def _resolve_combo(schedule_name: str, codec_name: str) -> None:
     """Validate a combo's names and compatibility (raises on failure)."""
     if schedule_name not in SCHEDULES:
+        candidates = sorted(SCHEDULES) + [TILE_ROUTED]
         raise ConfigurationError(
             f"unknown schedule {schedule_name!r}; available schedules: "
-            f"{sorted(SCHEDULES)}" + _suggestion(schedule_name, SCHEDULES)
+            f"{candidates}" + _suggestion(schedule_name, candidates)
         )
     if codec_name not in CODECS:
         raise ConfigurationError(
@@ -150,11 +177,33 @@ def make_scheduled(
     )
 
 
+def make_tile_routed(
+    codec_name: str, *, name: str | None = None, **options
+) -> Compositor:
+    """Build a :class:`~repro.compositing.tile_engine.TileRoutedCompositor`.
+
+    Engine options: ``tile`` (tile edge length) and ``charge_pack``.
+    """
+    from .tile_engine import TileRoutedCompositor
+
+    _resolve_tile_routed(codec_name)
+    accepted = {"tile", "charge_pack"}
+    unknown = set(options) - accepted
+    if unknown:
+        raise ConfigurationError(
+            f"method {TILE_ROUTED}:{codec_name} does not accept option(s) "
+            f"{sorted(unknown)}; engine options: {sorted(accepted)}"
+        )
+    return TileRoutedCompositor(CODECS[codec_name](), name=name, **options)
+
+
 def make_compositor(name: str, **options) -> Compositor:
     """Instantiate a method by registry name or ``schedule:codec`` spec."""
     key = name.lower()
     if ":" in key:
         schedule_name, _, codec_name = key.partition(":")
+        if schedule_name == TILE_ROUTED:
+            return make_tile_routed(codec_name, **options)
         return make_scheduled(schedule_name, codec_name, **options)
     factory = _REGISTRY.get(key)
     if factory is None:
@@ -170,6 +219,9 @@ def validate_method(name: str) -> None:
     key = name.lower()
     if ":" in key:
         schedule_name, _, codec_name = key.partition(":")
+        if schedule_name == TILE_ROUTED:
+            _resolve_tile_routed(codec_name)
+            return
         _resolve_combo(schedule_name, codec_name)
         return
     if key not in _REGISTRY:
@@ -185,7 +237,7 @@ def _combo_names() -> list[str]:
         for s in sorted(SCHEDULES)
         for c in sorted(CODECS)
         if SCHEDULES[s].part_kind in CODECS[c].supports
-    ]
+    ] + [f"{TILE_ROUTED}:{c}" for c in _tile_codecs()]
 
 
 def available_methods() -> list[str]:
@@ -198,6 +250,12 @@ def method_catalog() -> dict[str, str]:
     catalog = dict(_DESCRIPTIONS)
     for combo in _combo_names():
         schedule_name, _, codec_name = combo.partition(":")
+        if schedule_name == TILE_ROUTED:
+            catalog[combo] = (
+                "asynchronous tile routing, no stage barriers; "
+                f"{CODECS[codec_name].description}"
+            )
+            continue
         catalog[combo] = (
             f"{SCHEDULES[schedule_name].description}; "
             f"{CODECS[codec_name].description}"

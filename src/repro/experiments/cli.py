@@ -25,9 +25,9 @@ Subcommands regenerate each paper artifact::
               replayed at P=64 and extended to P=256/1024 on synthetic
               sparse workloads (event-driven simulator core)
 
-``stages`` and ``run`` take ``--method`` specs like ``bsbrc`` or
-``radix-k:rect-rle`` plus the schedule options ``--radix 4,4`` and
-``--section N``.
+``stages`` and ``run`` take ``--method`` specs like ``bsbrc``,
+``radix-k:rect-rle``, or ``tile-routed:rect`` plus the method options
+``--radix 4,4``, ``--section N``, and ``--tile SIZE``.
 
 ``--quick`` shrinks the volumes, the image, and the processor sweep so
 every command finishes in seconds (useful for smoke tests); results are
@@ -82,6 +82,12 @@ def _add_method_options(sub: argparse.ArgumentParser, default: str = "bsbrc") ->
         default=None,
         help="BSLC section length in pixels (sectioned schedules only)",
     )
+    sub.add_argument(
+        "--tile",
+        type=int,
+        default=None,
+        help="tile edge length in pixels (tile-routed methods only)",
+    )
 
 
 def _method_options_from(args) -> dict:
@@ -93,6 +99,8 @@ def _method_options_from(args) -> dict:
         options["radix"] = parse_radix(args.radix)
     if getattr(args, "section", None) is not None:
         options["section"] = args.section
+    if getattr(args, "tile", None) is not None:
+        options["tile"] = args.tile
     return options
 
 

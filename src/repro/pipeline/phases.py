@@ -18,6 +18,13 @@ Phase semantics:
   model time is charged: the paper measures compositing only.
 * **composite** (:func:`composite_phase`) — the measured phase; runs the
   configured method (folding-wrapped on non-power-of-two plans).
+* **fused render+composite** (:func:`fused_render_composite_phase`) —
+  taken instead of the two separate phases when the method is
+  tile-routed, the renderer is the ray caster, and the plan is not
+  folded: the ray caster renders one tile at a time (``clip_rect``) and
+  each finished tile enters the tile router while later tiles are still
+  rendering.  Per-pixel ray independence makes the result bit-identical
+  to render-then-composite.
 * **gather** (:func:`gather_phase`) — owned tiles flow to rank 0 over
   the same substrate, bucketed under :data:`GATHER_STAGE` so the
   compositing-stage stats stay separable.
@@ -35,7 +42,7 @@ from .. import perf
 from ..cluster.collectives import gather
 from ..cluster.protocol import BaseRankContext
 from ..compositing.base import CompositeOutcome
-from ..compositing.registry import make_compositor
+from ..compositing.registry import TILE_ROUTED, make_compositor
 from ..render.camera import Camera
 from ..render.image import SubImage
 from ..render.raycast import render_subvolume
@@ -52,6 +59,7 @@ __all__ = [
     "build_scene",
     "render_phase",
     "composite_phase",
+    "fused_render_composite_phase",
     "gather_phase",
     "pipeline_rank_program",
     "degraded_rank_program",
@@ -214,6 +222,49 @@ async def composite_phase(
     return outcome
 
 
+# ---- fused render + composite ----------------------------------------------
+def _fusable(cfg: RunConfig, scene: Scene) -> bool:
+    """True when render and composite can run as one overlapped phase.
+
+    Requires the tile-routed method (the only engine with a per-tile
+    entry point), the ray caster (per-pixel independent, so clipped
+    renders are bit-identical), and an unfolded plan (the folding
+    wrapper drives ``run``, not ``run_fused``).
+    """
+    return (
+        cfg.method.lower().partition(":")[0] == TILE_ROUTED
+        and cfg.renderer == "raycast"
+        and not isinstance(scene.plan, FoldedPartition)
+    )
+
+
+async def fused_render_composite_phase(
+    ctx: BaseRankContext, cfg: RunConfig, scene: Scene
+) -> tuple[SubImage, CompositeOutcome]:
+    """Render tile by tile, pushing each tile into the router as it
+    finishes; returns ``(subimage, outcome)`` exactly like running
+    :func:`render_phase` then :func:`composite_phase` (bit-identical —
+    rays are per-pixel independent, and the tile engine's fold order
+    does not depend on arrival order)."""
+    compositor = make_compositor(cfg.method, **cfg.method_options)
+    extent = scene.plan.extent(ctx.rank)
+    camera = scene.camera
+
+    def render_tile(rect):
+        with perf.timer("pipeline.render"):
+            return render_subvolume(
+                scene.volume, scene.transfer, camera, extent, clip_rect=rect
+            )
+
+    with perf.timer("pipeline.composite"):
+        subimage, outcome = await compositor.run_fused(
+            ctx, camera.height, camera.width, scene.plan, camera.view_dir, render_tile
+        )
+    if outcome.producer is None:
+        outcome.producer = compositor.name
+    return subimage, outcome
+
+
 # ---- gather phase -----------------------------------------------------------
 async def gather_phase(
     ctx: BaseRankContext, tile: OwnedTile, height: int, width: int
@@ -283,10 +334,17 @@ async def pipeline_rank_program(
             )
         )
     scene = build_scene(cfg)
-    ctx.fault_checkpoint("render")
-    subimage = await render_phase(ctx, cfg, scene)
-    ctx.fault_checkpoint("composite")
-    outcome = await composite_phase(ctx, cfg, subimage.copy(), scene)
+    if _fusable(cfg, scene):
+        # One overlapped phase: tiles enter the router mid-render.  The
+        # render checkpoint covers both (there is no boundary between
+        # them any more); results are bit-identical to the split path.
+        ctx.fault_checkpoint("render")
+        subimage, outcome = await fused_render_composite_phase(ctx, cfg, scene)
+    else:
+        ctx.fault_checkpoint("render")
+        subimage = await render_phase(ctx, cfg, scene)
+        ctx.fault_checkpoint("composite")
+        outcome = await composite_phase(ctx, cfg, subimage.copy(), scene)
     final = None
     if gather_final:
         ctx.fault_checkpoint("gather")

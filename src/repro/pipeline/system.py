@@ -38,7 +38,7 @@ from ..cluster.recovery import (
     RecoveryRuntime,
     RespawnPlan,
 )
-from ..cluster.run_timeline import RunTimeline
+from ..cluster.run_timeline import RunTimeline, tile_latency_metrics
 from ..cluster.stats import RankStats, RunResult
 from ..compositing.base import CompositeOutcome, Compositor
 from ..compositing.registry import make_compositor
@@ -604,6 +604,9 @@ class SortLastSystem:
             },
             events=extra_events,
         )
+        latencies = tile_latency_metrics(timeline.events)
+        if latencies:
+            timeline.meta.update(latencies)
         return SystemResult(
             config=cfg,
             plan=scene.plan,

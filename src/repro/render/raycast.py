@@ -52,7 +52,7 @@ from scipy import ndimage
 
 from .. import perf
 from ..errors import RenderError
-from ..types import Extent3
+from ..types import Extent3, Rect
 from ..volume.grid import VolumeGrid
 from ..volume.transfer import TransferFunction
 from .camera import Camera
@@ -83,11 +83,20 @@ def render_subvolume(
     early_termination: float | None = None,
     chunk_steps: int = DEFAULT_CHUNK_STEPS,
     march: str = "chunked",
+    clip_rect: Rect | None = None,
 ) -> SubImage:
     """Ray-cast ``extent`` of ``volume`` into a full-frame subimage.
 
     ``extent`` defaults to the whole volume.  The returned image is blank
     outside the extent's screen footprint.
+
+    ``clip_rect`` restricts rendering to an image-space window: only
+    rays whose pixels fall inside it march, everything else stays
+    blank.  Because every pixel's ray is independent and samples the
+    same global ``t`` grid, the pixels inside the window are
+    bit-identical to the corresponding pixels of an unclipped render —
+    the invariant the fused render+composite pipeline relies on when it
+    renders tile by tile.
 
     ``early_termination`` is the accumulated-opacity threshold at which a
     ray stops marching.  ``None`` (the default) means *exact*: rays stop
@@ -118,6 +127,8 @@ def render_subvolume(
         return image
 
     footprint = camera.footprint_rect(extent.corners())
+    if clip_rect is not None:
+        footprint = footprint.intersect(clip_rect)
     if footprint.is_empty:
         return image
 

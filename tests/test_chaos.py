@@ -43,10 +43,14 @@ pytestmark = pytest.mark.chaos
 #: Paper methods plus a sample of schedule × codec combos, so fault
 #: handling is exercised through the generic engine too (radix-k keeps
 #: its default binary radix here: degraded reruns fold onto P/2 ranks
-#: and the effective radix must adapt).
+#: and the effective radix must adapt).  The tile-routed entry runs the
+#: barrier-free engine through the same fault matrix: degradation
+#: rebuilds the tile map over the survivors, and checkpoint-resume
+#: falls back down the recovery lattice (no stage boundaries).
 METHODS = (
     "bs", "bsbr", "bslc", "bsbrc",
     "radix-k:rect-rle", "binary-swap:rle", "sectioned:raw",
+    "tile-routed:rect-rle",
 )
 BACKENDS = ("sim", "mp")
 NUM_RANKS = 4

@@ -217,7 +217,7 @@ class TestHardwareBackendsRejectTopologies:
     @pytest.mark.parametrize("backend_cls", [MPBackend, MPIBackend])
     def test_non_flat_network_rejected(self, backend_cls):
         net = FatTreeNetwork(IDEALIZED, radix=2)
-        with pytest.raises(ConfigurationError, match="sim backend"):
+        with pytest.raises(ConfigurationError, match="--backend 'sim'"):
             backend_cls().run(2, lambda ctx: None, network=net)
 
     @pytest.mark.parametrize("backend_cls", [MPBackend, MPIBackend])
