@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-scale bench-tile chaos grid soak verify lint results quick clean
+.PHONY: install test bench bench-quick bench-scale bench-tile chaos explore explore-smoke grid soak verify lint results quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -36,6 +36,34 @@ bench-tile:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_chaos.py -q \
 		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo --timeout=120 --timeout-method=signal)
+
+# Schedule exploration: 200 seeded random interleavings of the canonical
+# crash+delay scenario, each classified bit-identical-or-declared-outcome
+# against the deterministic baseline; failing interleavings save
+# replayable repro.sched-trace/1 files under results/sched-traces/.
+explore:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli --out results explore \
+		--method binary-swap:raw --ranks 8 --fault-plan default \
+		--policy random --interleavings 200
+
+# Bounded CI variant: random walks + the adversarial rotation over both
+# the stage-structured and the tile-routed planes (~64 interleavings
+# total), plus the exploration unit suite.
+explore-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_explore.py -q \
+		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo --timeout=300 --timeout-method=signal)
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli --out results explore \
+		--method binary-swap:raw --ranks 8 --fault-plan default \
+		--policy random --interleavings 24
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli --out results explore \
+		--method binary-swap:raw --ranks 8 --fault-plan default \
+		--policy adversarial --interleavings 8
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli --out results explore \
+		--method tile-routed:rle --ranks 8 --fault-plan default \
+		--policy random --interleavings 24
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli --out results explore \
+		--method tile-routed:rle --ranks 8 --fault-plan default \
+		--policy adversarial --interleavings 8
 
 # Nightly soak: loop the chaos + recovery suites on fresh seed windows
 # for SOAK_MINUTES (default 20), saving failing fault plans as JSON

@@ -85,7 +85,7 @@ from .volume import (
     recursive_bisect,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BACKENDS",

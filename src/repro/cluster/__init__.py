@@ -51,7 +51,28 @@ from .protocol import (
     drive,
     encode_payload,
 )
-from .run_timeline import TIMELINE_SCHEMA, RunTimeline
+from .explore import (
+    EXPLORE_REPORT_SCHEMA,
+    Explorer,
+    ExploreReport,
+    ExploreScenario,
+    InterleavingResult,
+    default_fault_plan,
+)
+from .run_timeline import TIMELINE_SCHEMA, RunTimeline, schedule_meta
+from .schedule_policy import (
+    ADVERSARIAL_MODES,
+    POLICIES,
+    SCHED_TRACE_SCHEMA,
+    AdversarialPolicy,
+    DeterministicPolicy,
+    ForcedPrefixPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    SchedulePolicy,
+    load_trace,
+    make_policy,
+)
 from .simulator import Simulator, TraceEvent
 from .stats import PRE_STAGE, RankStats, RunResult, StageStats, merge_counters
 from .topology import (
@@ -67,9 +88,27 @@ from .topology import (
 )
 
 __all__ = [
+    "ADVERSARIAL_MODES",
     "ANY_TAG",
+    "AdversarialPolicy",
     "BACKENDS",
     "Backend",
+    "DeterministicPolicy",
+    "EXPLORE_REPORT_SCHEMA",
+    "ExploreReport",
+    "ExploreScenario",
+    "Explorer",
+    "ForcedPrefixPolicy",
+    "InterleavingResult",
+    "POLICIES",
+    "RandomPolicy",
+    "ReplayPolicy",
+    "SCHED_TRACE_SCHEMA",
+    "SchedulePolicy",
+    "default_fault_plan",
+    "load_trace",
+    "make_policy",
+    "schedule_meta",
     "BackendRunResult",
     "BarrierOp",
     "BaseRankContext",

@@ -129,6 +129,7 @@ class Backend(abc.ABC):
         heartbeat: Optional[float] = None,
         network=None,
         engine: Optional[str] = None,
+        schedule_policy=None,
     ) -> BackendRunResult:
         """Run ``program(ctx, *args)`` on ``num_ranks`` ranks.
 
@@ -143,7 +144,11 @@ class Backend(abc.ABC):
         :class:`~repro.cluster.model.Network` topology) and ``engine``
         (``"event"``/``"lockstep"`` scheduler choice) are
         simulator-only; real transports reject a non-flat network since
-        they cannot model one.
+        they cannot model one.  ``schedule_policy`` (a
+        :class:`~repro.cluster.schedule_policy.SchedulePolicy`) hands
+        the simulator's residual event-ordering freedom to the schedule
+        explorer; real transports reject exploring policies — their
+        delivery order comes from real hardware, not a pluggable hook.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -170,6 +175,7 @@ class SimBackend(Backend):
         heartbeat: Optional[float] = None,
         network=None,
         engine: Optional[str] = None,
+        schedule_policy=None,
     ) -> BackendRunResult:
         if model is None:
             raise ConfigurationError(
@@ -181,6 +187,7 @@ class SimBackend(Backend):
             trace=trace,
             network=network,
             engine="event" if engine is None else engine,
+            policy=schedule_policy,
         )
         result = simulator.run(lambda ctx: program(ctx, *args))
         return BackendRunResult(
@@ -215,10 +222,12 @@ class MPBackend(Backend):
         heartbeat: Optional[float] = None,
         network=None,
         engine: Optional[str] = None,
+        schedule_policy=None,
     ) -> BackendRunResult:
         from .mp_backend import DEFAULT_TIMEOUT, HEARTBEAT_INTERVAL, run_rank_programs_mp
 
         _require_flat_network(self.name, network)
+        _require_deterministic_schedule(self.name, schedule_policy)
 
         result = run_rank_programs_mp(
             num_ranks,
@@ -263,12 +272,14 @@ class MPIBackend(Backend):
         heartbeat: Optional[float] = None,
         network=None,
         engine: Optional[str] = None,
+        schedule_policy=None,
     ) -> BackendRunResult:
         from .. import perf
         from .mpi_backend import MPIRankContext, require_mpi
         from .protocol import drive
 
         _require_flat_network(self.name, network)
+        _require_deterministic_schedule(self.name, schedule_policy)
         require_mpi()
         ctx = MPIRankContext()
         if ctx.size != num_ranks:
@@ -308,6 +319,27 @@ def _require_flat_network(backend_name: str, network) -> None:
             f"need a simulated interconnect — rerun with --backend "
             f"{' or '.join(repr(n) for n in supported)}, or drop --topology "
             f"to use the real network"
+        )
+
+
+def _require_deterministic_schedule(backend_name: str, policy) -> None:
+    """Real transports cannot explore orderings: reject early.
+
+    Their delivery order is decided by real hardware; only the
+    simulator exposes pluggable ordering freedom.  ``None`` and
+    non-exploring (deterministic) policies pass through — they change
+    nothing anywhere.
+    """
+    if policy is not None and getattr(policy, "explores_any", False):
+        supported = sorted(
+            name for name, cls in BACKENDS.items() if cls.name == "sim"
+        )
+        raise ConfigurationError(
+            f"backend {backend_name!r} runs on real hardware and cannot "
+            f"apply the exploring schedule policy {policy.name!r}; schedule "
+            f"exploration needs the simulated engine — rerun with --backend "
+            f"{' or '.join(repr(n) for n in supported)}, or use the "
+            f"'deterministic' policy"
         )
 
 

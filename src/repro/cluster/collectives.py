@@ -94,6 +94,8 @@ async def route_tiles(
     ctx,
     owners,
     outgoing: "dict[int, tuple[Any, int]]",
+    *,
+    push_order=None,
 ) -> "dict[int, list]":
     """One-shot tile routing: push ``outgoing`` tiles, collect owned ones.
 
@@ -104,12 +106,29 @@ async def route_tiles(
     (:class:`TileRouter`) is what the tile engine drives so encoding and
     communication overlap; this wrapper is the collective-shaped entry
     point for everything else.
+
+    ``push_order`` permutes the order outgoing tiles are pushed
+    (default: ascending tile id) — a callable mapping the sorted tile-id
+    list to the order to send.  On the simulator any permutation yields
+    bit-identical results (the matcher pairs by exact tag; the schedule
+    explorer's property tests exercise exactly this).  On the strictly
+    FIFO multiprocessing substrate only the default ascending order
+    honours the :class:`TileRouter` ordering contract — leave it alone
+    there.
     """
     owners = tuple(owners)
     router = TileRouter(ctx, owners)
     owned = [t for t, owner in enumerate(owners) if owner == ctx.rank]
     await router.post_receives(owned)
-    for tile_id in sorted(outgoing):
+    order = sorted(outgoing)
+    if push_order is not None:
+        order = list(push_order(order))
+        if sorted(order) != sorted(outgoing):
+            raise ConfigurationError(
+                "push_order must permute the outgoing tile ids, "
+                f"got {order!r} for {sorted(outgoing)!r}"
+            )
+    for tile_id in order:
         payload, nbytes = outgoing[tile_id]
         await router.push(tile_id, payload, nbytes)
     received = {tile_id: await router.collect(tile_id) for tile_id in owned}

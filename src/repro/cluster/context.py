@@ -68,6 +68,16 @@ class RankContext(BaseRankContext):
     def stats(self) -> RankStats:
         return self._proc.stats
 
+    # ---- fault injection ----------------------------------------------------
+    def install_fault_injector(self, injector) -> None:
+        """Install the injector, wiring the simulator's schedule policy
+        into its probabilistic firing points when the policy explores
+        fault freedom (see :attr:`RankFaultInjector.decider`)."""
+        super().install_fault_injector(injector)
+        policy = getattr(self._simulator, "policy", None)
+        if injector is not None and policy is not None and policy.explores_faults:
+            injector.decider = policy.fault_decision
+
     # ---- staging ------------------------------------------------------------
     def _set_stage(self, stage: int) -> None:
         self._proc.current_stage = int(stage)

@@ -1,0 +1,605 @@
+"""Systematic interleaving exploration over the simulated cluster.
+
+The discrete-event simulator is deterministic, which makes every test a
+test of *one* interleaving.  Real clusters do not schedule that kindly:
+same-time events race, ANY_TAG receives match whichever message the
+fabric delivered first, and probabilistic faults fire or don't.  This
+module searches that residual freedom.  An :class:`Explorer` runs N
+interleavings of one *scenario* (a compositing method × a fault plan ×
+a rank count), each driven by a
+:class:`~repro.cluster.schedule_policy.SchedulePolicy`, and classifies
+every run against a deterministic baseline:
+
+* a completed non-degraded run must be **bit-identical** — pixels and
+  the integer protocol counters (bytes/messages per stage) must equal
+  the fault-free reference exactly (virtual-time floats may differ: a
+  reordered link serialisation shifts timings but never payloads);
+* a run absorbed by the recovery subsystem must land in a **declared
+  outcome** (:data:`~repro.cluster.recovery.DECLARED_OUTCOMES`) with a
+  self-consistent image — degraded pixels are validated against the
+  survivor-composite reference;
+* a typed abort (:class:`~repro.errors.RankFailedError` lineage) counts
+  as the declared ``aborted`` outcome only when the plan contains
+  destructive rules that can cause it;
+* anything else — deadlock, livelock past the event budget, wrong
+  pixels, counter drift, an unexpected exception — is a **failure**:
+  the run's decision trace (schema ``repro.sched-trace/1``) is saved
+  and :func:`Explorer.replay` reproduces the exact interleaving from it.
+
+Drivers: ``random`` walks (one seeded
+:class:`~repro.cluster.schedule_policy.RandomPolicy` per interleaving),
+the ``adversarial`` rotation (every mode in
+:data:`~repro.cluster.schedule_policy.ADVERSARIAL_MODES`), and ``dfs``
+— bounded systematic enumeration that re-runs with progressively longer
+forced decision prefixes
+(:class:`~repro.cluster.schedule_policy.ForcedPrefixPolicy`), expanding
+unexplored siblings depth-first and deduplicating revisited decision
+states by digest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import (
+    ConfigurationError,
+    DeadlockError,
+    LivelockError,
+    RankFailedError,
+    ReproError,
+)
+from .faults import FaultPlan, FaultRule
+from .recovery import DECLARED_OUTCOMES
+from .schedule_policy import (
+    ADVERSARIAL_MODES,
+    AdversarialPolicy,
+    DeterministicPolicy,
+    ForcedPrefixPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    SchedulePolicy,
+    load_trace,
+    make_policy,
+)
+
+__all__ = [
+    "EXPLORE_REPORT_SCHEMA",
+    "DEFAULT_EVENT_BUDGET",
+    "ExploreScenario",
+    "InterleavingResult",
+    "ExploreReport",
+    "Explorer",
+    "default_fault_plan",
+]
+
+#: Schema identifier of the exploration report document.
+EXPLORE_REPORT_SCHEMA = "repro.explore-report/1"
+
+#: Default per-interleaving simulator-step cap (livelock guard).  Small
+#: scenarios take a few thousand steps; two orders of magnitude of
+#: headroom keeps honest runs clear while catching genuine livelock
+#: long before the simulator's own ``max_steps`` valve.
+DEFAULT_EVENT_BUDGET = 500_000
+
+#: Classification labels a single interleaving can land on.  The first
+#: four are successes (bit-identical or a declared recovery outcome);
+#: the rest are failures that save a replayable trace.
+CLASSIFICATIONS = (
+    "identical",
+    "degraded",
+    "resumed",
+    "aborted",
+    "wrong-pixels",
+    "counter-mismatch",
+    "deadlock",
+    "livelock",
+    "replay-divergence",
+    "unexpected-error",
+)
+
+#: Fault kinds that can legitimately end a run in a typed abort.
+_DESTRUCTIVE_KINDS = frozenset({"crash", "drop", "corrupt"})
+
+
+def default_fault_plan(num_ranks: int = 8, *, seed: int = 7) -> FaultPlan:
+    """The canonical crash+delay chaos plan for exploration sweeps.
+
+    A coin-flip crash on the last rank at compositing stage 0 (the
+    probabilistic rule is a genuine *fault* decision point for the
+    policies — and stage 0 exists for every method, including the
+    tile-routed engine which books all compositing there) plus a
+    deterministic send delay on rank 1 — enough to drag the recovery
+    subsystem into the explored state space.
+    """
+    victim = max(0, num_ranks - 1)
+    return FaultPlan(
+        rules=(
+            FaultRule(kind="crash", rank=victim, stage=0, probability=0.5),
+            FaultRule(kind="delay", rank=1 % num_ranks, seconds=5e-4),
+        ),
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class ExploreScenario:
+    """What to explore: one method × fault plan × cluster size."""
+
+    method: str = "binary-swap:raw"
+    num_ranks: int = 8
+    fault_plan: Optional[FaultPlan] = None
+    dataset: str = "engine_low"
+    image_size: int = 32
+    volume_shape: tuple[int, int, int] = (32, 32, 16)
+    recovery: str = "degrade"
+    method_options: dict[str, Any] = field(default_factory=dict)
+
+    def label(self) -> str:
+        plan = "clean"
+        if self.fault_plan is not None and self.fault_plan.rules:
+            plan = "+".join(sorted({r.kind for r in self.fault_plan.rules}))
+        return f"{self.method}@P{self.num_ranks}/{plan}"
+
+    def to_meta(self) -> dict[str, Any]:
+        """Self-contained scenario record embedded in every saved trace,
+        so ``--replay-trace`` needs nothing but the trace file."""
+        meta: dict[str, Any] = {
+            "method": self.method,
+            "num_ranks": self.num_ranks,
+            "dataset": self.dataset,
+            "image_size": self.image_size,
+            "volume_shape": list(self.volume_shape),
+            "recovery": self.recovery,
+            "method_options": dict(self.method_options),
+        }
+        if self.fault_plan is not None:
+            meta["fault_plan"] = self.fault_plan.to_dict()
+        return meta
+
+    @classmethod
+    def from_meta(cls, meta: dict[str, Any]) -> "ExploreScenario":
+        plan = meta.get("fault_plan")
+        return cls(
+            method=str(meta.get("method", "binary-swap:raw")),
+            num_ranks=int(meta.get("num_ranks", 8)),
+            fault_plan=FaultPlan.from_dict(plan) if plan else None,
+            dataset=str(meta.get("dataset", "engine_low")),
+            image_size=int(meta.get("image_size", 32)),
+            volume_shape=tuple(meta.get("volume_shape", (32, 32, 16))),
+            recovery=str(meta.get("recovery", "degrade")),
+            method_options=dict(meta.get("method_options", {})),
+        )
+
+    def run_config(self):
+        from ..pipeline.config import RunConfig
+
+        return RunConfig(
+            dataset=self.dataset,
+            image_size=self.image_size,
+            num_ranks=self.num_ranks,
+            method=self.method,
+            volume_shape=self.volume_shape,
+            recovery=self.recovery,
+            method_options=dict(self.method_options),
+        )
+
+    @property
+    def destructive(self) -> bool:
+        """Whether the plan can legitimately abort/degrade a run."""
+        return self.fault_plan is not None and any(
+            r.kind in _DESTRUCTIVE_KINDS for r in self.fault_plan.rules
+        )
+
+
+@dataclass
+class InterleavingResult:
+    """One explored interleaving, classified."""
+
+    index: int
+    policy: str
+    classification: str
+    decisions: int
+    outcome: Optional[str] = None
+    detail: str = ""
+    trace_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.classification in ("identical",) + DECLARED_OUTCOMES
+
+    def to_dict(self) -> dict[str, Any]:
+        out = {
+            "index": self.index,
+            "policy": self.policy,
+            "classification": self.classification,
+            "decisions": self.decisions,
+        }
+        if self.outcome is not None:
+            out["outcome"] = self.outcome
+        if self.detail:
+            out["detail"] = self.detail
+        if self.trace_path is not None:
+            out["trace"] = self.trace_path
+        return out
+
+
+@dataclass
+class ExploreReport:
+    """Aggregate of one exploration sweep (JSON: ``repro.explore-report/1``)."""
+
+    scenario: ExploreScenario
+    results: list[InterleavingResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[InterleavingResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.results:
+            counts[r.classification] = counts.get(r.classification, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": EXPLORE_REPORT_SCHEMA,
+            "scenario": self.scenario.to_meta(),
+            "interleavings": len(self.results),
+            "ok": self.ok,
+            "counts": self.counts(),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
+
+
+def _pixels(image) -> np.ndarray:
+    """A subimage's planes as one array — the pixel-identity surface."""
+    return np.stack([image.intensity, image.opacity]).copy()
+
+
+def _int_counters(timeline) -> list[tuple]:
+    """The integer protocol counters of a run — the bit-identity surface.
+
+    Floats (comp/comm/wait seconds) are deliberately excluded: policy
+    reorderings shift link-serialisation timings without changing a
+    single payload byte, and the makespan difference is *expected*.
+    """
+    out = []
+    for rs in timeline.rank_stats:
+        for st in rs.sorted_stages():
+            out.append(
+                (
+                    rs.rank,
+                    st.stage,
+                    st.bytes_sent,
+                    st.bytes_recv,
+                    st.msgs_sent,
+                    st.msgs_recv,
+                    tuple(sorted(st.counters.items())),
+                )
+            )
+    return out
+
+
+@dataclass
+class _Baseline:
+    """Deterministic oracle of one scenario."""
+
+    pixels: np.ndarray
+    counters: list[tuple]
+    outcome: str
+    decisions: int
+
+
+class Explorer:
+    """Run and classify many interleavings of one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        What to explore.
+    trace_dir:
+        Directory for saved decision traces.  Failing interleavings
+        always save a trace here (created on demand); pass
+        ``keep_all=True`` to save every explored trace.
+    event_budget:
+        Per-interleaving simulator-step cap; exceeding it classifies
+        the run as ``livelock``.
+    keep_all:
+        Save traces of passing interleavings too (soak archaeology).
+    """
+
+    def __init__(
+        self,
+        scenario: ExploreScenario,
+        *,
+        trace_dir: Optional[str] = None,
+        event_budget: int = DEFAULT_EVENT_BUDGET,
+        keep_all: bool = False,
+    ):
+        self.scenario = scenario
+        self.trace_dir = trace_dir
+        self.event_budget = int(event_budget)
+        self.keep_all = bool(keep_all)
+        self._baseline: Optional[_Baseline] = None
+        self._reference_pixels: Optional[np.ndarray] = None
+
+    # ---- plumbing ----------------------------------------------------------
+    def _execute(self, policy: SchedulePolicy):
+        """One full pipeline run of the scenario under ``policy``."""
+        from ..pipeline.system import SortLastSystem
+
+        policy.event_budget = self.event_budget
+        system = SortLastSystem(self.scenario.run_config())
+        return system.run(
+            fault_plan=self.scenario.fault_plan,
+            schedule_policy=policy,
+        )
+
+    def baseline(self) -> _Baseline:
+        """The deterministic oracle run (memoized).
+
+        Two runs pin it down: the scenario under the deterministic
+        policy with its fault plan (fixing the declared outcome every
+        explored run is compared against), and — when that run degraded
+        or the plan is destructive — a fault-free clean run whose pixels
+        are the bit-identity reference for non-degraded completions.
+        """
+        if self._baseline is not None:
+            return self._baseline
+        policy = DeterministicPolicy()
+        result = self._execute(policy)
+        outcome = result.timeline.meta["outcome"]
+        if outcome == "clean":
+            clean_pixels = _pixels(result.final_image)
+        else:
+            clean_pixels = self._clean_reference()
+        self._baseline = _Baseline(
+            pixels=clean_pixels,
+            counters=_int_counters(result.timeline),
+            outcome=outcome,
+            decisions=len(policy.decisions),
+        )
+        return self._baseline
+
+    def _clean_reference(self) -> np.ndarray:
+        """Pixels of the scenario run with no faults at all."""
+        if self._reference_pixels is None:
+            from ..pipeline.system import SortLastSystem
+
+            clean = SortLastSystem(self.scenario.run_config()).run()
+            self._reference_pixels = _pixels(clean.final_image)
+        return self._reference_pixels
+
+    def _trace_file(self, policy: SchedulePolicy, index: int) -> Optional[str]:
+        if self.trace_dir is None:
+            return None
+        slug = policy.name.replace(":", "-").replace("/", "-")
+        return os.path.join(self.trace_dir, f"trace-{index:04d}-{slug}.json")
+
+    def _save_trace(self, policy: SchedulePolicy, path: Optional[str]) -> Optional[str]:
+        if path is None:
+            return None
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        return policy.save_trace(
+            path,
+            meta={"scenario": self.scenario.to_meta(), "event_budget": self.event_budget},
+        )
+
+    # ---- classification ----------------------------------------------------
+    def classify(self, policy: SchedulePolicy, index: int = 0) -> InterleavingResult:
+        """Run one interleaving under ``policy`` and classify it.
+
+        On failure the decision trace is saved (when a ``trace_dir`` is
+        configured) and its path lands on the result *and* inside any
+        :class:`~repro.errors.DeadlockError` raised mid-run — the
+        trace path is pre-assigned before execution for exactly that.
+        """
+        base = self.baseline()
+        trace_path = self._trace_file(policy, index)
+        if trace_path is not None:
+            # Pre-assign so an in-flight DeadlockError can name the
+            # file its decisions will be saved to.
+            policy.trace_path = trace_path
+
+        classification, outcome, detail = self._run_classified(policy, base)
+        failed = classification not in ("identical",) + DECLARED_OUTCOMES
+        saved = None
+        if failed or self.keep_all:
+            saved = self._save_trace(policy, trace_path)
+        elif trace_path is not None:
+            policy.trace_path = None  # nothing written; drop the stale path
+        return InterleavingResult(
+            index=index,
+            policy=policy.name,
+            classification=classification,
+            decisions=len(policy.decisions),
+            outcome=outcome,
+            detail=detail,
+            trace_path=saved,
+        )
+
+    def _run_classified(
+        self, policy: SchedulePolicy, base: _Baseline
+    ) -> tuple[str, Optional[str], str]:
+        destructive = self.scenario.destructive
+        try:
+            result = self._execute(policy)
+        except DeadlockError as err:
+            return "deadlock", None, str(err)
+        except LivelockError as err:
+            return "livelock", None, str(err)
+        except ConfigurationError as err:
+            if isinstance(policy, ReplayPolicy):
+                return "replay-divergence", None, str(err)
+            return "unexpected-error", None, f"{type(err).__name__}: {err}"
+        except RankFailedError as err:
+            if destructive:
+                # The abort lattice floor: a declared outcome, the
+                # run terminated with a typed error naming the rank.
+                return "aborted", "aborted", f"{type(err).__name__}: {err}"
+            return "unexpected-error", None, f"{type(err).__name__}: {err}"
+        except ReproError as err:
+            return "unexpected-error", None, f"{type(err).__name__}: {err}"
+
+        outcome = result.timeline.meta["outcome"]
+        if outcome not in DECLARED_OUTCOMES:  # pragma: no cover - safety net
+            return "unexpected-error", outcome, f"undeclared outcome {outcome!r}"
+        if outcome == "degraded":
+            # Partial-but-valid: pixels must match the survivor
+            # composite (allclose — the degraded reference composites
+            # in float space).
+            ref = result.reference_image()
+            if not np.allclose(_pixels(result.final_image), _pixels(ref), atol=1e-5):
+                return "wrong-pixels", outcome, "degraded image != survivor composite"
+            return "degraded", outcome, ""
+        # Clean or losslessly recovered: full bit-identity against the
+        # fault-free reference.
+        pixels = _pixels(result.final_image)
+        if not np.array_equal(pixels, base.pixels):
+            delta = float(np.max(np.abs(pixels - base.pixels)))
+            return "wrong-pixels", outcome, f"max pixel delta {delta:g}"
+        if outcome == "clean" and not (destructive and base.outcome != "clean"):
+            counters = _int_counters(result.timeline)
+            if counters != base.counters:
+                return "counter-mismatch", outcome, _counter_diff(base.counters, counters)
+        return ("identical" if outcome == "clean" else outcome), outcome, ""
+
+    # ---- drivers -----------------------------------------------------------
+    def run_random(self, interleavings: int, *, seed: int = 0) -> ExploreReport:
+        """Seeded random walks: interleaving ``i`` uses seed ``seed+i``."""
+        report = ExploreReport(scenario=self.scenario)
+        for i in range(int(interleavings)):
+            report.results.append(self.classify(RandomPolicy(seed + i), index=i))
+        return report
+
+    def run_adversarial(self, interleavings: Optional[int] = None) -> ExploreReport:
+        """Rotate through the adversarial modes (default: one run each)."""
+        count = len(ADVERSARIAL_MODES) if interleavings is None else int(interleavings)
+        report = ExploreReport(scenario=self.scenario)
+        for i in range(count):
+            mode = ADVERSARIAL_MODES[i % len(ADVERSARIAL_MODES)]
+            report.results.append(self.classify(AdversarialPolicy(mode), index=i))
+        return report
+
+    def run_dfs(self, interleavings: int) -> ExploreReport:
+        """Bounded systematic enumeration of decision prefixes.
+
+        Depth-first over the decision tree: run the default order, then
+        for each recorded decision with unexplored siblings push a
+        forced prefix ``decisions[:d] + [alt]`` and recurse.  A visited
+        set over ``(depth, state-digest, alt)`` prunes re-derivations of
+        the same decision-point state reached along different prefixes;
+        ``interleavings`` bounds the total number of runs.
+        """
+        report = ExploreReport(scenario=self.scenario)
+        seen: set[tuple] = set()
+        # Each frontier entry is a forced choice prefix (tuple of ints).
+        frontier: list[tuple[int, ...]] = [()]
+        index = 0
+        while frontier and index < int(interleavings):
+            prefix = frontier.pop()
+            policy = ForcedPrefixPolicy(prefix)
+            report.results.append(self.classify(policy, index=index))
+            index += 1
+            # Expand siblings of every decision at or past the forced
+            # prefix, deepest first so the pop order is depth-first.
+            for depth in range(len(policy.decisions) - 1, len(prefix) - 1, -1):
+                rec = policy.decisions[depth]
+                taken = int(rec["choice"])
+                state = rec.get("state", (rec.get("rank"), rec.get("rule")))
+                for alt in range(int(rec["n"])):
+                    if alt == taken:
+                        continue
+                    key = (depth, state, alt)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    forced = tuple(
+                        int(d["choice"]) for d in policy.decisions[:depth]
+                    ) + (alt,)
+                    frontier.append(forced)
+        return report
+
+    def run_policy_spec(
+        self, spec: str, interleavings: int, *, seed: int = 0
+    ) -> ExploreReport:
+        """Dispatch on a CLI-style policy spec (see
+        :func:`~repro.cluster.schedule_policy.make_policy`)."""
+        head = str(spec).partition(":")[0]
+        if head == "random":
+            base_seed = seed
+            _, _, arg = str(spec).partition(":")
+            if arg:
+                base_seed = int(arg)
+            return self.run_random(interleavings, seed=base_seed)
+        if head == "adversarial":
+            _, _, arg = str(spec).partition(":")
+            if arg:
+                report = ExploreReport(scenario=self.scenario)
+                for i in range(int(interleavings)):
+                    report.results.append(
+                        self.classify(AdversarialPolicy(arg), index=i)
+                    )
+                return report
+            return self.run_adversarial(interleavings)
+        if head == "dfs":
+            return self.run_dfs(interleavings)
+        if head == "deterministic":
+            report = ExploreReport(scenario=self.scenario)
+            for i in range(int(interleavings)):
+                report.results.append(self.classify(DeterministicPolicy(), index=i))
+            return report
+        # Unknown spec: let make_policy raise the canonical error.
+        make_policy(spec)
+        raise ConfigurationError(f"policy {spec!r} has no exploration driver")
+
+    # ---- replay ------------------------------------------------------------
+    def replay(self, trace_path: str, *, strict: bool = True) -> InterleavingResult:
+        """Re-run the exact interleaving a saved trace records."""
+        policy = ReplayPolicy(load_trace(trace_path), strict=strict)
+        return self.classify(policy, index=0)
+
+    @classmethod
+    def from_trace(
+        cls, trace_path: str, *, trace_dir: Optional[str] = None, **kwargs
+    ) -> "Explorer":
+        """Build an explorer for the scenario a saved trace embeds."""
+        trace = load_trace(trace_path)
+        meta = trace.get("meta", {})
+        scenario_meta = meta.get("scenario")
+        if not scenario_meta:
+            raise ConfigurationError(
+                f"trace {trace_path!r} carries no scenario metadata; "
+                "pass the scenario explicitly"
+            )
+        explorer = cls(
+            ExploreScenario.from_meta(scenario_meta),
+            trace_dir=trace_dir,
+            **kwargs,
+        )
+        budget = meta.get("event_budget")
+        if budget:
+            explorer.event_budget = int(budget)
+        return explorer
+
+
+def _counter_diff(expected: list[tuple], got: list[tuple]) -> str:
+    """First differing integer-counter row, for failure messages."""
+    for exp, act in zip(expected, got):
+        if exp != act:
+            return f"rank {exp[0]} stage {exp[1]}: expected {exp[2:]}, got {act[2:]}"
+    return f"counter row count {len(expected)} != {len(got)}"

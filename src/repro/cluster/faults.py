@@ -357,6 +357,16 @@ class RankFaultInjector:
         self.plan = plan
         self.rank = rank
         self.events: list = sink if sink is not None else []
+        #: Optional schedule-exploration override for *probabilistic*
+        #: firing points: ``decider(rank, rule_index, kind, probability,
+        #: default) -> bool``.  Consulted only where the plan has genuine
+        #: freedom (0 < probability < 1) and always *after* the rule's
+        #: seeded RNG drew its default — so plan RNG state is identical
+        #: whatever the decider answers, and deterministic rules stay
+        #: deterministic.  Wired by the simulator's rank context when a
+        #: :class:`~repro.cluster.schedule_policy.SchedulePolicy`
+        #: explores faults.
+        self.decider = None
         self._slots = [
             _Slot(index, rule, plan.seed, rank)
             for index, rule in plan.rules_for(rank)
@@ -370,8 +380,16 @@ class RankFaultInjector:
         rule = slot.rule
         if rule.max_applications and slot.applied >= rule.max_applications:
             return False
-        if rule.probability < 1.0 and slot.rng.random() >= rule.probability:
-            return False
+        if rule.probability < 1.0:
+            fires = slot.rng.random() < rule.probability
+            if self.decider is not None:
+                fires = bool(
+                    self.decider(
+                        self.rank, slot.index, rule.kind, rule.probability, fires
+                    )
+                )
+            if not fires:
+                return False
         slot.applied += 1
         return True
 

@@ -66,6 +66,7 @@ from .stats import RankStats
 __all__ = [
     "RECOVERY_POLICIES",
     "RESUME_LATEST",
+    "DECLARED_OUTCOMES",
     "RecoveryPolicy",
     "CheckpointSnapshot",
     "CheckpointStore",
@@ -74,11 +75,33 @@ __all__ = [
     "StageCheckpointer",
     "RecoveryRuntime",
     "RespawnPlan",
+    "run_outcome",
 ]
 
 #: The policy lattice, weakest first; each policy may fall back to any
 #: policy to its left when its own mechanism is inapplicable/exhausted.
 RECOVERY_POLICIES = ("abort", "degrade", "respawn", "checkpoint-resume")
+
+#: Every way a (possibly faulted) run may legally end under the lattice:
+#: ``clean`` — completed with the full-fidelity image and no recovery;
+#: ``resumed`` — a failure was absorbed losslessly (checkpoint resume or
+#: in-place respawn); ``degraded`` — survivors carry a partial-but-valid
+#: image; ``aborted`` — a typed :class:`~repro.errors.ReproError`
+#: surfaced.  The schedule explorer asserts every interleaving of a
+#: faulted scenario lands on one of these (matching the plan's declared
+#: possibilities) or flags the interleaving as a real ordering bug.
+DECLARED_OUTCOMES = ("clean", "resumed", "degraded", "aborted")
+
+
+def run_outcome(*, degraded: bool, recovered: bool) -> str:
+    """Name a completed run's outcome on the :data:`DECLARED_OUTCOMES`
+    lattice (``aborted`` never reaches here — it is an exception path).
+    """
+    if degraded:
+        return "degraded"
+    if recovered:
+        return "resumed"
+    return "clean"
 
 #: ``resume`` sentinel: restore the rank's newest checkpoint (mp respawn).
 RESUME_LATEST = "latest"

@@ -31,6 +31,26 @@ collects the per-rank fault records
 (:attr:`~repro.cluster.stats.RankStats.events`) plus any orchestrator
 events (failure detection, degradation) — the audit trail a chaos run
 leaves behind; ``meta["degraded"]`` marks a partial-but-valid image.
+
+Schedule-exploration meta keys
+------------------------------
+Timelines produced by :class:`~repro.pipeline.system.SortLastSystem`
+always carry ``meta["outcome"]`` — one of
+:data:`~repro.cluster.recovery.DECLARED_OUTCOMES` (``"clean"``,
+``"resumed"``, ``"degraded"``; ``"aborted"`` runs raise instead of
+returning a timeline).  When the run was driven by a
+:class:`~repro.cluster.schedule_policy.SchedulePolicy` (the explorer's
+ordering hook), :func:`schedule_meta` adds:
+
+* ``meta["schedule_policy"]`` — the policy name (``"random:17"``,
+  ``"adversarial:lifo"``, ...);
+* ``meta["schedule_decisions"]`` — how many recorded decisions the
+  whole run took (accumulated across recovery re-runs);
+* ``meta["schedule_trace"]`` — path of the saved
+  ``repro.sched-trace/1`` decision trace, when one was written.  This
+  mirrors the trace reference embedded in
+  :class:`~repro.errors.DeadlockError`, so a timeline alone is enough
+  to find the replayable schedule that produced it.
 """
 
 from __future__ import annotations
@@ -43,9 +63,28 @@ from ..errors import ConfigurationError
 from .simulator import TraceEvent
 from .stats import RankStats, RunResult, StageStats
 
-__all__ = ["RunTimeline", "TIMELINE_SCHEMA", "tile_latency_metrics"]
+__all__ = ["RunTimeline", "TIMELINE_SCHEMA", "schedule_meta", "tile_latency_metrics"]
 
 TIMELINE_SCHEMA = "repro.run-timeline/1"
+
+
+def schedule_meta(policy) -> dict[str, Any]:
+    """Timeline ``meta`` entries describing the schedule policy of a run.
+
+    ``{}`` when ``policy`` is ``None`` (the default engine ordering);
+    otherwise the policy name and decision count, plus the saved
+    ``repro.sched-trace/1`` path when the policy has one — see the
+    module docstring for the key semantics.
+    """
+    if policy is None:
+        return {}
+    meta: dict[str, Any] = {
+        "schedule_policy": policy.name,
+        "schedule_decisions": len(policy.decisions),
+    }
+    if policy.trace_path is not None:
+        meta["schedule_trace"] = str(policy.trace_path)
+    return meta
 
 
 def tile_latency_metrics(events: Iterable[dict]) -> dict[str, float]:

@@ -44,6 +44,15 @@ and per-rank trace sequences.  The match timings are order-independent
 (every blocking completion is a pure function of the two posts), so the
 only freedom between the engines is *when* a match is discovered, which
 is unobservable in virtual time.
+
+Schedule exploration: the engine's residual ordering freedom —
+same-clock heap ties, the ANY_TAG wildcard's choice among pending
+per-tag channels, and probabilistic fault firings — can be handed to a
+:class:`~repro.cluster.schedule_policy.SchedulePolicy` (``policy=``).
+With no policy (or the deterministic one) nothing changes; an exploring
+policy reorders only within those freedoms and records every decision
+for bit-exact replay.  Exact-tag-before-wildcard precedence and
+per-``(src, dst, tag)`` FIFO are pinned invariants no policy can break.
 """
 
 from __future__ import annotations
@@ -59,6 +68,7 @@ from collections import deque
 from ..errors import (
     ConfigurationError,
     DeadlockError,
+    LivelockError,
     RankFailedError,
     SimulationError,
     WireFormatError,
@@ -77,6 +87,7 @@ from .events import (
     WaitOp,
 )
 from .model import MachineModel, Network
+from .schedule_policy import SchedulePolicy, state_digest
 from .stats import RankStats, RunResult
 
 __all__ = ["Simulator", "TraceEvent", "ENGINES"]
@@ -145,6 +156,13 @@ class Simulator:
     engine:
         ``"event"`` (min-heap scheduler, default) or ``"lockstep"``
         (round-robin reference).  Identical results on the flat network.
+    policy:
+        Optional :class:`~repro.cluster.schedule_policy.SchedulePolicy`
+        consulted at the engine's genuine-freedom points (same-clock
+        ties, multi-channel wildcard matches, probabilistic fault
+        firings).  ``None`` and the deterministic policy run today's
+        order bit-identically.  Exploring policies require the event
+        engine (the lockstep reference has no policy hooks).
     """
 
     def __init__(
@@ -156,12 +174,18 @@ class Simulator:
         max_steps: int = 50_000_000,
         network: Network | None = None,
         engine: str = "event",
+        policy: SchedulePolicy | None = None,
     ):
         if num_ranks < 1:
             raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
         if engine not in ENGINES:
             raise ConfigurationError(
                 f"unknown simulator engine {engine!r}; choose from {ENGINES}"
+            )
+        if policy is not None and policy.explores_any and engine != "event":
+            raise ConfigurationError(
+                f"schedule policy {policy.name!r} explores orderings, which "
+                f"only the event engine supports; rerun with engine='event'"
             )
         self.num_ranks = int(num_ranks)
         self.model = model
@@ -170,6 +194,7 @@ class Simulator:
         self.max_steps = int(max_steps)
         self.network = network
         self.engine = engine
+        self.policy = policy
         self._procs: list[_Proc] = []
         # Nonblocking machinery: FIFO queues of unmatched requests keyed
         # by (src, dst, tag), and a per-rank incoming-link availability
@@ -239,13 +264,69 @@ class Simulator:
         self._heap = []
         for proc in self._procs:
             self._schedule(proc)
+        explore_ties = self.policy is not None and self.policy.explores_ties
         while self._heap:
-            _, _, _, proc = heapq.heappop(self._heap)
-            if proc.state is not _State.READY:
-                continue  # defensively skip a stale entry
+            if explore_ties:
+                proc = self._pop_with_tie_choice()
+                if proc is None:
+                    continue
+            else:
+                _, _, _, proc = heapq.heappop(self._heap)
+                if proc.state is not _State.READY:
+                    continue  # defensively skip a stale entry
             self._advance(proc)
         if self._done_count < self.num_ranks:
             self._raise_deadlock()
+
+    def _pop_with_tie_choice(self) -> "_Proc | None":
+        """Heap pop that lets the schedule policy pick among clock ties.
+
+        Gathers every READY entry sharing the minimum virtual clock —
+        the set of legal next steps — and asks the policy for one;
+        candidates are canonically sorted by ``(rank, seq)`` so index 0
+        is exactly the default heap order.  Unchosen entries go back on
+        the heap untouched.
+        """
+        heap = self._heap
+        entry = heapq.heappop(heap)
+        if entry[3].state is not _State.READY:
+            return None
+        ties = [entry]
+        while heap and heap[0][0] == entry[0]:
+            nxt = heapq.heappop(heap)
+            if nxt[3].state is _State.READY:
+                ties.append(nxt)
+        if len(ties) == 1:
+            return ties[0][3]
+        ties.sort(key=lambda e: (e[1], e[2]))
+        candidates = [{"rank": e[1], "seq": e[2]} for e in ties]
+        index = self.policy.decide("tie", candidates, self._decision_digest())
+        chosen = ties.pop(index)
+        for e in ties:
+            heapq.heappush(heap, e)
+        return chosen[3]
+
+    def _decision_digest(self) -> str:
+        """Stable digest of the schedulable state at a decision point.
+
+        Per-rank clocks/states plus the pending nonblocking queues
+        (keys, depths, head post times) — enough to detect replay
+        divergence and to deduplicate DFS states, cheap enough to
+        compute per decision.
+        """
+        ranks = tuple(
+            (p.rank, p.state.value, p.clock, type(p.pending).__name__)
+            for p in self._procs
+        )
+        sends = tuple(
+            (key, len(q), q[0].post_time)
+            for key, q in sorted(self._pending_isends.items())
+            if q
+        )
+        recvs = tuple(
+            (key, len(q)) for key, q in sorted(self._pending_irecvs.items()) if q
+        )
+        return state_digest((ranks, sends, recvs))
 
     def _schedule(self, proc: _Proc) -> None:
         """Enqueue a READY proc at its current clock (event engine only)."""
@@ -294,6 +375,17 @@ class Simulator:
                 f"exceeded max_steps={self.max_steps}; "
                 "likely an unbounded loop in a rank program"
             )
+        policy = self.policy
+        if (
+            policy is not None
+            and policy.event_budget is not None
+            and self._steps > policy.event_budget
+        ):
+            raise LivelockError(
+                f"interleaving exceeded the event budget "
+                f"({policy.event_budget} steps) under schedule policy "
+                f"{policy.name!r} — classified as livelock"
+            )
 
     def _raise_deadlock(self) -> None:
         blocked = {}
@@ -302,7 +394,17 @@ class Simulator:
             if p.state is _State.BLOCKED:
                 blocked[p.rank] = f"{p.pending!r} (stage {p.current_stage})"
                 last_progress[p.rank] = p.post_time
-        raise DeadlockError(blocked, last_progress=last_progress)
+        sched: dict = {}
+        if self.policy is not None and self.policy.explores_any:
+            # Embed the explored schedule so the hang reproduces from
+            # the error message alone (path when a trace file is
+            # arranged, the inline decision list otherwise).
+            sched = dict(
+                sched_policy=self.policy.name,
+                sched_trace=self.policy.trace_path,
+                sched_decisions=list(self.policy.decisions),
+            )
+        raise DeadlockError(blocked, last_progress=last_progress, **sched)
 
     # ------------------------------------------------------ lockstep engine
     def _lockstep_engine(self) -> None:
@@ -414,25 +516,46 @@ class Simulator:
         self._trace(proc, "post", repr(request))
 
     def _oldest_pending_isend(self, src: int, dst: int) -> "Request | None":
-        """Pop the oldest pending isend on the ``src → dst`` channel.
+        """Pop the head of one pending ``src → dst`` isend channel.
 
-        The ANY_TAG wildcard match: deque heads are the oldest per tag,
-        so the overall oldest is the head with the smallest post time
-        (ties broken by tag for determinism).
+        The ANY_TAG wildcard match.  Two invariants are pinned — no
+        schedule policy can relax them:
+
+        * **Exact before wildcard.**  An arriving isend is offered to
+          exact-tag irecvs first (see :meth:`_post_nonblocking`); this
+          wildcard path only ever sees messages no exact receive wants.
+        * **FIFO per (src, dst, tag).**  Only deque *heads* are
+          candidates, so within a channel messages deliver in post
+          order (MPI non-overtaking).
+
+        What *is* free is which channel supplies the match when several
+        are non-empty.  The default — the oracle order — takes the head
+        with the smallest ``(post_time, tag)``: the oldest posted
+        message, exact tag value breaking equal posts.  An exploring
+        :class:`~repro.cluster.schedule_policy.SchedulePolicy` may pick
+        any other candidate head (on a real network any of them could
+        arrive first).
         """
-        best_key = None
-        best_order = None
+        candidates: list[tuple[float, int, tuple[int, int, int]]] = []
         for key, pending in self._pending_isends.items():
             if not pending or key[0] != src or key[1] != dst:
                 continue
-            head = pending[0]
-            order = (head.post_time, key[2])
-            if best_order is None or order < best_order:
-                best_order = order
-                best_key = key
-        if best_key is None:
+            candidates.append((pending[0].post_time, key[2], key))
+        if not candidates:
             return None
-        return self._pending_isends[best_key].popleft()
+        candidates.sort(key=lambda c: (c[0], c[1]))
+        index = 0
+        policy = self.policy
+        if policy is not None and policy.explores_wildcards and len(candidates) > 1:
+            index = policy.decide(
+                "wildcard",
+                [
+                    {"post_time": post, "tag": tag, "src": src, "dst": dst}
+                    for post, tag, _ in candidates
+                ],
+                self._decision_digest(),
+            )
+        return self._pending_isends[candidates[index][2]].popleft()
 
     def _complete_transfer(self, send_req: Request, recv_req: Request) -> None:
         """Price a matched background transfer on the receiver's link."""

@@ -14,6 +14,7 @@ __all__ = [
     "ConfigurationError",
     "SimulationError",
     "DeadlockError",
+    "LivelockError",
     "RankFailedError",
     "WireFormatError",
     "PartitionError",
@@ -46,6 +47,13 @@ class DeadlockError(SimulationError):
     last forward progress (when it posted the operation it is stuck in) —
     so large-P hangs are diagnosable without a full trace: the rank with
     the *earliest* last-progress time is usually the root cause.
+
+    Under schedule exploration (:mod:`repro.cluster.schedule_policy`)
+    the simulator also stamps ``sched_policy`` (the policy name),
+    ``sched_trace`` (path of the saved decision trace, when one was
+    arranged) and ``sched_decisions`` (the compact in-memory decision
+    list) — so a hung interleaving is reproducible from the error alone
+    via ``--replay-trace``.
     """
 
     def __init__(
@@ -56,12 +64,18 @@ class DeadlockError(SimulationError):
         stage: int | None = None,
         peer: int | None = None,
         last_progress: dict[int, float] | None = None,
+        sched_policy: str | None = None,
+        sched_trace: str | None = None,
+        sched_decisions: list[dict] | None = None,
     ):
         self.blocked = dict(blocked)
         self.phase = phase
         self.stage = stage
         self.peer = peer
         self.last_progress = dict(last_progress) if last_progress else {}
+        self.sched_policy = sched_policy
+        self.sched_trace = sched_trace
+        self.sched_decisions = list(sched_decisions) if sched_decisions else []
         detail = "; ".join(
             f"rank {r}: {what}"
             + (
@@ -78,10 +92,27 @@ class DeadlockError(SimulationError):
             where.append(f"stage {stage}")
         if peer is not None:
             where.append(f"waiting on rank {peer}")
+        if sched_policy is not None:
+            where.append(f"schedule policy {sched_policy!r}")
+            if sched_trace is not None:
+                where.append(f"trace {sched_trace}")
+            elif self.sched_decisions:
+                compact = ",".join(
+                    f"{d.get('kind', '?')[:4]}:{d.get('choice')}"
+                    for d in self.sched_decisions
+                )
+                where.append(f"decisions [{compact}]")
         suffix = f" [{', '.join(where)}]" if where else ""
         super().__init__(
             f"cluster deadlocked ({len(blocked)} ranks blocked): {detail}{suffix}"
         )
+
+
+class LivelockError(SimulationError):
+    """An explored interleaving exceeded its event budget without
+    completing — the schedule explorer's livelock classification (the
+    per-policy budget is far below the simulator's own ``max_steps``
+    runaway valve)."""
 
 
 class RankFailedError(SimulationError):

@@ -172,6 +172,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="shorthand for --recovery abort: fail instead of "
                           "recovering when a rank is lost")
     _add_topology_options(run)
+    explore = sub.add_parser(
+        "explore",
+        help="schedule exploration: run many interleavings of one "
+             "scenario on the simulator, classify each against the "
+             "deterministic baseline, save replayable failing traces",
+    )
+    _add_method_options(explore, default="binary-swap:raw")
+    explore.add_argument("--ranks", type=int, default=8)
+    explore.add_argument("--image-size", type=int, default=32,
+                         help="scenario image side in pixels (default: 32 — "
+                              "exploration runs the pipeline many times)")
+    explore.add_argument("--dataset", default="engine_low")
+    explore.add_argument("--interleavings", type=int, default=16,
+                         help="how many interleavings to run (default: 16)")
+    explore.add_argument("--policy", default="random",
+                         help="exploration policy: deterministic | random[:SEED] "
+                              "| adversarial[:MODE] | dfs "
+                              "(modes: starve-low, starve-high, "
+                              "delay-longest, lifo)")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="base seed for random walks (walk i uses seed+i)")
+    explore.add_argument("--fault-plan", default=None,
+                         help="JSON fault plan (repro.fault-plan/1) to arm; "
+                              "'default' injects the canonical crash+delay "
+                              "plan; omit for a clean scenario")
+    explore.add_argument("--trace-dir", default=None,
+                         help="directory for repro.sched-trace/1 decision "
+                              "traces (failing interleavings always save "
+                              "one here; default: <out>/sched-traces)")
+    explore.add_argument("--keep-all-traces", action="store_true",
+                         help="save traces of passing interleavings too")
+    explore.add_argument("--event-budget", type=int, default=None,
+                         help="per-interleaving simulator-step cap before a "
+                              "run is classified as livelock")
+    explore.add_argument("--replay-trace", default=None, metavar="TRACE",
+                         help="replay one saved decision trace bit-for-bit "
+                              "instead of exploring (the trace embeds its "
+                              "scenario; other scenario flags are ignored)")
     scale = sub.add_parser(
         "scale",
         help="at-scale crossover study (P=64/256/1024, synthetic workloads)",
@@ -385,6 +423,96 @@ def _run_one(args, command: str) -> None:
 
             write_pgm(args.out_image, to_gray8(luminance(result.final_image), gain=2.0))
             print(f"[image written to {args.out_image}]")
+    elif command == "explore":
+        from ..cluster.explore import (
+            DEFAULT_EVENT_BUDGET,
+            Explorer,
+            ExploreScenario,
+            default_fault_plan,
+        )
+        from ..cluster.faults import FaultPlan
+        from ..errors import ConfigurationError
+
+        budget = getattr(args, "event_budget", None) or DEFAULT_EVENT_BUDGET
+        trace_dir = getattr(args, "trace_dir", None) or os.path.join(
+            args.out, "sched-traces"
+        )
+        replay_path = getattr(args, "replay_trace", None)
+        try:
+            if replay_path:
+                explorer = Explorer.from_trace(
+                    replay_path,
+                    trace_dir=trace_dir,
+                    event_budget=budget,
+                )
+                outcome = explorer.replay(replay_path)
+                lines = [
+                    f"Replayed schedule trace {replay_path}",
+                    f"  scenario       = {explorer.scenario.label()}",
+                    f"  policy         = {outcome.policy}",
+                    f"  classification = {outcome.classification}",
+                    f"  decisions      = {outcome.decisions}",
+                ]
+                if outcome.detail:
+                    lines.append(f"  detail         = {outcome.detail}")
+                _emit(args, "explore_replay", "\n".join(lines))
+                if outcome.classification == "replay-divergence":
+                    raise SystemExit(1)
+                return
+            ranks = getattr(args, "ranks", 8)
+            plan_arg = getattr(args, "fault_plan", None)
+            if plan_arg == "default":
+                fault_plan = default_fault_plan(ranks)
+            elif plan_arg:
+                fault_plan = FaultPlan.load(plan_arg)
+            else:
+                fault_plan = None
+            scenario = ExploreScenario(
+                method=getattr(args, "method", "binary-swap:raw"),
+                num_ranks=ranks,
+                fault_plan=fault_plan,
+                dataset=getattr(args, "dataset", "engine_low"),
+                image_size=(
+                    _QUICK["image_size"] if args.quick
+                    else getattr(args, "image_size", 32)
+                ),
+                method_options=_method_options_from(args),
+            )
+            explorer = Explorer(
+                scenario,
+                trace_dir=trace_dir,
+                event_budget=budget,
+                keep_all=getattr(args, "keep_all_traces", False),
+            )
+            report = explorer.run_policy_spec(
+                getattr(args, "policy", "random"),
+                getattr(args, "interleavings", 16),
+                seed=getattr(args, "seed", 0),
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
+        counts = report.counts()
+        lines = [
+            f"Schedule exploration: {scenario.label()} "
+            f"({len(report.results)} interleavings, policy "
+            f"{getattr(args, 'policy', 'random')})",
+            "  " + ", ".join(f"{k}={v}" for k, v in sorted(counts.items())),
+        ]
+        for res in report.failures:
+            lines.append(
+                f"  FAIL #{res.index} [{res.policy}] {res.classification}: "
+                f"{res.detail}"
+            )
+            if res.trace_path:
+                lines.append(f"    replay with --replay-trace {res.trace_path}")
+        lines.append("  result: " + ("OK" if report.ok else "FAILING"))
+        _emit(args, "explore", "\n".join(lines))
+        os.makedirs(args.out, exist_ok=True)
+        report_path = os.path.join(args.out, "explore.json")
+        report.save(report_path)
+        print(f"[report written to {report_path}]")
+        if not report.ok:
+            raise SystemExit(1)
     elif command == "scale":
         from ..cluster.model import PRESETS, make_network
         from .scale import format_scale, run_scale_crossover

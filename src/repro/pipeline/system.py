@@ -37,8 +37,9 @@ from ..cluster.recovery import (
     RecoveryPolicy,
     RecoveryRuntime,
     RespawnPlan,
+    run_outcome,
 )
-from ..cluster.run_timeline import RunTimeline, tile_latency_metrics
+from ..cluster.run_timeline import RunTimeline, schedule_meta, tile_latency_metrics
 from ..cluster.stats import RankStats, RunResult
 from ..compositing.base import CompositeOutcome, Compositor
 from ..compositing.registry import make_compositor
@@ -259,6 +260,7 @@ class SortLastSystem:
         fault_plan: Optional[FaultPlan] = None,
         degrade: bool = True,
         recovery: "str | RecoveryPolicy | None" = None,
+        schedule_policy=None,
     ) -> SystemResult:
         """Execute partition → render → composite (→ gather & assemble).
 
@@ -279,6 +281,15 @@ class SortLastSystem:
         degrades; a crash that cannot degrade re-raises the typed error.
         Every recovery decision lands as a structured event in the
         result's timeline.
+
+        ``schedule_policy`` (a
+        :class:`~repro.cluster.schedule_policy.SchedulePolicy`,
+        simulator only) hands the engine's event-ordering freedom to
+        the schedule explorer.  The *same* policy instance drives every
+        engine run of this call — including degraded/resumed recovery
+        re-runs — so its decision log covers the whole execution and
+        replays it end to end; the policy name, decision count, and
+        trace path (when arranged) land in the timeline meta.
         """
         cfg = self.config
         if backend is None:
@@ -331,14 +342,17 @@ class SortLastSystem:
                     respawn=respawn,
                     heartbeat=cfg.heartbeat_interval,
                     network=cfg.build_network(),
+                    schedule_policy=schedule_policy,
                 )
             except RankFailedError as err:
                 return self._recover(
                     engine, scene, err, policy, store,
                     gather_final=gather_final, trace=trace,
+                    schedule_policy=schedule_policy,
                 )
             return self._build_result(
-                engine, scene, backend_result, gather_final=gather_final
+                engine, scene, backend_result, gather_final=gather_final,
+                schedule_policy=schedule_policy,
             )
         finally:
             if cleanup is not None:
@@ -385,6 +399,7 @@ class SortLastSystem:
         *,
         gather_final: bool,
         trace: bool,
+        schedule_policy=None,
     ) -> SystemResult:
         """Walk down the policy lattice after an unrecovered rank failure.
 
@@ -410,6 +425,7 @@ class SortLastSystem:
             return self._run_resumed(
                 engine, scene, err, store, resume,
                 gather_final=gather_final, trace=trace, policy=policy,
+                schedule_policy=schedule_policy,
             )
         degradable = (
             policy.allows_degrade
@@ -425,6 +441,7 @@ class SortLastSystem:
         return self._run_degraded(
             engine, scene, err,
             gather_final=gather_final, trace=trace, phase=phase, stage=stage,
+            schedule_policy=schedule_policy,
         )
 
     def _run_resumed(
@@ -438,6 +455,7 @@ class SortLastSystem:
         gather_final: bool,
         trace: bool,
         policy: RecoveryPolicy,
+        schedule_policy=None,
     ) -> SystemResult:
         """Lockstep checkpoint-resume on the simulator.
 
@@ -476,6 +494,7 @@ class SortLastSystem:
             trace=trace,
             timeout=cfg.comm_timeout,
             network=cfg.build_network(),
+            schedule_policy=schedule_policy,
         )
         return self._build_result(
             engine,
@@ -484,11 +503,13 @@ class SortLastSystem:
             gather_final=gather_final,
             extra_events=events,
             recovered=True,
+            schedule_policy=schedule_policy,
         )
 
     def _run_degraded(
         self, engine: Backend, scene, err: RankFailedError, *, gather_final: bool,
         trace: bool, phase: Optional[str] = "render", stage: Optional[int] = None,
+        schedule_policy=None,
     ) -> SystemResult:
         """Re-fold onto the survivors of a rank loss and rerun the
         pipeline clean (no fault injection) on the smaller folded
@@ -534,6 +555,7 @@ class SortLastSystem:
             trace=trace,
             timeout=cfg.comm_timeout,
             network=cfg.build_network(),
+            schedule_policy=schedule_policy,
         )
         degraded_scene = type(scene)(
             scene.volume, scene.transfer, scene.camera, folded
@@ -546,6 +568,7 @@ class SortLastSystem:
             degraded=True,
             failed_ranks=failed,
             extra_events=orchestrator_events,
+            schedule_policy=schedule_policy,
         )
 
     def _build_result(
@@ -559,6 +582,7 @@ class SortLastSystem:
         failed_ranks: Optional[list[int]] = None,
         extra_events: Optional[list[dict]] = None,
         recovered: bool = False,
+        schedule_policy=None,
     ) -> SystemResult:
         cfg = self.config
         subimages = [ret[0] for ret in backend_result.returns]
@@ -588,22 +612,22 @@ class SortLastSystem:
         else:
             final = assemble_final(outcomes, scene.camera.height, scene.camera.width)
 
-        timeline = backend_result.timeline(
-            meta={
-                "dataset": cfg.dataset,
-                "method": cfg.method,
-                "num_ranks": cfg.num_ranks,
-                "image_size": cfg.image_size,
-                "machine": cfg.machine.name,
-                "topology": cfg.topology,
-                "renderer": cfg.renderer,
-                "gather_final": gather_final,
-                "degraded": degraded,
-                "recovered": recovered,
-                "failed_ranks": list(failed_ranks or []),
-            },
-            events=extra_events,
-        )
+        meta = {
+            "dataset": cfg.dataset,
+            "method": cfg.method,
+            "num_ranks": cfg.num_ranks,
+            "image_size": cfg.image_size,
+            "machine": cfg.machine.name,
+            "topology": cfg.topology,
+            "renderer": cfg.renderer,
+            "gather_final": gather_final,
+            "degraded": degraded,
+            "recovered": recovered,
+            "outcome": run_outcome(degraded=degraded, recovered=recovered),
+            "failed_ranks": list(failed_ranks or []),
+        }
+        meta.update(schedule_meta(schedule_policy))
+        timeline = backend_result.timeline(meta=meta, events=extra_events)
         latencies = tile_latency_metrics(timeline.events)
         if latencies:
             timeline.meta.update(latencies)

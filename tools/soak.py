@@ -8,19 +8,28 @@ iteration the exact seed window is known, and the fault plans behind it
 are regenerated (via :func:`repro.cluster.faults.random_plan`) and saved
 as ``repro.fault-plan/1`` JSON artifacts for the bug report.
 
+Each iteration also runs a small schedule-exploration sweep
+(:class:`repro.cluster.explore.Explorer`): seeded random interleavings
+of the canonical crash+delay scenario, seeds derived from the same
+offset so the explored schedules keep moving night over night.  Failing
+interleavings archive their replayable ``repro.sched-trace/1`` decision
+traces under ``fail-<offset>/sched-traces/`` — right next to the
+regenerated fault plans — and the per-iteration explorer counts feed an
+``explorer`` flake-rate block in the archive totals.
+
 Every run also writes a ``repro.soak-summary/1`` archive JSON
 (``--archive``, default ``<artifacts>/soak-summary.json``) holding one
-record per iteration — seed offset, wall seconds, pass/fail — plus the
-aggregate flake rate, so nightly trends (slowdowns, rising flake rates)
-are visible by diffing archives across nights.  The archive is written
-atomically after *each* iteration, so a killed soak still leaves a
-complete record of what ran.
+record per iteration — seed offset, wall seconds, pass/fail, explorer
+classification counts — plus the aggregate flake rates, so nightly
+trends (slowdowns, rising flake rates) are visible by diffing archives
+across nights.  The archive is written atomically after *each*
+iteration, so a killed soak still leaves a complete record of what ran.
 
 Usage::
 
     python tools/soak.py [--minutes N] [--iterations K]
                          [--artifacts DIR] [--archive FILE]
-                         [--offset-step K]
+                         [--offset-step K] [--explore-interleavings N]
 
 Environment:
 
@@ -51,6 +60,10 @@ NUM_STAGES = 2
 
 #: Archive schema identifier (bump on layout changes).
 ARCHIVE_SCHEMA = "repro.soak-summary/1"
+
+#: Per-iteration schedule-exploration sweep width (0 disables).
+EXPLORE_INTERLEAVINGS = 4
+EXPLORE_RANKS = 8
 
 
 def _pytest_command(offset: int, timeout_flag: bool) -> list[str]:
@@ -91,11 +104,64 @@ def _save_failure_artifacts(artifacts: str, offset: int, output: str) -> None:
         sys.path.pop(0)
 
 
+def run_explorer_sweep(offset: int, interleavings: int, artifacts: str) -> dict:
+    """Seeded random-walk schedule exploration for one soak iteration.
+
+    Returns a record with the interleaving count, classification
+    counts, failing-trace paths (archived under
+    ``fail-<offset>/sched-traces/``), and ``ok``.  Runs in-process: the
+    explorer is deterministic per seed, so a failing walk's trace
+    replays the exact interleaving offline.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from repro.cluster.explore import (
+            Explorer,
+            ExploreScenario,
+            default_fault_plan,
+        )
+
+        scenario = ExploreScenario(
+            method="binary-swap:raw",
+            num_ranks=EXPLORE_RANKS,
+            fault_plan=default_fault_plan(EXPLORE_RANKS),
+        )
+        explorer = Explorer(
+            scenario,
+            trace_dir=os.path.join(artifacts, f"fail-{offset}", "sched-traces"),
+        )
+        report = explorer.run_random(interleavings, seed=offset)
+        return {
+            "interleavings": len(report.results),
+            "counts": report.counts(),
+            "failures": len(report.failures),
+            "failing_traces": [
+                r.trace_path for r in report.failures if r.trace_path
+            ],
+            "ok": report.ok,
+        }
+    except Exception as exc:  # an explorer crash is itself a failure
+        return {
+            "interleavings": 0,
+            "counts": {},
+            "failures": 1,
+            "failing_traces": [],
+            "error": repr(exc),
+            "ok": False,
+        }
+    finally:
+        sys.path.pop(0)
+
+
 def summarize(iterations: list[dict]) -> dict:
     """Aggregate per-iteration records into the archive's totals block."""
     count = len(iterations)
     failures = sum(1 for it in iterations if not it["ok"])
     seconds = [it["seconds"] for it in iterations]
+    explored = sum(it.get("explorer", {}).get("interleavings", 0) for it in iterations)
+    explorer_failures = sum(
+        it.get("explorer", {}).get("failures", 0) for it in iterations
+    )
     return {
         "iterations": count,
         "failures": failures,
@@ -103,6 +169,11 @@ def summarize(iterations: list[dict]) -> dict:
         "total_seconds": sum(seconds),
         "mean_seconds": (sum(seconds) / count) if count else 0.0,
         "max_seconds": max(seconds) if seconds else 0.0,
+        "explorer": {
+            "interleavings": explored,
+            "failures": explorer_failures,
+            "flake_rate": (explorer_failures / explored) if explored else 0.0,
+        },
     }
 
 
@@ -123,7 +194,14 @@ def write_archive(path: str, iterations: list[dict], *, started_at: str) -> None
     os.replace(tmp, path)
 
 
-def run_iteration(offset: int, env_base: dict, timeout_flag: bool, artifacts: str) -> dict:
+def run_iteration(
+    offset: int,
+    env_base: dict,
+    timeout_flag: bool,
+    artifacts: str,
+    *,
+    explore_interleavings: int = EXPLORE_INTERLEAVINGS,
+) -> dict:
     """One soak iteration: run the suites at ``offset``, record telemetry."""
     env = dict(env_base, REPRO_CHAOS_SEED_OFFSET=str(offset))
     started = time.monotonic()
@@ -132,17 +210,23 @@ def run_iteration(offset: int, env_base: dict, timeout_flag: bool, artifacts: st
         cwd=REPO_ROOT, env=env, text=True,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
     )
-    elapsed = time.monotonic() - started
-    ok = proc.returncode == 0
-    if not ok:
+    suites_ok = proc.returncode == 0
+    if not suites_ok:
         tail = "\n".join(proc.stdout.splitlines()[-200:])
         _save_failure_artifacts(artifacts, offset, tail)
-    return {
+    explorer = None
+    if explore_interleavings > 0:
+        explorer = run_explorer_sweep(offset, explore_interleavings, artifacts)
+    elapsed = time.monotonic() - started
+    record = {
         "offset": offset,
         "seconds": round(elapsed, 3),
-        "ok": ok,
+        "ok": suites_ok and (explorer is None or explorer["ok"]),
         "returncode": proc.returncode,
     }
+    if explorer is not None:
+        record["explorer"] = explorer
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -168,6 +252,11 @@ def main(argv: list[str] | None = None) -> int:
         "--offset-step", type=int, default=MATRIX_SEEDS,
         help="seed-offset stride between iterations (default: matrix width)",
     )
+    parser.add_argument(
+        "--explore-interleavings", type=int, default=EXPLORE_INTERLEAVINGS,
+        help="random schedule interleavings explored per iteration "
+             f"(default: {EXPLORE_INTERLEAVINGS}; 0 disables the sweep)",
+    )
     args = parser.parse_args(argv)
     archive = args.archive or os.path.join(args.artifacts, "soak-summary.json")
 
@@ -185,9 +274,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.iterations is not None
         else time.monotonic() < deadline
     ):
-        record = run_iteration(offset, env_base, timeout_flag, args.artifacts)
+        record = run_iteration(
+            offset, env_base, timeout_flag, args.artifacts,
+            explore_interleavings=args.explore_interleavings,
+        )
         records.append(record)
         status = "ok" if record["ok"] else f"FAIL rc={record['returncode']}"
+        explorer = record.get("explorer")
+        if explorer is not None:
+            status += (
+                f" explore={explorer['interleavings'] - explorer['failures']}"
+                f"/{explorer['interleavings']}"
+            )
         print(
             f"[soak] iteration {len(records)} offset={offset} "
             f"{record['seconds']:.0f}s: {status}",
@@ -204,6 +302,13 @@ def main(argv: list[str] | None = None) -> int:
         f"(flake rate {totals['flake_rate']:.1%}, "
         f"mean {totals['mean_seconds']:.0f}s/iter)"
     )
+    explorer_totals = totals["explorer"]
+    if explorer_totals["interleavings"]:
+        print(
+            f"[soak] explorer: {explorer_totals['interleavings']} interleavings, "
+            f"{explorer_totals['failures']} failing "
+            f"(flake rate {explorer_totals['flake_rate']:.1%})"
+        )
     print(f"[soak] archive at {archive}")
     if totals["failures"]:
         print(f"[soak] artifacts in {args.artifacts}")
