@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-scale bench-tile chaos explore explore-smoke grid soak verify lint results quick clean
+.PHONY: install test bench bench-quick bench-scale bench-tile chaos explore explore-smoke grid serve-smoke soak verify lint results quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -64,6 +64,14 @@ explore-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli --out results explore \
 		--method tile-routed:rle --ranks 8 --fault-plan default \
 		--policy adversarial --interleavings 8
+
+# Render-service smoke: the serving/session/progress unit suites, then
+# three concurrent jobs through the real CLI spool (mixed methods incl.
+# tile-routed:rle, one crash-fault job under degrade QoS) — streamed
+# frames monotone in coverage, finals bit-identical to one-shot runs.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_progress.py tests/test_session.py tests/test_serving.py -q
+	$(PYTHON) tools/serve_smoke.py
 
 # Nightly soak: loop the chaos + recovery suites on fresh seed windows
 # for SOAK_MINUTES (default 20), saving failing fault plans as JSON

@@ -64,7 +64,10 @@ from .errors import (
     SimulationError,
     WireFormatError,
 )
+from .cluster.progress import ProgressEvent, ProgressFeed
 from .pipeline import (
+    RenderJob,
+    RenderSession,
     RunConfig,
     SortLastSystem,
     SystemResult,
@@ -85,7 +88,7 @@ from .volume import (
     recursive_bisect,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BACKENDS",
@@ -113,9 +116,13 @@ __all__ = [
     "ParallelPipeline",
     "PartitionError",
     "PartitionPlan",
+    "ProgressEvent",
+    "ProgressFeed",
     "RankContext",
     "Rect",
     "RenderError",
+    "RenderJob",
+    "RenderSession",
     "ReproError",
     "RunConfig",
     "RunResult",

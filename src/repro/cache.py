@@ -1,0 +1,143 @@
+"""Bounded on-disk render cache: LRU eviction for ``REPRO_CACHE_DIR``.
+
+The render cache (per-rank subimages from :mod:`repro.pipeline.phases`
+and whole rendered workloads from :mod:`repro.experiments.harness`) is
+append-only by construction: every distinct (dataset, viewpoint, rank
+count, extent) writes a new ``.npz``.  A one-shot CLI run never notices,
+but a long-lived render service serving many camera paths would grow
+the directory without bound.  This module adds the missing half of the
+cache contract:
+
+* ``REPRO_CACHE_MAX_BYTES`` — optional size cap for the cache
+  directory.  Unset/empty/non-positive means unbounded (the historical
+  behaviour).  Suffixes ``k``/``m``/``g`` (binary, case-insensitive)
+  are accepted: ``REPRO_CACHE_MAX_BYTES=512m``.
+* :func:`enforce_cache_budget` — called after every cache store; while
+  the cache entries exceed the cap it deletes the least-recently-used
+  ``.npz`` entry (oldest mtime).  Cache *hits* bump the file's mtime
+  (:func:`touch`), so recency means "last read", not "first written" —
+  true LRU.
+
+Only ``*.npz`` cache entries are considered: checkpoint snapshots
+(``ckpt-*.pkl``) and any foreign files sharing the directory are never
+touched, and the entry just written is exempt from its own enforcement
+pass (evicting the bytes you are about to read would turn a cap smaller
+than one entry into a store/evict livelock).
+
+Eviction is best-effort like the rest of the cache: filesystem races
+(another process evicting the same file) are swallowed, and the cap is
+a high-water mark, not a hard guarantee — concurrent writers can
+overshoot transiently.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "CACHE_LIMIT_ENV",
+    "cache_budget",
+    "parse_size",
+    "touch",
+    "enforce_cache_budget",
+]
+
+#: Environment variable capping the on-disk cache size in bytes.
+CACHE_LIMIT_ENV = "REPRO_CACHE_MAX_BYTES"
+
+_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_size(text: str) -> Optional[int]:
+    """Parse a byte size like ``"1048576"``, ``"512m"``, or ``"2G"``.
+
+    Returns ``None`` for empty/unparseable/non-positive values — the
+    cache treats all three as "no cap" rather than failing a render
+    over a malformed knob.
+    """
+    text = text.strip().lower()
+    if not text:
+        return None
+    factor = 1
+    if text[-1] in _SUFFIXES:
+        factor = _SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(float(text) * factor)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def cache_budget() -> Optional[int]:
+    """The configured cache cap in bytes, or ``None`` for unbounded."""
+    return parse_size(os.environ.get(CACHE_LIMIT_ENV, ""))
+
+
+def touch(path: str) -> None:
+    """Mark a cache entry as just-used (best-effort mtime bump)."""
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass
+
+
+def _entries(root: str) -> list[tuple[float, int, str]]:
+    """``(mtime, size, path)`` for every cache entry under ``root``."""
+    rows: list[tuple[float, int, str]] = []
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return rows
+    for name in names:
+        if not name.endswith(".npz"):
+            continue  # only cache entries; never checkpoints or foreign files
+        path = os.path.join(root, name)
+        try:
+            st = os.stat(path)
+        except OSError:
+            continue
+        rows.append((st.st_mtime, st.st_size, path))
+    return rows
+
+
+def enforce_cache_budget(
+    root: str,
+    max_bytes: Optional[int] = None,
+    *,
+    keep: Optional[str] = None,
+) -> list[str]:
+    """Evict least-recently-used ``.npz`` entries until the cache fits.
+
+    ``max_bytes`` overrides the ``REPRO_CACHE_MAX_BYTES`` environment
+    knob (``None`` reads it; no cap means no-op).  ``keep`` names one
+    path exempt from eviction — the entry the caller just stored.
+    Returns the evicted paths, oldest first.
+    """
+    budget = cache_budget() if max_bytes is None else max_bytes
+    if budget is None or budget <= 0:
+        return []
+    rows = _entries(root)
+    total = sum(size for _, size, _ in rows)
+    if total <= budget:
+        return []
+    keep_abs = os.path.abspath(keep) if keep else None
+    evicted: list[str] = []
+    # Oldest mtime first; path breaks mtime ties deterministically.
+    for mtime, size, path in sorted(rows, key=lambda row: (row[0], row[2])):
+        if total <= budget:
+            break
+        if keep_abs is not None and os.path.abspath(path) == keep_abs:
+            continue
+        try:
+            os.remove(path)
+        except OSError:
+            continue  # raced with another evictor; its bytes still freed
+        total -= size
+        evicted.append(path)
+    if evicted:
+        from . import perf
+
+        perf.incr("cache.evictions", len(evicted))
+    return evicted

@@ -244,6 +244,26 @@ class BaseRankContext(abc.ABC):
         """The installed stage checkpointer, or ``None``."""
         return self._checkpointer
 
+    # ---- progress streaming ------------------------------------------------
+    #: The installed :class:`~repro.cluster.progress.ProgressFeed`
+    #: (class-level default keeps plain contexts feed-free for free).
+    _progress = None
+
+    def install_progress(self, feed) -> None:
+        """Attach a live progress feed (see
+        :mod:`repro.cluster.progress`).  The compositing engines emit a
+        partial-frame event after each completed exchange stage /
+        completed tile.  Emission copies pixels and charges nothing, so
+        an installed feed never changes the run's accounting.  ``None``
+        uninstalls.
+        """
+        self._progress = feed
+
+    @property
+    def progress(self):
+        """The installed progress feed, or ``None``."""
+        return self._progress
+
     def _message_faults(self, verb: str, dst: int, tag: int):
         """Injector verdict for one outgoing message (``None`` = clean)."""
         injector = self._fault_injector

@@ -63,9 +63,36 @@ from ..errors import ConfigurationError
 from .simulator import TraceEvent
 from .stats import RankStats, RunResult, StageStats
 
-__all__ = ["RunTimeline", "TIMELINE_SCHEMA", "schedule_meta", "tile_latency_metrics"]
+__all__ = [
+    "RunTimeline",
+    "TIMELINE_SCHEMA",
+    "progress_meta",
+    "schedule_meta",
+    "tile_latency_metrics",
+]
 
 TIMELINE_SCHEMA = "repro.run-timeline/1"
+
+
+def progress_meta(feed) -> dict[str, Any]:
+    """Timeline ``meta`` entries describing a run's live progress feed.
+
+    ``{}`` when no feed was installed (``feed`` is ``None``); otherwise
+    the total event count, a per-kind breakdown, and the feed's final
+    monotone coverage — enough for post-hoc analysis of the streamed
+    delivery without persisting the pixel payloads themselves (the
+    serving layer owns that, as ``repro.serve-event/1`` documents).
+    """
+    if feed is None:
+        return {}
+    kinds: dict[str, int] = {}
+    for event in feed.events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    return {
+        "progress_events": len(feed.events),
+        "progress_kinds": kinds,
+        "progress_coverage": feed.coverage,
+    }
 
 
 def schedule_meta(policy) -> dict[str, Any]:

@@ -96,7 +96,14 @@ class ScheduledCompositor(Compositor):
                 ctx.begin_stage(PRE_STAGE)
                 await codec.scan(ctx, image, state)
 
-        for stage in program.stages:
+        # Live progress: a feed installed on the context receives a
+        # bit-exact partial frame after every completed exchange stage —
+        # the same post-fold image the checkpointer snapshots.  Emission
+        # copies pixels and charges nothing.
+        progress = ctx.progress
+        start = ctx.now()
+        num_stages = len(program.stages)
+        for ordinal, stage in enumerate(program.stages):
             if resume_after is not None and stage.index <= resume_after:
                 continue
             ctx.begin_stage(stage.index)
@@ -127,6 +134,17 @@ class ScheduledCompositor(Compositor):
             codec.update_state(state, stage.keep_part, contribs)
             if checkpointer is not None:
                 checkpointer.save(stage.index, image, state, ctx.stats, self.name)
+            if progress is not None:
+                progress.emit_stage(
+                    rank=ctx.rank,
+                    stage=stage.index,
+                    ordinal=ordinal,
+                    num_stages=num_stages,
+                    num_ranks=ctx.size,
+                    part=stage.keep_part,
+                    image=image,
+                    t=ctx.now() - start,
+                )
 
         final = program.final_part
         if isinstance(final, IndexPart):

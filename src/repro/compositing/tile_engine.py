@@ -251,15 +251,29 @@ class TileRoutedCompositor(Compositor):
             if charged:
                 await ctx.charge_over(charged)
             ctx.note("tile_complete")
+            elapsed = ctx.now() - start
             ctx.stats.events.append(
                 {
                     "event": "tile_complete",
                     "rank": ctx.rank,
                     "tile": tile_id,
                     "pixels": rect.area,
-                    "t": ctx.now() - start,
+                    "t": elapsed,
                 }
             )
+            if ctx.progress is not None:
+                # Stream the tile's final pixels the moment they exist
+                # (tile-routed tiles never change after completion).
+                # Copies only; no charges, so accounting is unchanged.
+                ctx.progress.emit_tile(
+                    rank=ctx.rank,
+                    tile=tile_id,
+                    rect=rect,
+                    intensity=folded_i,
+                    opacity=folded_a,
+                    frame_pixels=image.num_pixels,
+                    t=elapsed,
+                )
         return CompositeOutcome(
             image=image,
             owned_indices=tile_map.owned_flat_indices(ctx.rank),

@@ -24,6 +24,11 @@ Subcommands regenerate each paper artifact::
     scale     at-scale crossover study: the paper's method ranking
               replayed at P=64 and extended to P=256/1024 on synthetic
               sparse workloads (event-driven simulator core)
+    serve     file-spool render service: multi-session jobs over a
+              bounded worker pool, per-session QoS on the recovery
+              lattice, progressive ``repro.serve-event/1`` frames
+    submit    drop one job (config deltas + optional fault plan) into
+              a serve spool; ``--wait`` polls for the result
 
 ``stages`` and ``run`` take ``--method`` specs like ``bsbrc``,
 ``radix-k:rect-rle``, or ``tile-routed:rect`` plus the method options
@@ -210,6 +215,63 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay one saved decision trace bit-for-bit "
                               "instead of exploring (the trace embeds its "
                               "scenario; other scenario flags are ignored)")
+    serve = sub.add_parser(
+        "serve",
+        help="run a file-spool render service: claims repro.serve-job/1 "
+             "requests from <spool>/jobs/, multiplexes sessions over a "
+             "bounded worker pool with per-session QoS, and streams "
+             "repro.serve-event/1 progressive frames to <spool>/out/",
+    )
+    serve.add_argument("--spool", required=True,
+                       help="spool directory (jobs/, work/, out/ created)")
+    serve.add_argument("--dataset", default="engine_low",
+                       help="base-config dataset jobs derive from")
+    _add_method_options(serve)
+    serve.add_argument("--ranks", type=int, default=8)
+    serve.add_argument("--image-size", type=int, default=384)
+    serve.add_argument("--machine", default="sp2",
+                       help="machine-model preset (simulator pricing)")
+    serve.add_argument("--max-workers", type=int, default=2,
+                       help="bound on concurrently rendering jobs "
+                            "(the shared worker pool size; default: 2)")
+    serve.add_argument("--max-jobs", type=int, default=None,
+                       help="exit after serving this many jobs")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       help="exit after this many seconds with no pending "
+                            "or in-flight work (default: serve forever)")
+    submit = sub.add_parser(
+        "submit",
+        help="drop one render job into a serve spool (config deltas "
+             "against the server's base config); --wait polls for the "
+             "result document and prints a summary",
+    )
+    submit.add_argument("--spool", required=True, help="spool directory")
+    submit.add_argument("--session", default="default",
+                        help="logical client session name (one warm "
+                             "backend + job ordering per session)")
+    submit.add_argument("--qos", default=None,
+                        help="session quality class on the recovery "
+                             "lattice: strict | degrade | available | "
+                             "lossless (default: degrade)")
+    submit.add_argument("--method", default=None,
+                        help="override the server's compositing method")
+    submit.add_argument("--dataset", default=None,
+                        help="override the server's dataset")
+    submit.add_argument("--ranks", type=int, default=None,
+                        help="override the server's rank count")
+    submit.add_argument("--image-size", type=int, default=None,
+                        help="override the server's image size")
+    submit.add_argument("--rot-x", type=float, default=None,
+                        help="camera rotation override (degrees)")
+    submit.add_argument("--rot-y", type=float, default=None,
+                        help="camera rotation override (degrees)")
+    submit.add_argument("--fault-plan", default=None,
+                        help="JSON fault plan (repro.fault-plan/1) to "
+                             "inject into this job")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll the spool until the result lands")
+    submit.add_argument("--timeout", type=float, default=120.0,
+                        help="--wait polling deadline in seconds")
     scale = sub.add_parser(
         "scale",
         help="at-scale crossover study (P=64/256/1024, synthetic workloads)",
@@ -513,6 +575,82 @@ def _run_one(args, command: str) -> None:
         print(f"[report written to {report_path}]")
         if not report.ok:
             raise SystemExit(1)
+    elif command == "serve":
+        from ..errors import ConfigurationError
+        from ..pipeline.config import RunConfig
+        from ..serving import serve as serve_spool
+
+        try:
+            cfg = RunConfig(
+                dataset=getattr(args, "dataset", "engine_low"),
+                method=getattr(args, "method", "bsbrc"),
+                method_options=_method_options_from(args),
+                num_ranks=getattr(args, "ranks", 8),
+                image_size=(
+                    _QUICK["image_size"] if args.quick
+                    else getattr(args, "image_size", 384)
+                ),
+                volume_shape=_QUICK["volume_shape"] if args.quick else None,
+                machine=getattr(args, "machine", "sp2"),
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(
+            f"Serving {cfg.label()} from spool {args.spool} "
+            f"(workers={args.max_workers}, max_jobs={args.max_jobs}, "
+            f"idle_timeout={args.idle_timeout})"
+        )
+        served = serve_spool(
+            args.spool,
+            cfg,
+            max_workers=getattr(args, "max_workers", 2),
+            max_jobs=getattr(args, "max_jobs", None),
+            idle_timeout=getattr(args, "idle_timeout", None),
+        )
+        print(f"[served {served} job(s)]")
+    elif command == "submit":
+        from ..cluster.faults import FaultPlan
+        from ..errors import ConfigurationError
+        from ..serving import DEFAULT_QOS, submit_job, wait_for_result
+
+        deltas: dict = {}
+        for key in ("method", "dataset", "rot_x", "rot_y"):
+            value = getattr(args, key, None)
+            if value is not None:
+                deltas[key] = value
+        if getattr(args, "ranks", None) is not None:
+            deltas["num_ranks"] = args.ranks
+        if getattr(args, "image_size", None) is not None:
+            deltas["image_size"] = args.image_size
+        fault_plan = None
+        if getattr(args, "fault_plan", None):
+            fault_plan = FaultPlan.load(args.fault_plan)
+        try:
+            job_id = submit_job(
+                args.spool,
+                session=getattr(args, "session", "default"),
+                qos=getattr(args, "qos", None) or DEFAULT_QOS,
+                deltas=deltas,
+                fault_plan=fault_plan,
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(f"[submitted {job_id} to {args.spool}]")
+        if getattr(args, "wait", False):
+            doc = wait_for_result(
+                args.spool, job_id, timeout=getattr(args, "timeout", 120.0)
+            )
+            if doc.get("ok"):
+                print(
+                    f"{job_id}: outcome={doc.get('outcome')} "
+                    f"degraded={doc.get('degraded')} "
+                    f"coverage={doc.get('coverage')} "
+                    f"events={doc.get('events')} image={doc.get('image')}"
+                )
+            else:
+                raise SystemExit(
+                    f"{job_id} failed: {doc.get('error')}: {doc.get('detail')}"
+                )
     elif command == "scale":
         from ..cluster.model import PRESETS, make_network
         from .scale import format_scale, run_scale_crossover

@@ -40,6 +40,7 @@ import numpy as np
 
 from .. import perf
 from ..analysis.metrics import MethodMeasurement, measure
+from ..cache import enforce_cache_budget, touch
 from ..cluster.model import SP2, MachineModel
 from ..cluster.topology import is_power_of_two, log2_int
 from ..compositing.base import composite_rect_pixels
@@ -106,9 +107,10 @@ def _load_cached_blocks(
                     blocks.append((rect, np.empty((0, 0)), np.empty((0, 0))))
                 else:
                     blocks.append((rect, archive[f"i{n}"], archive[f"a{n}"]))
-            return blocks
     except (OSError, KeyError, ValueError, zipfile_error):
         return None
+    touch(path)  # LRU recency: a hit protects the entry from eviction
+    return blocks
 
 
 def _store_cached_blocks(
@@ -134,6 +136,8 @@ def _store_cached_blocks(
         # Cache is best-effort; never fail the render over it.
         if os.path.exists(tmp):
             os.remove(tmp)
+        return
+    enforce_cache_budget(os.path.dirname(path) or ".", keep=path)
 
 
 @dataclass
@@ -344,6 +348,7 @@ def run_grid(
     method_options: Mapping[str, Mapping] | None = None,
     network=None,
     engine: str = "event",
+    pool=None,
 ) -> list[MethodMeasurement]:
     """Run the full (dataset x P x method) grid — the Tables 1/2 engine.
 
@@ -351,6 +356,13 @@ def run_grid(
     that method's runs (e.g. ``{"radix-k:rect-rle": {"radix": (4, 4)}}``),
     so schedule ablations sweep through the same grid.  ``network`` and
     ``engine`` apply the same topology/scheduler to every cell.
+
+    ``pool`` (a :class:`repro.serving.WorkerPool`) runs the grid's
+    method cells through a shared bounded executor instead of inline —
+    the same pool a :class:`repro.serving.RenderService` rations its
+    interactive sessions over, so a batch sweep and live jobs share one
+    admission bound.  Rendering stays sequential per dataset/P (the
+    workload memo is shared); rows come back in grid order either way.
     """
     top = max_ranks if max_ranks is not None else max(rank_counts)
     per_method = dict(method_options or {})
@@ -365,16 +377,32 @@ def run_grid(
             step=step,
         )
         for num_ranks in rank_counts:
-            for method in methods:
-                row, _ = run_method(
-                    work, method, num_ranks, machine=machine,
-                    network=network, engine=engine,
-                    **per_method.get(method, {}),
-                )
+            cell_rows: list[MethodMeasurement]
+            if pool is not None:
+                futures = [
+                    pool.submit(
+                        run_method,
+                        work, method, num_ranks, machine=machine,
+                        network=network, engine=engine,
+                        **per_method.get(method, {}),
+                    )
+                    for method in methods
+                ]
+                cell_rows = [future.result()[0] for future in futures]
+            else:
+                cell_rows = [
+                    run_method(
+                        work, method, num_ranks, machine=machine,
+                        network=network, engine=engine,
+                        **per_method.get(method, {}),
+                    )[0]
+                    for method in methods
+                ]
+            for row in cell_rows:
                 rows.append(row)
                 if verbose:
                     print(
-                        f"  {dataset:12s} P={num_ranks:<3d} {method:6s} "
+                        f"  {dataset:12s} P={row.num_ranks:<3d} {row.method:6s} "
                         f"T_total={row.t_total * 1e3:9.2f} ms  M_max={row.mmax_bytes}"
                     )
     return rows

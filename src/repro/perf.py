@@ -11,10 +11,16 @@ Design constraints:
   element.  Timers call ``time.perf_counter``/``time.process_time``
   twice per timed region, so they wrap whole renders or harness stages,
   not inner loops.
-* **Process-global, explicitly resettable.**  A module-level registry
-  keeps the API to three verbs: :func:`incr`, :func:`timer`,
-  :func:`report` (plus :func:`reset`).  Thread safety is not a goal —
-  the simulator is single-process by design.
+* **Context-scoped, explicitly resettable.**  Counts land in the
+  *current* :class:`PerfRegistry` — a process-wide default unless a
+  :func:`scope` is active.  The module-level API keeps its three verbs
+  (:func:`incr`, :func:`timer`, :func:`report`, plus :func:`reset`)
+  and, with no scope in play, behaves exactly like the old
+  process-global registry.  A render service running several sessions
+  concurrently gives each run its own registry via ``with
+  perf.scope(...):`` so sessions never interleave each other's
+  counters (the scope is a :mod:`contextvars` binding, so it is
+  thread- and task-local).
 
 Example
 -------
@@ -25,90 +31,169 @@ Example
 >>> rep = perf.report()
 >>> rep["counters"]["rays"]
 1024
+
+Scoped example — the outer registry never sees the inner counts::
+
+>>> with perf.scope() as inner:
+...     perf.incr("rays", 7)
+...     assert perf.counter("rays") == 7
+>>> inner.counter("rays")
+7
 """
 
 from __future__ import annotations
 
+import contextvars
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
 
 __all__ = [
+    "PerfRegistry",
     "incr",
     "timer",
     "counter",
     "report",
     "reset",
     "format_report",
+    "scope",
+    "current",
 ]
 
-#: name -> accumulated count (ints or floats).
-_COUNTERS: dict[str, float] = {}
-#: name -> [wall_seconds, cpu_seconds, calls].
-_TIMERS: dict[str, list[float]] = {}
+
+class PerfRegistry:
+    """One independent set of counters and timers.
+
+    Instances are cheap; a long-lived service makes one per render job
+    so concurrent runs account separately.  All methods mirror the
+    module-level API.
+    """
+
+    __slots__ = ("_counters", "_timers")
+
+    def __init__(self) -> None:
+        #: name -> accumulated count (ints or floats).
+        self._counters: dict[str, float] = {}
+        #: name -> [wall_seconds, cpu_seconds, calls].
+        self._timers: dict[str, list[float]] = {}
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate wall and CPU time of the ``with`` body under ``name``."""
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            wall1 = time.perf_counter()
+            cpu1 = time.process_time()
+            slot = self._timers.get(name)
+            if slot is None:
+                slot = [0.0, 0.0, 0]
+                self._timers[name] = slot
+            slot[0] += wall1 - wall0
+            slot[1] += cpu1 - cpu0
+            slot[2] += 1
+
+    def report(self) -> dict:
+        """Snapshot of all counters and timers (JSON-serializable)."""
+        return {
+            "counters": dict(self._counters),
+            "timers": {
+                name: {"wall_s": slot[0], "cpu_s": slot[1], "calls": slot[2]}
+                for name, slot in self._timers.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        self._counters.clear()
+        self._timers.clear()
+
+    def format_report(self) -> str:
+        """Human-readable one-line-per-entry rendering of :meth:`report`."""
+        lines = ["perf counters:"]
+        if not self._counters and not self._timers:
+            return "perf counters: (empty)"
+        for name in sorted(self._counters):
+            value = self._counters[name]
+            shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:40s} {shown}")
+        if self._timers:
+            lines.append("perf timers:")
+            for name in sorted(self._timers):
+                wall, cpu, calls = self._timers[name]
+                lines.append(
+                    f"  {name:40s} wall {wall * 1e3:10.2f} ms  "
+                    f"cpu {cpu * 1e3:10.2f} ms  calls {calls}"
+                )
+        return "\n".join(lines)
+
+
+#: The process-wide default registry: the module API targets this one
+#: whenever no :func:`scope` is active — the pre-scoping behaviour.
+_DEFAULT = PerfRegistry()
+
+_CURRENT: contextvars.ContextVar[PerfRegistry] = contextvars.ContextVar(
+    "repro-perf-registry", default=_DEFAULT
+)
+
+
+def current() -> PerfRegistry:
+    """The registry the module-level verbs target right now."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def scope(registry: Optional[PerfRegistry] = None) -> Iterator[PerfRegistry]:
+    """Route the module-level API into ``registry`` for the ``with`` body.
+
+    ``None`` makes a fresh empty registry.  Scopes nest, and the binding
+    is contextvar-local: two threads (or asyncio tasks) holding
+    different scopes account independently — that is what keeps
+    concurrent render sessions from interleaving counters.
+    """
+    target = registry if registry is not None else PerfRegistry()
+    token = _CURRENT.set(target)
+    try:
+        yield target
+    finally:
+        _CURRENT.reset(token)
 
 
 def incr(name: str, amount: float = 1) -> None:
-    """Add ``amount`` to counter ``name`` (creating it at zero)."""
-    _COUNTERS[name] = _COUNTERS.get(name, 0) + amount
+    """Add ``amount`` to counter ``name`` in the current registry."""
+    current().incr(name, amount)
 
 
 def counter(name: str) -> float:
     """Current value of counter ``name`` (0 if never bumped)."""
-    return _COUNTERS.get(name, 0)
+    return current().counter(name)
 
 
-@contextmanager
-def timer(name: str) -> Iterator[None]:
+def timer(name: str):
     """Accumulate wall and CPU time of the ``with`` body under ``name``."""
-    wall0 = time.perf_counter()
-    cpu0 = time.process_time()
-    try:
-        yield
-    finally:
-        wall1 = time.perf_counter()
-        cpu1 = time.process_time()
-        slot = _TIMERS.get(name)
-        if slot is None:
-            slot = [0.0, 0.0, 0]
-            _TIMERS[name] = slot
-        slot[0] += wall1 - wall0
-        slot[1] += cpu1 - cpu0
-        slot[2] += 1
+    return current().timer(name)
 
 
 def report() -> dict:
-    """Snapshot of all counters and timers (JSON-serializable)."""
-    return {
-        "counters": dict(_COUNTERS),
-        "timers": {
-            name: {"wall_s": slot[0], "cpu_s": slot[1], "calls": slot[2]}
-            for name, slot in _TIMERS.items()
-        },
-    }
+    """Snapshot of the current registry (JSON-serializable)."""
+    return current().report()
 
 
 def reset() -> None:
-    """Zero every counter and timer."""
-    _COUNTERS.clear()
-    _TIMERS.clear()
+    """Zero every counter and timer of the current registry."""
+    current().reset()
 
 
 def format_report() -> str:
-    """Human-readable one-line-per-entry rendering of :func:`report`."""
-    lines = ["perf counters:"]
-    if not _COUNTERS and not _TIMERS:
-        return "perf counters: (empty)"
-    for name in sorted(_COUNTERS):
-        value = _COUNTERS[name]
-        shown = f"{value:.6g}" if isinstance(value, float) else str(value)
-        lines.append(f"  {name:40s} {shown}")
-    if _TIMERS:
-        lines.append("perf timers:")
-        for name in sorted(_TIMERS):
-            wall, cpu, calls = _TIMERS[name]
-            lines.append(
-                f"  {name:40s} wall {wall * 1e3:10.2f} ms  "
-                f"cpu {cpu * 1e3:10.2f} ms  calls {calls}"
-            )
-    return "\n".join(lines)
+    """Human-readable rendering of the current registry's :func:`report`."""
+    return current().format_report()

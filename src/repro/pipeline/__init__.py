@@ -11,6 +11,7 @@ from .phases import (
     pipeline_rank_program,
     render_phase,
 )
+from .session import RenderJob, RenderSession
 from .system import (
     CompositingRun,
     SortLastSystem,
@@ -24,6 +25,8 @@ __all__ = [
     "CompositingRun",
     "GATHER_STAGE",
     "OwnedTile",
+    "RenderJob",
+    "RenderSession",
     "RunConfig",
     "Scene",
     "SortLastSystem",

@@ -39,6 +39,7 @@ from typing import NamedTuple, Optional
 import numpy as np
 
 from .. import perf
+from ..cache import enforce_cache_budget, touch
 from ..cluster.collectives import gather
 from ..cluster.protocol import BaseRankContext
 from ..compositing.base import CompositeOutcome
@@ -166,12 +167,14 @@ def _load_cached_subimage(path: str) -> Optional[SubImage]:
         return None
     try:
         with np.load(path, allow_pickle=False) as archive:
-            return SubImage(
+            image = SubImage(
                 intensity=archive["intensity"].copy(),
                 opacity=archive["opacity"].copy(),
             )
     except Exception:
         return None
+    touch(path)  # LRU recency: a hit protects the entry from eviction
+    return image
 
 
 def _store_cached_subimage(path: str, image: SubImage) -> None:
@@ -184,6 +187,8 @@ def _store_cached_subimage(path: str, image: SubImage) -> None:
         # Cache is best-effort; never fail the render over it.
         if os.path.exists(tmp):
             os.remove(tmp)
+        return
+    enforce_cache_budget(os.path.dirname(path) or ".", keep=path)
 
 
 async def render_phase(ctx: BaseRankContext, cfg: RunConfig, scene: Scene) -> SubImage:
@@ -301,6 +306,7 @@ async def pipeline_rank_program(
     gather_final: bool = True,
     fault_plan=None,
     recovery=None,
+    progress=None,
 ):
     """One rank's full pipeline; module-level so every backend can ship it.
 
@@ -317,7 +323,13 @@ async def pipeline_rank_program(
     installs the stage checkpointer: the compositing engine snapshots
     into ``recovery.store`` after every exchange stage, and restores at
     ``recovery.resume`` before its stage loop (``None`` = fresh run).
+
+    ``progress`` (a :class:`~repro.cluster.progress.ProgressFeed`,
+    simulator only) installs the live partial-frame feed the engines
+    emit into — copies only, no accounting impact.
     """
+    if progress is not None:
+        ctx.install_progress(progress)
     if fault_plan is not None:
         ctx.install_fault_injector(
             fault_plan.injector_for(ctx.rank, sink=ctx.stats.events)
@@ -355,7 +367,8 @@ async def pipeline_rank_program(
 
 
 async def degraded_rank_program(
-    ctx: BaseRankContext, cfg: RunConfig, plan, gather_final: bool = True
+    ctx: BaseRankContext, cfg: RunConfig, plan, gather_final: bool = True,
+    progress=None,
 ):
     """Survivor-side rerun after a rank loss: the refolded plan's pipeline.
 
@@ -363,8 +376,11 @@ async def degraded_rank_program(
     by :func:`~repro.volume.folded.refold_survivors`; bereaved cores
     re-render their merged blocks (distinct render-cache entries — the
     cache key carries the extent).  No faults are injected: degradation
-    is a clean pass on the surviving substrate.
+    is a clean pass on the surviving substrate.  ``progress`` re-installs
+    the run's live feed so the degraded attempt keeps streaming.
     """
+    if progress is not None:
+        ctx.install_progress(progress)
     scene = build_scene(cfg)
     scene = Scene(scene.volume, scene.transfer, scene.camera, plan)
     subimage = await render_phase(ctx, cfg, scene)

@@ -39,11 +39,17 @@ from ..cluster.recovery import (
     RespawnPlan,
     run_outcome,
 )
-from ..cluster.run_timeline import RunTimeline, schedule_meta, tile_latency_metrics
+from ..cluster.progress import ProgressFeed
+from ..cluster.run_timeline import (
+    RunTimeline,
+    progress_meta,
+    schedule_meta,
+    tile_latency_metrics,
+)
 from ..cluster.stats import RankStats, RunResult
 from ..compositing.base import CompositeOutcome, Compositor
 from ..compositing.registry import make_compositor
-from ..errors import CompositingError, RankFailedError
+from ..errors import CompositingError, ConfigurationError, RankFailedError
 from ..render.camera import Camera
 from ..render.image import SubImage
 from ..render.reference import composite_sequential
@@ -261,6 +267,7 @@ class SortLastSystem:
         degrade: bool = True,
         recovery: "str | RecoveryPolicy | None" = None,
         schedule_policy=None,
+        progress: Optional[ProgressFeed] = None,
     ) -> SystemResult:
         """Execute partition → render → composite (→ gather & assemble).
 
@@ -290,11 +297,26 @@ class SortLastSystem:
         re-runs — so its decision log covers the whole execution and
         replays it end to end; the policy name, decision count, and
         trace path (when arranged) land in the timeline meta.
+
+        ``progress`` (a :class:`~repro.cluster.progress.ProgressFeed`,
+        simulator only, one feed per run) streams a bit-exact partial
+        frame after every completed exchange stage / completed tile and
+        a flagged ``final`` event; the feed is closed when this call
+        returns (or raises).  Recovery re-runs reset the feed's
+        per-attempt accounting, so coverage stays monotone across a
+        degraded restart.  Feeds cannot cross the mp/mpi process
+        boundary, so real transports reject one up front.
         """
         cfg = self.config
         if backend is None:
             backend = cfg.backend
         engine = make_backend(backend) if isinstance(backend, str) else backend
+        if progress is not None and engine.name != "sim":
+            raise ConfigurationError(
+                "live progress feeds require the simulator backend (all ranks "
+                f"share one process); backend {engine.name!r} cannot share a "
+                "feed across process boundaries"
+            )
         if recovery is not None:
             policy = RecoveryPolicy.resolve(recovery, respawn_budget=cfg.respawn_budget)
         elif not degrade:
@@ -309,7 +331,9 @@ class SortLastSystem:
         store, cleanup = self._make_store(engine, policy)
         runtime = RecoveryRuntime(store=store) if store is not None else None
         args: tuple = (cfg, gather_final)
-        if fault_plan is not None or runtime is not None:
+        if progress is not None:
+            args = (cfg, gather_final, fault_plan, runtime, progress)
+        elif fault_plan is not None or runtime is not None:
             args = (cfg, gather_final, fault_plan, runtime)
         respawn = None
         if (
@@ -348,13 +372,15 @@ class SortLastSystem:
                 return self._recover(
                     engine, scene, err, policy, store,
                     gather_final=gather_final, trace=trace,
-                    schedule_policy=schedule_policy,
+                    schedule_policy=schedule_policy, progress=progress,
                 )
             return self._build_result(
                 engine, scene, backend_result, gather_final=gather_final,
-                schedule_policy=schedule_policy,
+                schedule_policy=schedule_policy, progress=progress,
             )
         finally:
+            if progress is not None:
+                progress.close()
             if cleanup is not None:
                 cleanup()
 
@@ -400,6 +426,7 @@ class SortLastSystem:
         gather_final: bool,
         trace: bool,
         schedule_policy=None,
+        progress: Optional[ProgressFeed] = None,
     ) -> SystemResult:
         """Walk down the policy lattice after an unrecovered rank failure.
 
@@ -425,7 +452,7 @@ class SortLastSystem:
             return self._run_resumed(
                 engine, scene, err, store, resume,
                 gather_final=gather_final, trace=trace, policy=policy,
-                schedule_policy=schedule_policy,
+                schedule_policy=schedule_policy, progress=progress,
             )
         degradable = (
             policy.allows_degrade
@@ -441,7 +468,7 @@ class SortLastSystem:
         return self._run_degraded(
             engine, scene, err,
             gather_final=gather_final, trace=trace, phase=phase, stage=stage,
-            schedule_policy=schedule_policy,
+            schedule_policy=schedule_policy, progress=progress,
         )
 
     def _run_resumed(
@@ -456,6 +483,7 @@ class SortLastSystem:
         trace: bool,
         policy: RecoveryPolicy,
         schedule_policy=None,
+        progress: Optional[ProgressFeed] = None,
     ) -> SystemResult:
         """Lockstep checkpoint-resume on the simulator.
 
@@ -486,10 +514,15 @@ class SortLastSystem:
                 "backend": engine.name,
             },
         ]
+        if progress is not None:
+            progress.reset_attempt()
+        resume_args: tuple = (cfg, gather_final, None, RecoveryRuntime(store, resume))
+        if progress is not None:
+            resume_args = resume_args + (progress,)
         backend_result = engine.run(
             cfg.num_ranks,
             pipeline_rank_program,
-            (cfg, gather_final, None, RecoveryRuntime(store, resume)),
+            resume_args,
             model=cfg.machine,
             trace=trace,
             timeout=cfg.comm_timeout,
@@ -504,12 +537,13 @@ class SortLastSystem:
             extra_events=events,
             recovered=True,
             schedule_policy=schedule_policy,
+            progress=progress,
         )
 
     def _run_degraded(
         self, engine: Backend, scene, err: RankFailedError, *, gather_final: bool,
         trace: bool, phase: Optional[str] = "render", stage: Optional[int] = None,
-        schedule_policy=None,
+        schedule_policy=None, progress: Optional[ProgressFeed] = None,
     ) -> SystemResult:
         """Re-fold onto the survivors of a rank loss and rerun the
         pipeline clean (no fault injection) on the smaller folded
@@ -547,10 +581,15 @@ class SortLastSystem:
                 "core_ranks": folded.core_ranks,
             },
         ]
+        if progress is not None:
+            progress.reset_attempt()
+        degraded_args: tuple = (cfg, folded, gather_final)
+        if progress is not None:
+            degraded_args = degraded_args + (progress,)
         backend_result = engine.run(
             folded.num_ranks,
             degraded_rank_program,
-            (cfg, folded, gather_final),
+            degraded_args,
             model=cfg.machine,
             trace=trace,
             timeout=cfg.comm_timeout,
@@ -569,6 +608,7 @@ class SortLastSystem:
             failed_ranks=failed,
             extra_events=orchestrator_events,
             schedule_policy=schedule_policy,
+            progress=progress,
         )
 
     def _build_result(
@@ -583,6 +623,7 @@ class SortLastSystem:
         extra_events: Optional[list[dict]] = None,
         recovered: bool = False,
         schedule_policy=None,
+        progress: Optional[ProgressFeed] = None,
     ) -> SystemResult:
         cfg = self.config
         subimages = [ret[0] for ret in backend_result.returns]
@@ -626,7 +667,21 @@ class SortLastSystem:
             "outcome": run_outcome(degraded=degraded, recovered=recovered),
             "failed_ranks": list(failed_ranks or []),
         }
+        if progress is not None:
+            # The assembled display image, flagged with the declared
+            # outcome: a degraded partial frame streams marked, never
+            # silently.  Stamped at the run's makespan.
+            progress.emit_final(
+                image=final,
+                degraded=degraded,
+                outcome=meta["outcome"],
+                t=max(
+                    (rs.elapsed_time for rs in backend_result.rank_stats),
+                    default=0.0,
+                ),
+            )
         meta.update(schedule_meta(schedule_policy))
+        meta.update(progress_meta(progress))
         timeline = backend_result.timeline(meta=meta, events=extra_events)
         latencies = tile_latency_metrics(timeline.events)
         if latencies:

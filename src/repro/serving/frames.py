@@ -1,0 +1,67 @@
+"""Client-side progressive frame assembly from streamed serve events.
+
+A consumer of a :class:`~repro.cluster.progress.ProgressFeed` (or of a
+``repro.serve-event/1`` document stream) folds events into a
+:class:`ProgressiveFrame`: the best currently-known approximation of
+the final display image.  Tile events scatter their rect's *final*
+pixels; stage events scatter the emitting rank's keep part (valid
+partial composites that sharpen stage by stage); the ``final`` event
+replaces the whole frame and carries the run's declared outcome.
+
+The accumulator is intentionally dumb — it trusts the feed's ordering
+and monotone ``coverage`` — which is what makes it suitable both for a
+live progressive display and for the CI smoke test that replays a
+recorded event log and asserts the end state is bit-identical to the
+one-shot render.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.progress import ProgressEvent
+from ..render.image import SubImage
+
+__all__ = ["ProgressiveFrame"]
+
+
+class ProgressiveFrame:
+    """Fold progress events into a best-known partial display image."""
+
+    def __init__(self, height: int, width: int):
+        self.image = SubImage.blank(height, width)
+        #: Monotone coverage as reported by the last applied event.
+        self.coverage = 0.0
+        self.events_applied = 0
+        #: Set once a ``final`` event lands.
+        self.finalized = False
+        self.degraded = False
+        self.outcome: Optional[str] = None
+
+    def apply(self, event: ProgressEvent) -> None:
+        """Fold one event into the frame (events in feed order)."""
+        if event.kind == "tile":
+            rect = event.rect
+            self.image.intensity[rect.y0 : rect.y1, rect.x0 : rect.x1] = event.intensity
+            self.image.opacity[rect.y0 : rect.y1, rect.x0 : rect.x1] = event.opacity
+        elif event.kind == "stage":
+            if event.part_rect is not None:
+                rect = event.part_rect
+                rows = slice(rect.y0, rect.y1)
+                cols = slice(rect.x0, rect.x1)
+                self.image.intensity[rows, cols] = event.intensity[rows, cols]
+                self.image.opacity[rows, cols] = event.opacity[rows, cols]
+            elif event.part_indices is not None:
+                flat = np.asarray(event.part_indices).ravel()
+                self.image.intensity.ravel()[flat] = event.intensity.ravel()[flat]
+                self.image.opacity.ravel()[flat] = event.opacity.ravel()[flat]
+        elif event.kind == "final":
+            self.image.intensity[...] = event.intensity
+            self.image.opacity[...] = event.opacity
+            self.finalized = True
+            self.degraded = event.degraded
+            self.outcome = event.outcome
+        self.coverage = max(self.coverage, event.coverage)
+        self.events_applied += 1

@@ -1,0 +1,296 @@
+"""The render service: N sessions multiplexed over one bounded pool.
+
+:class:`RenderService` is the concurrency layer above
+:class:`~repro.pipeline.session.RenderSession`:
+
+* **One shared :class:`WorkerPool`** (bounded threads) executes every
+  session's jobs.  The simulator substrate releases the GIL poorly but
+  models time, not wall time, so threads are the right grain: the pool
+  bounds *admission* (how many renders are in flight), which is the
+  resource the service actually rations.
+* **Per-session serialization** — jobs within one session run in
+  submission order on the session's warm backend; different sessions
+  run concurrently up to the pool bound.
+* **Per-session QoS on the recovery lattice** — opening a session picks
+  a quality class that maps onto the existing recovery policies
+  (:data:`QOS_POLICIES`): a ``degrade``-QoS session's job that loses a
+  rank comes back *fast* as a flagged partial frame
+  (``result.degraded``), a ``lossless`` session pays for checkpoints
+  and resumes bit-identically, a ``strict`` session surfaces the typed
+  error.  A job may still override its own ``recovery`` explicitly.
+* **Per-job perf scoping** — each job runs under its own
+  :class:`repro.perf.PerfRegistry` scope, so concurrent sessions never
+  interleave counters; the report lands on the ticket.
+* **Progressive delivery** — sim-substrate jobs get a
+  :class:`~repro.cluster.progress.ProgressFeed` automatically;
+  :meth:`JobTicket.stream` yields bit-exact partial frames while the
+  render is still in flight.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from .. import perf
+from ..cluster.progress import ProgressEvent, ProgressFeed
+from ..errors import ConfigurationError
+from ..pipeline.config import RunConfig
+from ..pipeline.session import RenderJob, RenderSession
+from ..pipeline.system import SystemResult
+
+__all__ = [
+    "DEFAULT_QOS",
+    "JobTicket",
+    "QOS_POLICIES",
+    "RenderService",
+    "SessionHandle",
+    "WorkerPool",
+]
+
+#: QoS class -> recovery policy on the lattice
+#: ``abort < degrade < respawn < checkpoint-resume``.
+QOS_POLICIES = {
+    "strict": "abort",  # fail loudly; never serve a partial frame
+    "degrade": "degrade",  # flagged partial frame fast, never an error
+    "available": "respawn",  # replace lost workers in place (mp)
+    "lossless": "checkpoint-resume",  # bit-identical recovery, slower
+}
+
+DEFAULT_QOS = "degrade"
+
+
+class WorkerPool:
+    """Bounded shared executor for render jobs.
+
+    A thin, countable wrapper over :class:`ThreadPoolExecutor`: at most
+    ``max_workers`` renders progress at once; excess submissions queue
+    in FIFO order.  One pool is shared by every session of a service —
+    and can also back :func:`repro.experiments.harness.run_grid`, so
+    batch sweeps ride the same admission control as interactive jobs.
+    """
+
+    def __init__(self, max_workers: int = 2):
+        if max_workers < 1:
+            raise ConfigurationError(f"worker pool needs >= 1 worker, got {max_workers}")
+        self.max_workers = max_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-render"
+        )
+        self._lock = threading.Lock()
+        self.jobs_submitted = 0
+        self.jobs_active = 0
+        self.peak_active = 0
+
+    def submit(self, fn, *args: Any, **kwargs: Any) -> Future:
+        with self._lock:
+            self.jobs_submitted += 1
+
+        def _tracked() -> Any:
+            with self._lock:
+                self.jobs_active += 1
+                self.peak_active = max(self.peak_active, self.jobs_active)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                with self._lock:
+                    self.jobs_active -= 1
+
+        return self._executor.submit(_tracked)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+
+@dataclass
+class SessionHandle:
+    """One client session registered with the service."""
+
+    name: str
+    session: RenderSession
+    qos: str
+    #: Serializes this session's jobs (its backend is single-tenant).
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    jobs_submitted: int = 0
+
+
+class JobTicket:
+    """Handle for one submitted job: stream progress, then collect."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        session: str,
+        job: RenderJob,
+        feed: Optional[ProgressFeed],
+        qos: str,
+    ):
+        self.job_id = f"job-{next(self._ids)}"
+        self.session = session
+        self.job = job
+        self.feed = feed
+        self.qos = qos
+        self.future: Future = Future()
+        #: The job's scoped perf report, set on completion.
+        self.perf_report: Optional[dict] = None
+
+    def stream(self, timeout: Optional[float] = None) -> Iterator[ProgressEvent]:
+        """Yield the job's progress events as they happen (see
+        :meth:`~repro.cluster.progress.ProgressFeed.stream`)."""
+        if self.feed is None:
+            return iter(())
+        return self.feed.stream(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> SystemResult:
+        """Block for the job's :class:`SystemResult` (raises what it raised)."""
+        return self.future.result(timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+
+class RenderService:
+    """Multiplex concurrent render sessions over one bounded pool."""
+
+    def __init__(
+        self,
+        base_config: RunConfig,
+        *,
+        max_workers: int = 2,
+        pool: Optional[WorkerPool] = None,
+    ):
+        self.base_config = base_config
+        self.pool = pool if pool is not None else WorkerPool(max_workers)
+        self._sessions: dict[str, SessionHandle] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ---- sessions ----------------------------------------------------------
+    def open_session(
+        self,
+        name: str,
+        *,
+        qos: str = DEFAULT_QOS,
+        config: Optional[RunConfig] = None,
+        backend: Optional[str] = None,
+    ) -> SessionHandle:
+        """Register a session; idempotent for an existing ``name``/``qos``."""
+        if qos not in QOS_POLICIES:
+            raise ConfigurationError(
+                f"unknown QoS class {qos!r}; available: {sorted(QOS_POLICIES)}"
+            )
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("render service is shut down")
+            found = self._sessions.get(name)
+            if found is not None:
+                if found.qos != qos:
+                    raise ConfigurationError(
+                        f"session {name!r} already open with QoS {found.qos!r}"
+                    )
+                return found
+            cfg = config if config is not None else self.base_config
+            handle = SessionHandle(
+                name=name,
+                session=RenderSession(cfg, backend=backend, name=name),
+                qos=qos,
+            )
+            self._sessions[name] = handle
+            return handle
+
+    def close_session(self, name: str) -> None:
+        with self._lock:
+            handle = self._sessions.pop(name, None)
+        if handle is not None:
+            handle.session.close()
+
+    # ---- jobs --------------------------------------------------------------
+    def submit(
+        self,
+        session: str = "default",
+        job: Optional[RenderJob] = None,
+        *,
+        stream: bool = True,
+        **deltas: Any,
+    ) -> JobTicket:
+        """Queue one job on ``session`` (opened with default QoS if new).
+
+        ``stream=True`` (sim substrate only) attaches a fresh
+        :class:`ProgressFeed` when the job does not carry one.  The
+        session's QoS supplies the recovery policy unless the job sets
+        its own.  Returns immediately with a :class:`JobTicket`.
+        """
+        with self._lock:
+            handle = self._sessions.get(session)
+        if handle is None:
+            handle = self.open_session(session)
+        if job is None:
+            job = RenderJob(deltas=deltas)
+        elif deltas:
+            raise ConfigurationError("pass either a RenderJob or config deltas, not both")
+        if job.recovery is None:
+            job = RenderJob(
+                deltas=job.deltas,
+                gather_final=job.gather_final,
+                trace=job.trace,
+                fault_plan=job.fault_plan,
+                recovery=QOS_POLICIES[handle.qos],
+                schedule_policy=job.schedule_policy,
+                progress=job.progress,
+                label=job.label,
+            )
+        feed = job.progress
+        if feed is None and stream and handle.session.backend.name == "sim":
+            feed = ProgressFeed()
+            job = RenderJob(
+                deltas=job.deltas,
+                gather_final=job.gather_final,
+                trace=job.trace,
+                fault_plan=job.fault_plan,
+                recovery=job.recovery,
+                schedule_policy=job.schedule_policy,
+                progress=feed,
+                label=job.label,
+            )
+        ticket = JobTicket(session, job, feed, handle.qos)
+        handle.jobs_submitted += 1
+        self.pool.submit(self._execute, handle, ticket)
+        return ticket
+
+    @staticmethod
+    def _execute(handle: SessionHandle, ticket: JobTicket) -> None:
+        try:
+            with handle.lock:  # one job at a time per session
+                with perf.scope() as registry:
+                    result = handle.session.submit(ticket.job)
+                ticket.perf_report = registry.report()
+        except BaseException as err:  # noqa: BLE001 - future carries it
+            ticket.future.set_exception(err)
+        else:
+            ticket.future.set_result(result)
+        finally:
+            # The system layer closes the feed after a run; close again
+            # here (idempotent) so a pre-run failure can't hang a stream.
+            if ticket.feed is not None:
+                ticket.feed.close()
+
+    # ---- lifecycle ---------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting sessions and drain (or abandon) the pool."""
+        with self._lock:
+            self._closed = True
+            handles = list(self._sessions.values())
+            self._sessions.clear()
+        self.pool.shutdown(wait=wait)
+        for handle in handles:
+            handle.session.close()
+
+    def __enter__(self) -> "RenderService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

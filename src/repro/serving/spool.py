@@ -1,0 +1,296 @@
+"""File-spool front end for the render service (no network required).
+
+The service is a library; this module gives it a process boundary that
+works anywhere the test-suite does: a *spool directory*.  Clients drop
+job request documents (``repro.serve-job/1``) into ``<spool>/jobs/``;
+a serving process claims them (atomic rename into ``<spool>/work/``),
+renders them through a shared :class:`~repro.serving.service.
+RenderService`, streams every progress event as a
+``repro.serve-event/1`` JSON line into ``<spool>/out/<job>.events.jsonl``,
+and finishes with ``<spool>/out/<job>.result.json`` plus the final
+image planes in ``<spool>/out/<job>.final.npz``.
+
+All writes are atomic (temp file + ``os.replace``), so a concurrent
+submitter/poller never observes a half-written document.  The claim
+rename makes multiple serving processes on one spool safe: a job is
+executed exactly once by whichever server wins the rename.
+
+This is deliberately the plainest possible transport — the CI smoke
+test drives a whole multi-session serve cycle with nothing but files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from typing import Any, Optional
+
+import numpy as np
+
+from ..cluster.faults import FaultPlan
+from ..errors import ConfigurationError
+from ..pipeline.config import RunConfig
+from ..pipeline.session import RenderJob
+from .service import DEFAULT_QOS, QOS_POLICIES, RenderService
+
+__all__ = [
+    "JOB_SCHEMA",
+    "RESULT_SCHEMA",
+    "load_result",
+    "read_events",
+    "serve",
+    "submit_job",
+    "wait_for_result",
+]
+
+JOB_SCHEMA = "repro.serve-job/1"
+RESULT_SCHEMA = "repro.serve-result/1"
+
+_JOBS, _WORK, _OUT = "jobs", "work", "out"
+
+
+def _ensure_layout(root: str) -> None:
+    for sub in (_JOBS, _WORK, _OUT):
+        os.makedirs(os.path.join(root, sub), exist_ok=True)
+
+
+def _atomic_write_text(path: str, text: str) -> None:
+    tmp = f"{path}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
+# ---- client side ------------------------------------------------------------
+def submit_job(
+    root: str,
+    *,
+    session: str = "default",
+    qos: str = DEFAULT_QOS,
+    deltas: Optional[dict[str, Any]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    job_id: Optional[str] = None,
+) -> str:
+    """Drop one job request into the spool; returns its job id."""
+    if qos not in QOS_POLICIES:
+        raise ConfigurationError(
+            f"unknown QoS class {qos!r}; available: {sorted(QOS_POLICIES)}"
+        )
+    _ensure_layout(root)
+    if job_id is None:
+        job_id = f"job-{uuid.uuid4().hex[:12]}"
+    doc = {
+        "schema": JOB_SCHEMA,
+        "job_id": job_id,
+        "session": session,
+        "qos": qos,
+        "deltas": dict(deltas or {}),
+        "fault_plan": None if fault_plan is None else fault_plan.to_dict(),
+    }
+    _atomic_write_text(
+        os.path.join(root, _JOBS, f"{job_id}.json"), json.dumps(doc, indent=2)
+    )
+    return job_id
+
+
+def load_result(root: str, job_id: str) -> Optional[dict[str, Any]]:
+    """The job's ``repro.serve-result/1`` document, or ``None`` if pending."""
+    path = os.path.join(root, _OUT, f"{job_id}.result.json")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+
+
+def wait_for_result(
+    root: str, job_id: str, *, timeout: float = 60.0, poll: float = 0.05
+) -> dict[str, Any]:
+    """Poll the spool until the job's result document lands."""
+    deadline = time.monotonic() + timeout
+    while True:
+        doc = load_result(root, job_id)
+        if doc is not None:
+            return doc
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"no result for {job_id!r} within {timeout}s")
+        time.sleep(poll)
+
+
+def read_events(root: str, job_id: str) -> list[dict[str, Any]]:
+    """The job's streamed serve-event documents, in emission order."""
+    path = os.path.join(root, _OUT, f"{job_id}.events.jsonl")
+    events: list[dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+    except FileNotFoundError:
+        pass
+    return events
+
+
+# ---- server side ------------------------------------------------------------
+def _claim_next(root: str) -> Optional[str]:
+    """Atomically claim the oldest pending job file; returns its path."""
+    jobs_dir = os.path.join(root, _JOBS)
+    try:
+        names = sorted(os.listdir(jobs_dir))
+    except OSError:
+        return None
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        src = os.path.join(jobs_dir, name)
+        dst = os.path.join(root, _WORK, name)
+        try:
+            os.replace(src, dst)
+        except OSError:
+            continue  # another server won the claim
+        return dst
+    return None
+
+
+def _stream_events(root: str, job_id: str, session: str, ticket) -> None:
+    """Spool every progress event as one JSON line (blocks until closed)."""
+    path = os.path.join(root, _OUT, f"{job_id}.events.jsonl")
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in ticket.stream():
+            fh.write(json.dumps(event.to_dict(job_id=job_id, session=session)))
+            fh.write("\n")
+            fh.flush()
+
+
+def _job_writer(root: str, job_id: str, session: str, qos: str, ticket) -> None:
+    """Writer thread body: stream events, then the result document.
+
+    Ordering contract for pollers: by the time ``<job>.result.json``
+    exists, ``<job>.events.jsonl`` is complete — the event stream only
+    ends once the feed is closed, which happens strictly after the run
+    finishes (or fails).
+    """
+    _stream_events(root, job_id, session, ticket)
+    _finish_job(root, job_id, session, qos, ticket)
+
+
+def _finish_job(root: str, job_id: str, session: str, qos: str, ticket) -> None:
+    """Write the job's final image and result document."""
+    out_dir = os.path.join(root, _OUT)
+    doc: dict[str, Any] = {
+        "schema": RESULT_SCHEMA,
+        "job_id": job_id,
+        "session": session,
+        "qos": qos,
+    }
+    try:
+        result = ticket.result()
+    except Exception as err:  # noqa: BLE001 - reported to the client
+        doc.update({"ok": False, "error": type(err).__name__, "detail": str(err)})
+    else:
+        image_path = os.path.join(out_dir, f"{job_id}.final.npz")
+        tmp = f"{image_path}.tmp-{os.getpid()}.npz"
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                intensity=result.final_image.intensity,
+                opacity=result.final_image.opacity,
+            )
+        os.replace(tmp, image_path)
+        timeline = result.timeline
+        doc.update(
+            {
+                "ok": True,
+                "outcome": timeline.meta.get("outcome") if timeline else None,
+                "degraded": result.degraded,
+                "recovered": result.recovered,
+                "failed_ranks": result.failed_ranks,
+                "backend": result.backend_name,
+                "makespan": timeline.makespan if timeline else None,
+                "coverage": ticket.feed.coverage if ticket.feed is not None else None,
+                "events": len(ticket.feed.events) if ticket.feed is not None else 0,
+                "image": image_path,
+                "method": result.config.method,
+                "label": result.config.label(),
+            }
+        )
+    _atomic_write_text(
+        os.path.join(out_dir, f"{job_id}.result.json"), json.dumps(doc, indent=2)
+    )
+
+
+def serve(
+    root: str,
+    base_config: RunConfig,
+    *,
+    max_workers: int = 2,
+    max_jobs: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
+    poll: float = 0.05,
+) -> int:
+    """Run a serve loop over the spool; returns the number of jobs served.
+
+    Claims pending requests in name order, multiplexes them through one
+    :class:`RenderService` (sessions and QoS from each request), and
+    exits after ``max_jobs`` jobs or once the spool has been idle — no
+    pending or in-flight work — for ``idle_timeout`` seconds.  With
+    neither bound the loop serves forever (Ctrl-C to stop).
+    """
+    _ensure_layout(root)
+    served = 0
+    pending: list[tuple[str, threading.Thread]] = []
+    last_activity = time.monotonic()
+    with RenderService(base_config, max_workers=max_workers) as service:
+        while True:
+            claimed = _claim_next(root)
+            if claimed is not None:
+                with open(claimed, encoding="utf-8") as fh:
+                    request = json.load(fh)
+                if request.get("schema") != JOB_SCHEMA:
+                    raise ConfigurationError(
+                        f"unsupported job schema {request.get('schema')!r} "
+                        f"in {claimed!r} (expected {JOB_SCHEMA!r})"
+                    )
+                job_id = str(request["job_id"])
+                session = str(request.get("session", "default"))
+                qos = str(request.get("qos", DEFAULT_QOS))
+                plan_doc = request.get("fault_plan")
+                job = RenderJob(
+                    deltas=dict(request.get("deltas") or {}),
+                    fault_plan=(
+                        None if plan_doc is None else FaultPlan.from_dict(plan_doc)
+                    ),
+                    label=job_id,
+                )
+                service.open_session(session, qos=qos)
+                ticket = service.submit(session, job)
+                writer = threading.Thread(
+                    target=_job_writer,
+                    args=(root, job_id, session, qos, ticket),
+                    name=f"spool-writer-{job_id}",
+                    daemon=True,
+                )
+                writer.start()
+                pending.append((job_id, writer))
+                served += 1
+                last_activity = time.monotonic()
+                if max_jobs is not None and served >= max_jobs:
+                    break
+                continue  # drain the queue before sleeping
+            if service.pool.jobs_active > 0:
+                last_activity = time.monotonic()
+            elif (
+                idle_timeout is not None
+                and time.monotonic() - last_activity >= idle_timeout
+            ):
+                break
+            time.sleep(poll)
+    # Service shutdown drained the pool; join the writers so every
+    # events.jsonl + result.json pair is complete before we return.
+    for _, writer in pending:
+        writer.join(timeout=30.0)
+    return served

@@ -81,6 +81,76 @@ class TestReport:
         assert "calls 1" in text
 
 
+class TestScoping:
+    def test_scope_makes_a_fresh_registry(self):
+        perf.incr("outer", 5)
+        with perf.scope() as inner:
+            assert perf.counter("outer") == 0
+            perf.incr("inner", 3)
+            assert perf.counter("inner") == 3
+        assert perf.counter("inner") == 0
+        assert perf.counter("outer") == 5
+        assert inner.counter("inner") == 3
+
+    def test_scope_accepts_an_existing_registry(self):
+        registry = perf.PerfRegistry()
+        registry.incr("seeded", 1)
+        with perf.scope(registry) as target:
+            assert target is registry
+            perf.incr("seeded", 1)
+        assert registry.counter("seeded") == 2
+
+    def test_scopes_nest(self):
+        with perf.scope() as a:
+            perf.incr("x")
+            with perf.scope() as b:
+                perf.incr("x", 10)
+            perf.incr("x")
+        assert a.counter("x") == 2
+        assert b.counter("x") == 10
+
+    def test_current_targets_the_default_without_a_scope(self):
+        assert perf.current() is perf.current()
+        perf.incr("d")
+        assert perf.current().counter("d") == 1
+
+    def test_scope_restores_after_exception(self):
+        with pytest.raises(ValueError):
+            with perf.scope():
+                raise ValueError("x")
+        perf.incr("after")
+        assert perf.counter("after") == 1
+
+    def test_threads_scope_independently(self):
+        import threading
+
+        results = {}
+
+        def worker(name, amount):
+            with perf.scope() as registry:
+                for _ in range(amount):
+                    perf.incr("ticks")
+                results[name] = registry.counter("ticks")
+
+        threads = [
+            threading.Thread(target=worker, args=("a", 100)),
+            threading.Thread(target=worker, args=("b", 7)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {"a": 100, "b": 7}
+        assert perf.counter("ticks") == 0  # nothing leaked to the default
+
+    def test_timer_and_report_respect_the_scope(self):
+        with perf.scope() as inner:
+            with perf.timer("scoped"):
+                pass
+        assert "scoped" in inner.report()["timers"]
+        assert perf.report()["timers"] == {}
+
+
 class TestInstrumentation:
     def test_rle_codecs_count(self):
         import numpy as np

@@ -1,0 +1,262 @@
+"""The streaming progress plane: bit-exact partial frames, zero accounting.
+
+Locks the ProgressFeed contracts the serving layer depends on:
+
+* stage events are bit-identical to the recovery layer's
+  ``CheckpointSnapshot`` images (same emission point, same pixels);
+* tile events carry the tile's *final* pixels;
+* an installed feed changes nothing — pixels, integer byte/message
+  counters, and modelled times are identical with and without one;
+* coverage is monotone, ends at 1.0, and survives degraded re-runs;
+* live feeds are simulator-only, and the ``repro.serve-event/1``
+  document round-trips losslessly.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.backend import SimBackend
+from repro.cluster.faults import FaultPlan, FaultRule
+from repro.cluster.progress import (
+    SERVE_EVENT_SCHEMA,
+    ProgressFeed,
+    serve_event_from_dict,
+)
+from repro.cluster.recovery import MemoryCheckpointStore, StageCheckpointer
+from repro.cluster.run_timeline import progress_meta
+from repro.compositing.registry import make_compositor
+from repro.errors import ConfigurationError
+from repro.pipeline.config import RunConfig
+from repro.pipeline.phases import build_scene
+from repro.pipeline.system import SortLastSystem
+from repro.render.raycast import render_subvolume
+
+
+def _cfg(**kw):
+    base = dict(
+        dataset="sphere",
+        image_size=64,
+        num_ranks=4,
+        method="binary-swap:rle",
+        volume_shape=(32, 32, 16),
+    )
+    base.update(kw)
+    return RunConfig(**base)
+
+
+def _coverages(feed):
+    return [event.coverage for event in feed.events]
+
+
+class TestStageEvents:
+    def test_stage_frames_bit_identical_to_checkpoints(self):
+        """A streamed stage frame IS the checkpoint image, byte for byte."""
+        cfg = _cfg()
+        scene = build_scene(cfg)
+        compositor = make_compositor(cfg.method)
+        store = MemoryCheckpointStore()
+        feed = ProgressFeed()
+        view_dir = scene.camera.view_dir
+
+        async def program(ctx):
+            ctx.install_checkpointer(
+                StageCheckpointer(store, ctx.rank, sink=ctx.stats.events)
+            )
+            ctx.install_progress(feed)
+            extent = scene.plan.extent(ctx.rank)
+            local = render_subvolume(
+                scene.volume, scene.transfer, scene.camera, extent
+            )
+            await compositor.run(ctx, local, scene.plan, view_dir)
+
+        SimBackend().run(cfg.num_ranks, program, model=cfg.machine)
+        stage_events = [e for e in feed.events if e.kind == "stage"]
+        assert stage_events, "scheduled engine emitted no stage events"
+        for event in stage_events:
+            snapshot = store.load(event.rank, event.stage)
+            assert snapshot is not None
+            assert np.array_equal(event.intensity, snapshot.intensity)
+            assert np.array_equal(event.opacity, snapshot.opacity)
+
+    def test_every_rank_and_stage_is_covered(self):
+        cfg = _cfg()
+        feed = ProgressFeed()
+        SortLastSystem(cfg).run(progress=feed)
+        stage_events = [e for e in feed.events if e.kind == "stage"]
+        # binary swap over 4 ranks: log2(4) = 2 stages per rank.
+        assert len(stage_events) == cfg.num_ranks * 2
+        seen = {(e.rank, e.ordinal) for e in stage_events}
+        assert seen == {(r, k) for r in range(4) for k in range(2)}
+        assert all(e.num_stages == 2 for e in stage_events)
+
+    def test_stage_event_part_matches_keep_region(self):
+        feed = ProgressFeed()
+        SortLastSystem(_cfg()).run(progress=feed)
+        for event in feed.events:
+            if event.kind == "stage":
+                assert (event.part_rect is not None) or (
+                    event.part_indices is not None
+                )
+
+
+class TestTileEvents:
+    def test_tile_pixels_are_final(self):
+        cfg = _cfg(method="tile-routed:rle")
+        feed = ProgressFeed()
+        result = SortLastSystem(cfg).run(progress=feed)
+        tiles = [e for e in feed.events if e.kind == "tile"]
+        assert len(tiles) == 4  # 64px frame / 32px tiles
+        for event in tiles:
+            rect = event.rect
+            assert np.array_equal(
+                event.intensity,
+                result.final_image.intensity[rect.y0 : rect.y1, rect.x0 : rect.x1],
+            )
+            assert np.array_equal(
+                event.opacity,
+                result.final_image.opacity[rect.y0 : rect.y1, rect.x0 : rect.x1],
+            )
+
+    def test_tile_times_match_stats_events(self):
+        cfg = _cfg(method="tile-routed:raw")
+        feed = ProgressFeed()
+        result = SortLastSystem(cfg).run(progress=feed)
+        stats_events = sorted(
+            (ev["rank"], ev["tile"], ev["t"])
+            for ev in result.timeline.events
+            if ev.get("event") == "tile_complete"
+        )
+        feed_events = sorted(
+            (e.rank, e.tile, e.t) for e in feed.events if e.kind == "tile"
+        )
+        assert stats_events == feed_events
+
+
+class TestNoAccountingImpact:
+    @pytest.mark.parametrize("method", ["binary-swap:rle", "tile-routed:rle", "bsbrc"])
+    def test_feed_changes_nothing(self, method):
+        cfg = _cfg(method=method)
+        with_feed = SortLastSystem(cfg).run(progress=ProgressFeed())
+        without = SortLastSystem(cfg).run()
+        assert np.array_equal(
+            with_feed.final_image.intensity, without.final_image.intensity
+        )
+        assert np.array_equal(
+            with_feed.final_image.opacity, without.final_image.opacity
+        )
+        # Full per-rank timeline: modelled times, byte/msg counters, all.
+        assert (
+            with_feed.timeline.to_dict()["ranks"]
+            == without.timeline.to_dict()["ranks"]
+        )
+        assert with_feed.timeline.makespan == without.timeline.makespan
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("method", ["binary-swap:rle", "tile-routed:rle"])
+    def test_monotone_and_complete(self, method):
+        feed = ProgressFeed()
+        SortLastSystem(_cfg(method=method)).run(progress=feed)
+        covs = _coverages(feed)
+        assert all(a <= b for a, b in zip(covs, covs[1:]))
+        assert feed.events[-1].kind == "final"
+        assert feed.events[-1].coverage == 1.0
+        assert feed.closed
+
+    def test_final_event_is_the_display_image(self):
+        feed = ProgressFeed()
+        result = SortLastSystem(_cfg()).run(progress=feed)
+        final = feed.events[-1]
+        assert final.outcome == "clean"
+        assert not final.degraded
+        assert np.array_equal(final.intensity, result.final_image.intensity)
+        assert np.array_equal(final.opacity, result.final_image.opacity)
+
+    def test_degraded_rerun_keeps_coverage_monotone(self):
+        plan = FaultPlan(rules=(FaultRule(kind="crash", rank=1, stage=1),), seed=3)
+        feed = ProgressFeed()
+        result = SortLastSystem(_cfg(recovery="degrade")).run(
+            fault_plan=plan, progress=feed
+        )
+        assert result.degraded
+        covs = _coverages(feed)
+        assert all(a <= b for a, b in zip(covs, covs[1:]))
+        final = feed.events[-1]
+        assert final.kind == "final"
+        assert final.degraded
+        assert final.outcome == "degraded"
+        assert np.array_equal(final.intensity, result.final_image.intensity)
+
+    def test_resumed_rerun_streams_to_clean_final(self):
+        plan = FaultPlan(rules=(FaultRule(kind="crash", rank=1, stage=1),), seed=3)
+        feed = ProgressFeed()
+        result = SortLastSystem(_cfg(recovery="checkpoint-resume")).run(
+            fault_plan=plan, progress=feed
+        )
+        assert result.recovered and not result.degraded
+        covs = _coverages(feed)
+        assert all(a <= b for a, b in zip(covs, covs[1:]))
+        assert feed.events[-1].outcome == "resumed"
+        clean = SortLastSystem(_cfg()).run()
+        assert np.array_equal(
+            feed.events[-1].intensity, clean.final_image.intensity
+        )
+
+
+class TestFeedMechanics:
+    def test_stream_delivers_live_from_another_thread(self):
+        feed = ProgressFeed()
+        got: list = []
+
+        def consume():
+            got.extend(feed.stream())
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        SortLastSystem(_cfg()).run(progress=feed)
+        consumer.join(timeout=30.0)
+        assert not consumer.is_alive()
+        assert [e.seq for e in got] == [e.seq for e in feed.events]
+
+    def test_stream_timeout_ends_early(self):
+        feed = ProgressFeed()
+        assert list(feed.stream(timeout=0.01)) == []
+
+    def test_live_feed_rejected_on_mp_backend(self):
+        with pytest.raises(ConfigurationError, match="simulator"):
+            SortLastSystem(_cfg(backend="mp")).run(progress=ProgressFeed())
+
+    def test_progress_meta_lands_in_timeline(self):
+        feed = ProgressFeed()
+        result = SortLastSystem(_cfg()).run(progress=feed)
+        meta = result.timeline.meta
+        assert meta["progress_events"] == len(feed.events)
+        assert meta["progress_coverage"] == 1.0
+        assert meta["progress_kinds"]["final"] == 1
+        assert progress_meta(None) == {}
+        # No feed -> no progress keys at all.
+        bare = SortLastSystem(_cfg()).run()
+        assert "progress_events" not in bare.timeline.meta
+
+
+class TestServeEventSchema:
+    def test_round_trip(self):
+        feed = ProgressFeed()
+        SortLastSystem(_cfg(method="tile-routed:rle")).run(progress=feed)
+        for event in feed.events:
+            doc = event.to_dict(job_id="j-1", session="s-1")
+            assert doc["schema"] == SERVE_EVENT_SCHEMA
+            assert doc["job_id"] == "j-1"
+            back = serve_event_from_dict(doc)
+            assert back.seq == event.seq
+            assert back.kind == event.kind
+            assert back.coverage == event.coverage
+            assert np.array_equal(back.intensity, event.intensity)
+            assert np.array_equal(back.opacity, event.opacity)
+            assert back.rect == event.rect
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ConfigurationError, match="serve-event"):
+            serve_event_from_dict({"schema": "repro.serve-event/999"})

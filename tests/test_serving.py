@@ -1,0 +1,296 @@
+"""The render service: concurrent sessions, QoS, progressive delivery.
+
+The acceptance demonstration for the serving layer: at least three
+concurrent sessions multiplex over one bounded worker pool, each
+streaming monotone progressive frames whose finals are bit-identical to
+one-shot runs; per-session QoS maps onto the recovery lattice (a
+``degrade``-QoS session's crashed job comes back fast as a *flagged*
+partial frame, ``strict`` surfaces the error, ``lossless`` recovers
+bit-identically); and the file-spool front end round-trips jobs,
+events, and results through nothing but a directory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import FaultPlan, FaultRule
+from repro.errors import ConfigurationError, RankFailedError
+from repro.pipeline.config import RunConfig
+from repro.pipeline.session import RenderJob
+from repro.pipeline.system import SortLastSystem
+from repro.serving import (
+    ProgressiveFrame,
+    QOS_POLICIES,
+    RenderService,
+    WorkerPool,
+    read_events,
+    serve,
+    submit_job,
+    wait_for_result,
+)
+
+
+def _cfg(**kw):
+    base = dict(
+        dataset="sphere",
+        image_size=64,
+        num_ranks=4,
+        method="bsbrc",
+        volume_shape=(32, 32, 16),
+    )
+    base.update(kw)
+    return RunConfig(**base)
+
+
+def _crash_plan():
+    return FaultPlan(rules=(FaultRule(kind="crash", rank=1, stage=1),), seed=3)
+
+
+def _render_crash_plan():
+    # The tile-routed engine has no stage boundaries, so crash it in the
+    # render phase (fires for every method).
+    return FaultPlan(rules=(FaultRule(kind="crash", rank=1, phase="render"),), seed=5)
+
+
+def _assert_monotone(events):
+    covs = [e.coverage for e in events]
+    assert all(a <= b for a, b in zip(covs, covs[1:]))
+
+
+class TestConcurrentSessions:
+    def test_three_sessions_share_one_bounded_pool(self):
+        """The flagship path: 3 sessions, mixed methods (tile-routed:rle
+        included), one crash-fault job under degrade QoS — all
+        multiplexed over one pool; every stream monotone; every final
+        frame bit-identical to its one-shot run."""
+        base = _cfg()
+        with RenderService(base, max_workers=3) as service:
+            service.open_session("alice", qos="lossless")
+            service.open_session("bob", qos="degrade")
+            service.open_session("carol", qos="strict")
+            t_alice = service.submit("alice", method="binary-swap:rle")
+            t_bob = service.submit(
+                "bob", RenderJob(deltas={"method": "tile-routed:rle"},
+                                 fault_plan=_render_crash_plan())
+            )
+            t_carol = service.submit("carol", rot_y=45.0)
+            r_alice = t_alice.result(timeout=120)
+            r_bob = t_bob.result(timeout=120)
+            r_carol = t_carol.result(timeout=120)
+            assert service.pool.jobs_submitted == 3
+            assert service.pool.peak_active <= 3
+
+        # Progressive streams: monotone coverage, flagged final.
+        for ticket in (t_alice, t_bob, t_carol):
+            assert ticket.feed is not None and ticket.feed.closed
+            _assert_monotone(ticket.feed.events)
+            assert ticket.feed.events[-1].kind == "final"
+            assert ticket.feed.events[-1].coverage == 1.0
+
+        # Degrade QoS: the crashed job came back flagged, not raised.
+        assert r_bob.degraded
+        assert t_bob.feed.events[-1].degraded
+        assert t_bob.feed.events[-1].outcome == "degraded"
+
+        # Finals bit-identical to one-shot runs of the same configs.
+        one_alice = SortLastSystem(_cfg(method="binary-swap:rle")).run()
+        one_carol = SortLastSystem(_cfg(rot_y=45.0)).run()
+        one_bob = SortLastSystem(_cfg(method="tile-routed:rle")).run(
+            fault_plan=_render_crash_plan(), recovery="degrade"
+        )
+        assert np.array_equal(
+            r_alice.final_image.intensity, one_alice.final_image.intensity
+        )
+        assert np.array_equal(
+            r_carol.final_image.intensity, one_carol.final_image.intensity
+        )
+        assert np.array_equal(
+            r_bob.final_image.intensity, one_bob.final_image.intensity
+        )
+
+    def test_pool_bound_is_respected(self):
+        with RenderService(_cfg(), max_workers=1) as service:
+            tickets = [service.submit(f"s{i}") for i in range(3)]
+            for ticket in tickets:
+                ticket.result(timeout=120)
+            assert service.pool.peak_active == 1
+            assert service.pool.jobs_submitted == 3
+
+    def test_jobs_within_a_session_run_in_order(self):
+        with RenderService(_cfg(), max_workers=2) as service:
+            first = service.submit("one", rot_y=10.0)
+            second = service.submit("one", rot_y=20.0)
+            r1 = first.result(timeout=120)
+            r2 = second.result(timeout=120)
+            assert r1.config.rot_y == 10.0
+            assert r2.config.rot_y == 20.0
+
+    def test_per_job_perf_scoping(self):
+        """Concurrent jobs account into private registries — a job's
+        report reflects its own run, not an interleaving."""
+        with RenderService(_cfg(), max_workers=2) as service:
+            small = service.submit("a", image_size=32)
+            large = service.submit("b", image_size=96)
+            small.result(timeout=120)
+            large.result(timeout=120)
+        c_small = small.perf_report["counters"]
+        c_large = large.perf_report["counters"]
+        assert c_small and c_large
+        # The larger frame casts strictly more rays than the smaller;
+        # interleaved global counters could never show that cleanly.
+        assert c_large["raycast.rays"] > c_small["raycast.rays"]
+
+
+class TestQoS:
+    def test_qos_maps_onto_recovery_lattice(self):
+        assert QOS_POLICIES["degrade"] == "degrade"
+        assert QOS_POLICIES["strict"] == "abort"
+        assert QOS_POLICIES["lossless"] == "checkpoint-resume"
+
+    def test_strict_session_surfaces_the_error(self):
+        with RenderService(_cfg(), max_workers=1) as service:
+            service.open_session("s", qos="strict")
+            ticket = service.submit("s", RenderJob(fault_plan=_crash_plan()))
+            with pytest.raises(RankFailedError):
+                ticket.result(timeout=120)
+
+    def test_lossless_session_recovers_bit_identically(self):
+        with RenderService(_cfg(), max_workers=1) as service:
+            service.open_session("l", qos="lossless")
+            hurt = service.submit("l", RenderJob(fault_plan=_crash_plan()))
+            clean = service.submit("l")
+            r_hurt = hurt.result(timeout=120)
+            r_clean = clean.result(timeout=120)
+        assert r_hurt.recovered and not r_hurt.degraded
+        assert np.array_equal(
+            r_hurt.final_image.intensity, r_clean.final_image.intensity
+        )
+
+    def test_job_recovery_overrides_session_qos(self):
+        with RenderService(_cfg(), max_workers=1) as service:
+            service.open_session("s", qos="strict")
+            ticket = service.submit(
+                "s", RenderJob(fault_plan=_crash_plan(), recovery="degrade")
+            )
+            result = ticket.result(timeout=120)
+        assert result.degraded
+
+    def test_unknown_qos_rejected(self):
+        with RenderService(_cfg()) as service:
+            with pytest.raises(ConfigurationError, match="QoS"):
+                service.open_session("x", qos="platinum")
+
+    def test_qos_conflict_on_reopen_rejected(self):
+        with RenderService(_cfg()) as service:
+            service.open_session("x", qos="strict")
+            service.open_session("x", qos="strict")  # idempotent
+            with pytest.raises(ConfigurationError, match="already open"):
+                service.open_session("x", qos="degrade")
+
+
+class TestProgressiveFrame:
+    @pytest.mark.parametrize("method", ["binary-swap:rle", "tile-routed:rle"])
+    def test_replay_converges_to_the_final_image(self, method):
+        with RenderService(_cfg(method=method), max_workers=1) as service:
+            ticket = service.submit("viewer")
+            result = ticket.result(timeout=120)
+        frame = ProgressiveFrame(64, 64)
+        last_cov = 0.0
+        for event in ticket.feed.events:
+            frame.apply(event)
+            assert frame.coverage >= last_cov
+            last_cov = frame.coverage
+        assert frame.finalized and not frame.degraded
+        assert frame.outcome == "clean"
+        assert np.array_equal(frame.image.intensity, result.final_image.intensity)
+        assert np.array_equal(frame.image.opacity, result.final_image.opacity)
+
+    def test_tile_frames_are_correct_before_the_final_event(self):
+        """Mid-stream, every tile-covered pixel already holds its final
+        value — the progressive display never shows wrong pixels."""
+        with RenderService(_cfg(method="tile-routed:rle"), max_workers=1) as service:
+            ticket = service.submit("viewer")
+            result = ticket.result(timeout=120)
+        frame = ProgressiveFrame(64, 64)
+        for event in ticket.feed.events:
+            if event.kind != "tile":
+                continue
+            frame.apply(event)
+            rect = event.rect
+            assert np.array_equal(
+                frame.image.intensity[rect.y0 : rect.y1, rect.x0 : rect.x1],
+                result.final_image.intensity[rect.y0 : rect.y1, rect.x0 : rect.x1],
+            )
+
+
+class TestSpool:
+    def test_spool_round_trip(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        base = _cfg()
+        j_tile = submit_job(
+            spool, session="u1", qos="degrade",
+            deltas={"method": "tile-routed:rle"},
+        )
+        j_rot = submit_job(spool, session="u2", qos="lossless",
+                           deltas={"rot_y": 10.0})
+        j_crash = submit_job(
+            spool, session="u1", qos="degrade",
+            fault_plan=_crash_plan(),
+        )
+        served = serve(spool, base, max_workers=3, max_jobs=3, idle_timeout=10.0)
+        assert served == 3
+
+        doc_tile = wait_for_result(spool, j_tile, timeout=5.0)
+        doc_rot = wait_for_result(spool, j_rot, timeout=5.0)
+        doc_crash = wait_for_result(spool, j_crash, timeout=5.0)
+        assert doc_tile["ok"] and doc_rot["ok"] and doc_crash["ok"]
+        assert doc_tile["outcome"] == "clean"
+        assert doc_crash["outcome"] == "degraded" and doc_crash["degraded"]
+
+        # Streamed documents: monotone coverage, final persisted image
+        # bit-identical to the one-shot run.
+        events = read_events(spool, j_tile)
+        covs = [e["coverage"] for e in events]
+        assert events and all(a <= b for a, b in zip(covs, covs[1:]))
+        assert events[-1]["kind"] == "final"
+        with np.load(doc_tile["image"]) as npz:
+            one_shot = SortLastSystem(_cfg(method="tile-routed:rle")).run()
+            assert np.array_equal(npz["intensity"], one_shot.final_image.intensity)
+            assert np.array_equal(npz["opacity"], one_shot.final_image.opacity)
+
+    def test_spool_reports_failures(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        job_id = submit_job(
+            spool, session="s", qos="strict", fault_plan=_crash_plan()
+        )
+        serve(spool, _cfg(), max_workers=1, max_jobs=1, idle_timeout=10.0)
+        doc = wait_for_result(spool, job_id, timeout=5.0)
+        assert not doc["ok"]
+        assert doc["error"] == "RankFailedError"
+
+    def test_submit_rejects_unknown_qos(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="QoS"):
+            submit_job(str(tmp_path), qos="platinum")
+
+
+class TestWorkerPool:
+    def test_grid_rides_the_shared_pool(self):
+        from repro.experiments.harness import run_grid
+
+        pool = WorkerPool(3)
+        try:
+            pooled = run_grid(
+                ["sphere"], 48, [2, 4], ["bs", "bsbrc"],
+                volume_shape=(32, 32, 16), pool=pool,
+            )
+            inline = run_grid(
+                ["sphere"], 48, [2, 4], ["bs", "bsbrc"],
+                volume_shape=(32, 32, 16),
+            )
+        finally:
+            pool.shutdown()
+        assert [r.as_dict() for r in pooled] == [r.as_dict() for r in inline]
+
+    def test_pool_requires_a_worker(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(0)

@@ -1,0 +1,129 @@
+"""RenderSession: many jobs on one warm backend, bit-identical to one-shots.
+
+The determinism contract behind the serving layer: back-to-back runs on
+a reused backend (sim and mp) produce timelines and images
+bit-identical to fresh one-shot ``SortLastSystem.run`` calls — the
+session's warmth (scene memo, render caches, backend object) must never
+leak state into results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.config import RunConfig
+from repro.pipeline.session import RenderJob, RenderSession
+from repro.pipeline.system import SortLastSystem
+
+
+def _cfg(**kw):
+    base = dict(
+        dataset="sphere",
+        image_size=64,
+        num_ranks=4,
+        method="bsbrc",
+        volume_shape=(32, 32, 16),
+    )
+    base.update(kw)
+    return RunConfig(**base)
+
+
+def _integer_projection(timeline):
+    """The deterministic cross-substrate slice of a timeline: per-rank,
+    per-stage byte/message counters and named op counters (wall and
+    modelled times are substrate-dependent on mp)."""
+    out = []
+    for rs in timeline.rank_stats:
+        stages = {}
+        for key, st in rs.stages.items():
+            stages[key] = (
+                st.bytes_sent,
+                st.bytes_recv,
+                st.msgs_sent,
+                st.msgs_recv,
+                tuple(sorted(st.counters.items())),
+            )
+        out.append((rs.rank, stages))
+    return out
+
+
+class TestSimSession:
+    def test_back_to_back_runs_bit_identical_to_fresh_backends(self):
+        cfg = _cfg()
+        session = RenderSession(cfg)
+        first = session.submit()
+        second = session.submit()
+        fresh_a = SortLastSystem(cfg).run()
+        fresh_b = SortLastSystem(cfg).run()
+        for got, want in ((first, fresh_a), (second, fresh_b)):
+            assert np.array_equal(
+                got.final_image.intensity, want.final_image.intensity
+            )
+            assert np.array_equal(got.final_image.opacity, want.final_image.opacity)
+            # Full timeline identity on the simulator: modelled times,
+            # byte/msg counters, events — everything.
+            assert got.timeline.to_dict()["ranks"] == want.timeline.to_dict()["ranks"]
+            assert got.timeline.makespan == want.timeline.makespan
+        assert session.jobs_completed == 2
+
+    def test_config_deltas_per_job(self):
+        session = RenderSession(_cfg())
+        rotated = session.submit(rot_y=45.0)
+        retiled = session.submit(method="tile-routed:rle")
+        assert rotated.config.rot_y == 45.0
+        assert retiled.config.method == "tile-routed:rle"
+        # Each delta run equals its one-shot equivalent.
+        want = SortLastSystem(_cfg(rot_y=45.0)).run()
+        assert np.array_equal(
+            rotated.final_image.intensity, want.final_image.intensity
+        )
+        # The session's base config is untouched by deltas.
+        assert session.config.rot_y != 45.0
+        assert session.config.method == "bsbrc"
+
+    def test_prepared_job_with_progress_feed(self):
+        from repro.cluster.progress import ProgressFeed
+
+        feed = ProgressFeed()
+        session = RenderSession(_cfg())
+        result = session.submit(RenderJob(progress=feed))
+        assert feed.events[-1].kind == "final"
+        assert np.array_equal(
+            feed.events[-1].intensity, result.final_image.intensity
+        )
+
+    def test_job_and_deltas_are_exclusive(self):
+        session = RenderSession(_cfg())
+        with pytest.raises(ConfigurationError, match="not both"):
+            session.submit(RenderJob(), rot_y=1.0)
+
+    def test_closed_session_rejects_jobs(self):
+        with RenderSession(_cfg()) as session:
+            session.submit()
+        with pytest.raises(ConfigurationError, match="closed"):
+            session.submit()
+
+
+class TestMPSession:
+    def test_back_to_back_mp_runs_match_fresh_backends(self):
+        cfg = _cfg(backend="mp", num_ranks=2, image_size=48)
+        session = RenderSession(cfg)
+        first = session.submit()
+        second = session.submit()
+        fresh = SortLastSystem(cfg).run()
+        for got in (first, second):
+            assert got.backend_name == "mp"
+            assert np.array_equal(
+                got.final_image.intensity, fresh.final_image.intensity
+            )
+            assert np.array_equal(got.final_image.opacity, fresh.final_image.opacity)
+            # Wall clocks differ run to run; the integer accounting
+            # (bytes, messages, op counters) must be byte-identical.
+            assert _integer_projection(got.timeline) == _integer_projection(
+                fresh.timeline
+            )
+
+    def test_mp_session_matches_sim_pixels(self):
+        mp = RenderSession(_cfg(backend="mp", num_ranks=2, image_size=48)).submit()
+        sim = RenderSession(_cfg(backend="sim", num_ranks=2, image_size=48)).submit()
+        assert np.array_equal(mp.final_image.intensity, sim.final_image.intensity)

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""End-to-end smoke for the file-spool render service (CI: serve-smoke).
+
+Drives the real CLI: three jobs land in one spool — mixed methods
+including ``tile-routed:rle``, one carrying a crash fault plan under
+``degrade`` QoS — and one ``serve`` invocation multiplexes their three
+sessions over a single bounded worker pool.  Afterwards the script
+asserts, against the on-disk artifacts:
+
+* every streamed ``repro.serve-event/1`` sequence is monotone in
+  coverage and ends with a ``final`` event at coverage 1.0;
+* every persisted final frame is bit-identical to a one-shot
+  ``SortLastSystem.run`` of the same configuration (the crash job
+  compared against a one-shot degraded run);
+* the crash-fault job came back *flagged* (``ok`` with
+  ``outcome=degraded``), not failed.
+
+Exit status is non-zero on any violation, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.cluster.faults import FaultPlan, FaultRule  # noqa: E402
+from repro.pipeline.config import RunConfig  # noqa: E402
+from repro.pipeline.system import SortLastSystem  # noqa: E402
+from repro.serving import load_result, read_events  # noqa: E402
+
+BASE = dict(dataset="sphere", method="bsbrc", num_ranks=4, image_size=64,
+            machine="sp2")
+
+
+def _cli(*argv: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", *argv],
+        cwd=ROOT, env=env, capture_output=True, text=True, timeout=600,
+    )
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        raise SystemExit(f"CLI {' '.join(argv[:2])} exited {proc.returncode}")
+    return proc.stdout
+
+
+def _submit(spool: str, *extra: str) -> str:
+    out = _cli("submit", "--spool", spool, *extra)
+    match = re.search(r"\[submitted (\S+) to ", out)
+    if match is None:
+        raise SystemExit(f"could not parse job id from submit output: {out!r}")
+    return match.group(1)
+
+
+def _check(label: str, ok: bool, detail: str = "") -> None:
+    print(f"  {'ok' if ok else 'FAIL'}  {label}" + (f" ({detail})" if detail else ""))
+    if not ok:
+        raise SystemExit(f"serve-smoke: {label} failed {detail}")
+
+
+def _verify(spool: str, job_id: str, want, *, degraded: bool) -> None:
+    doc = load_result(spool, job_id)
+    _check(f"{job_id}: result present", doc is not None)
+    _check(f"{job_id}: ok", bool(doc["ok"]), str(doc.get("error")))
+    _check(f"{job_id}: degraded flag", doc["degraded"] == degraded,
+           f"want {degraded}, got {doc['degraded']}")
+    _check(f"{job_id}: outcome", doc["outcome"] == ("degraded" if degraded else "clean"),
+           doc["outcome"])
+    events = read_events(spool, job_id)
+    covs = [e["coverage"] for e in events]
+    _check(f"{job_id}: streamed events present", bool(events))
+    _check(f"{job_id}: coverage monotone",
+           all(a <= b for a, b in zip(covs, covs[1:])))
+    _check(f"{job_id}: final event at 1.0",
+           events[-1]["kind"] == "final" and events[-1]["coverage"] == 1.0)
+    with np.load(doc["image"]) as npz:
+        _check(f"{job_id}: final intensity bit-identical to one-shot",
+               np.array_equal(npz["intensity"], want.final_image.intensity))
+        _check(f"{job_id}: final opacity bit-identical to one-shot",
+               np.array_equal(npz["opacity"], want.final_image.opacity))
+
+
+def main() -> None:
+    spool = tempfile.mkdtemp(prefix="serve-smoke-")
+    plan = FaultPlan(
+        rules=(FaultRule(kind="crash", rank=1, phase="render"),), seed=5
+    )
+    plan_path = os.path.join(spool, "crash-plan.json")
+    plan.save(plan_path)
+
+    print(f"serve-smoke: spool at {spool}")
+    j_alice = _submit(spool, "--session", "alice", "--qos", "lossless",
+                      "--method", "binary-swap:rle")
+    j_bob = _submit(spool, "--session", "bob", "--qos", "degrade",
+                    "--method", "tile-routed:rle", "--fault-plan", plan_path)
+    j_carol = _submit(spool, "--session", "carol", "--qos", "strict",
+                      "--rot-y", "45")
+    _cli(
+        "serve", "--spool", spool,
+        "--dataset", BASE["dataset"], "--method", BASE["method"],
+        "--ranks", str(BASE["num_ranks"]),
+        "--image-size", str(BASE["image_size"]), "--machine", BASE["machine"],
+        "--max-workers", "3", "--max-jobs", "3", "--idle-timeout", "60",
+    )
+
+    print("serve-smoke: checking artifacts")
+    one_alice = SortLastSystem(
+        RunConfig(**{**BASE, "method": "binary-swap:rle"})
+    ).run()
+    one_bob = SortLastSystem(
+        RunConfig(**{**BASE, "method": "tile-routed:rle"})
+    ).run(fault_plan=plan, recovery="degrade")
+    one_carol = SortLastSystem(RunConfig(**BASE, rot_y=45.0)).run()
+    _verify(spool, j_alice, one_alice, degraded=False)
+    _verify(spool, j_bob, one_bob, degraded=True)
+    _verify(spool, j_carol, one_carol, degraded=False)
+    print("serve-smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()
