@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-scale bench-tile chaos explore explore-smoke grid serve-smoke soak verify lint results quick clean
+.PHONY: install test bench bench-quick bench-scale bench-tile chaos explore explore-smoke grid serve-smoke serve-chaos soak verify lint results quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -72,6 +72,16 @@ explore-smoke:
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_progress.py tests/test_session.py tests/test_serving.py -q
 	$(PYTHON) tools/serve_smoke.py
+
+# Serving kill-restart matrix: SIGKILL a spool server while jobs are
+# queued and mid-render (mp + checkpoints included), restart, and assert
+# lease reclamation, exactly-one-result, and bit-identical finals; plus
+# the deterministic 4x-capacity overload matrix per shedding policy.
+# Uses pytest-timeout's per-test kill switch when installed; the suite
+# also carries its own SIGALRM watchdog so it never hangs without it.
+serve-chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_serve_chaos.py -q \
+		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo --timeout=300 --timeout-method=signal)
 
 # Nightly soak: loop the chaos + recovery suites on fresh seed windows
 # for SOAK_MINUTES (default 20), saving failing fault plans as JSON

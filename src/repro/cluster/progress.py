@@ -54,11 +54,13 @@ from __future__ import annotations
 
 import base64
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 import numpy as np
 
+from ..errors import DeadlineExceededError
 from ..types import Rect
 
 __all__ = [
@@ -215,6 +217,14 @@ class ProgressFeed:
         self._cond = threading.Condition()
         self._closed = False
         self._coverage = 0.0
+        # Deadline enforcement hook: an absolute time.monotonic() point
+        # set by the serving layer (set_deadline).  Checked on every
+        # producer-side emit — the engines call emit_stage/emit_tile at
+        # exactly their checkpoint/tile boundaries, so an expired
+        # deadline aborts the run at the next boundary without adding
+        # any new hook surface to the engines themselves.
+        self._deadline_at: "float | None" = None
+        self._deadline_s: "float | None" = None
         # Stage accounting: rank -> completed-stage count (this attempt).
         self._stage_done: dict[int, int] = {}
         self._stage_total: Optional[int] = None
@@ -259,6 +269,22 @@ class ProgressFeed:
             self._closed = True
             self._cond.notify_all()
 
+    def set_deadline(self, deadline_at: "float | None",
+                     deadline_s: "float | None" = None) -> None:
+        """Arm (or clear) the feed's deadline.
+
+        ``deadline_at`` is an absolute ``time.monotonic()`` instant; once
+        it passes, the next ``stage``/``tile`` emission raises
+        :class:`~repro.errors.DeadlineExceededError` *inside the engine*,
+        aborting the run at a checkpoint/tile boundary.  ``final``
+        emissions are exempt: if the display image already exists,
+        delivering it beats dropping it.  ``deadline_s`` is the original
+        budget, carried into the error for reporting.
+        """
+        with self._cond:
+            self._deadline_at = deadline_at
+            self._deadline_s = deadline_s
+
     # ---- producer side -----------------------------------------------------
     def _coverage_candidate(self) -> float:
         parts: list[float] = []
@@ -273,6 +299,20 @@ class ProgressFeed:
 
     def _append(self, event_kind: str, coverage: Optional[float] = None, **fields) -> ProgressEvent:
         with self._cond:
+            if event_kind != "final" and self._deadline_at is not None:
+                now = time.monotonic()
+                if now >= self._deadline_at:
+                    budget = self._deadline_s
+                    raise DeadlineExceededError(
+                        "job ran past its deadline"
+                        + (f" of {budget}s" if budget is not None else "")
+                        + f" (checked at a {event_kind} boundary)",
+                        deadline_s=budget,
+                        elapsed=(
+                            None if budget is None
+                            else budget + (now - self._deadline_at)
+                        ),
+                    )
             candidate = self._coverage_candidate() if coverage is None else coverage
             self._coverage = max(self._coverage, min(1.0, candidate))
             event = ProgressEvent(

@@ -211,6 +211,23 @@ class CheckpointStore(abc.ABC):
             latest.append(stage)
         return min(latest)
 
+    def resumable_stage(self, num_ranks: int) -> Optional[int]:
+        """The :meth:`common_stage`, verified loadable on *every* rank.
+
+        Lockstep resume is only protocol-consistent when all ranks
+        restart from the same stage; a compacting store (or a crash
+        mid-save) can leave the nominal common stage unloadable on a
+        rank that already moved past it.  Rather than resume a torn
+        state, return ``None`` — the caller replays from scratch, which
+        is equally lossless, just slower.
+        """
+        stage = self.common_stage(num_ranks)
+        if stage is None:
+            return None
+        if all(self.load(rank, stage) is not None for rank in range(num_ranks)):
+            return stage
+        return None
+
 
 class MemoryCheckpointStore(CheckpointStore):
     """In-process store (simulator): pickled blobs in a dict.

@@ -67,6 +67,7 @@ from collections import deque
 
 from ..errors import (
     ConfigurationError,
+    DeadlineExceededError,
     DeadlockError,
     LivelockError,
     RankFailedError,
@@ -434,6 +435,11 @@ class Simulator:
         except WireFormatError:
             # Detected corruption must surface as itself (the typed
             # contract of the CRC check), not wrapped as a rank failure.
+            raise
+        except DeadlineExceededError:
+            # A deadline abort is the serving layer's verdict on the
+            # whole job, not one rank's failure — recovery must not
+            # degrade/respawn its way past it.
             raise
         except Exception as exc:
             raise RankFailedError(

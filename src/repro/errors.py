@@ -20,6 +20,12 @@ __all__ = [
     "PartitionError",
     "RenderError",
     "CompositingError",
+    "ServingError",
+    "OverloadError",
+    "JobRejectedError",
+    "JobShedError",
+    "JobCancelledError",
+    "DeadlineExceededError",
 ]
 
 
@@ -172,3 +178,69 @@ class RenderError(ReproError, RuntimeError):
 
 class CompositingError(ReproError, RuntimeError):
     """A compositing method violated one of its invariants."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """Base class for render-service admission and lifecycle errors."""
+
+
+class OverloadError(ServingError):
+    """The service's bounded job queue is full.
+
+    Base of the two overload dispositions: a job the service turned away
+    at the door (:class:`JobRejectedError`) and a queued job evicted to
+    make room for a higher-QoS arrival (:class:`JobShedError`).  Both
+    carry the shedding ``policy`` that made the call so clients and the
+    spool's result documents can report it.
+    """
+
+    def __init__(self, message: str, *, policy: str | None = None,
+                 queue_limit: int | None = None):
+        self.policy = policy
+        self.queue_limit = queue_limit
+        super().__init__(message)
+
+
+class JobRejectedError(OverloadError):
+    """Admission was refused: the queue is full and the policy says no.
+
+    Raised synchronously from ``RenderService.submit`` under the
+    ``reject`` policy (and under ``shed-lowest-qos`` when no queued job
+    outranks the arrival) — the caller never receives a ticket, so
+    nothing can hang.
+    """
+
+
+class JobShedError(OverloadError):
+    """A queued job was evicted to admit a higher-QoS arrival.
+
+    Delivered *through the shed job's ticket future* (never raised at
+    the submitter), so a client blocked in ``ticket.result()`` wakes
+    with this error instead of hanging forever.
+    """
+
+
+class JobCancelledError(ServingError):
+    """A queued job was cancelled by service shutdown/drain.
+
+    Resolved onto the ticket future of every admitted-but-unstarted job
+    when the service closes, so abandoned tickets never leak an
+    unresolved future.  The spool's drain path re-spools these jobs
+    instead of writing a result document.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """A job ran past its ``deadline_s`` budget.
+
+    Queued jobs past deadline are dropped before execution; running jobs
+    are checked at the engines' checkpoint/tile boundaries via the
+    progress-feed hook.  ``elapsed`` and ``deadline_s`` (seconds) say by
+    how much.
+    """
+
+    def __init__(self, message: str, *, deadline_s: float | None = None,
+                 elapsed: float | None = None):
+        self.deadline_s = deadline_s
+        self.elapsed = elapsed
+        super().__init__(message)

@@ -238,7 +238,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit after serving this many jobs")
     serve.add_argument("--idle-timeout", type=float, default=None,
                        help="exit after this many seconds with no pending "
-                            "or in-flight work (default: serve forever)")
+                            "or in-flight work (default: serve forever; "
+                            "SIGTERM drains gracefully either way)")
+    serve.add_argument("--backend", default="sim",
+                       help="execution substrate for the service's "
+                            "sessions: sim | mp | mpi (default: sim)")
+    serve.add_argument("--queue-limit", type=int, default=None,
+                       help="bound on jobs admitted but not yet running "
+                            "(default: unbounded)")
+    serve.add_argument("--shed-policy", default="block",
+                       help="full-queue policy: block | reject | "
+                            "shed-lowest-qos (default: block)")
+    serve.add_argument("--lease-s", type=float, default=15.0,
+                       help="claim-lease lifetime; a work item whose "
+                            "lease is older than this is reclaimed by "
+                            "any server on the spool (default: 15)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="expired-lease reclaims before a job is "
+                            "buried with a failure result (default: 3)")
     submit = sub.add_parser(
         "submit",
         help="drop one render job into a serve spool (config deltas "
@@ -268,6 +285,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--fault-plan", default=None,
                         help="JSON fault plan (repro.fault-plan/1) to "
                              "inject into this job")
+    submit.add_argument("--deadline-s", type=float, default=None,
+                        help="wall-clock budget from server admission; "
+                             "overrun jobs fail with DeadlineExceededError")
     submit.add_argument("--wait", action="store_true",
                         help="poll the spool until the result lands")
     submit.add_argument("--timeout", type=float, default=120.0,
@@ -592,21 +612,31 @@ def _run_one(args, command: str) -> None:
                 ),
                 volume_shape=_QUICK["volume_shape"] if args.quick else None,
                 machine=getattr(args, "machine", "sp2"),
+                backend=getattr(args, "backend", "sim"),
             )
         except ConfigurationError as exc:
             raise SystemExit(str(exc)) from exc
         print(
             f"Serving {cfg.label()} from spool {args.spool} "
             f"(workers={args.max_workers}, max_jobs={args.max_jobs}, "
-            f"idle_timeout={args.idle_timeout})"
+            f"idle_timeout={args.idle_timeout}, "
+            f"queue_limit={getattr(args, 'queue_limit', None)}, "
+            f"shed_policy={getattr(args, 'shed_policy', 'block')})"
         )
-        served = serve_spool(
-            args.spool,
-            cfg,
-            max_workers=getattr(args, "max_workers", 2),
-            max_jobs=getattr(args, "max_jobs", None),
-            idle_timeout=getattr(args, "idle_timeout", None),
-        )
+        try:
+            served = serve_spool(
+                args.spool,
+                cfg,
+                max_workers=getattr(args, "max_workers", 2),
+                max_jobs=getattr(args, "max_jobs", None),
+                idle_timeout=getattr(args, "idle_timeout", None),
+                queue_limit=getattr(args, "queue_limit", None),
+                shed_policy=getattr(args, "shed_policy", "block"),
+                lease_s=getattr(args, "lease_s", 15.0),
+                max_attempts=getattr(args, "max_attempts", 3),
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
         print(f"[served {served} job(s)]")
     elif command == "submit":
         from ..cluster.faults import FaultPlan
@@ -632,14 +662,21 @@ def _run_one(args, command: str) -> None:
                 qos=getattr(args, "qos", None) or DEFAULT_QOS,
                 deltas=deltas,
                 fault_plan=fault_plan,
+                deadline_s=getattr(args, "deadline_s", None),
             )
         except ConfigurationError as exc:
             raise SystemExit(str(exc)) from exc
         print(f"[submitted {job_id} to {args.spool}]")
         if getattr(args, "wait", False):
-            doc = wait_for_result(
-                args.spool, job_id, timeout=getattr(args, "timeout", 120.0)
-            )
+            timeout = getattr(args, "timeout", 120.0)
+            try:
+                doc = wait_for_result(args.spool, job_id, timeout=timeout)
+            except TimeoutError:
+                raise SystemExit(
+                    f"{job_id}: no result within {timeout}s — the spool "
+                    "may have no server attached, or the render is still "
+                    "running (re-poll with a larger --timeout)"
+                ) from None
             if doc.get("ok"):
                 print(
                     f"{job_id}: outcome={doc.get('outcome')} "

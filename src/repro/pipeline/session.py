@@ -67,6 +67,17 @@ class RenderJob:
     progress: Optional[ProgressFeed] = None
     #: Free-form tag carried through for the submitter's bookkeeping.
     label: Optional[str] = None
+    #: Wall-clock budget in seconds from admission; the serving layer
+    #: drops queued-past-deadline jobs before execution and aborts
+    #: running ones at checkpoint/tile boundaries (``None`` = no limit).
+    deadline_s: Optional[float] = None
+    #: Caller-owned checkpoint store for whole-run resume (see
+    #: :meth:`~repro.pipeline.system.SortLastSystem.run`); requires a
+    #: resume-capable recovery policy.
+    checkpoint_store: Any = None
+    #: Resume point against ``checkpoint_store``: ``None`` (fresh),
+    #: ``"common"`` (highest loadable common stage), or a stage int.
+    resume: "None | int | str" = None
 
     def config_for(self, base: RunConfig) -> RunConfig:
         """The job's effective config: ``base`` with this job's deltas."""
@@ -131,6 +142,8 @@ class RenderSession:
             recovery=job.recovery,
             schedule_policy=job.schedule_policy,
             progress=job.progress,
+            checkpoint_store=job.checkpoint_store,
+            resume=job.resume,
         )
         self.jobs_completed += 1
         return result

@@ -268,6 +268,8 @@ class SortLastSystem:
         recovery: "str | RecoveryPolicy | None" = None,
         schedule_policy=None,
         progress: Optional[ProgressFeed] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        resume: "None | int | str" = None,
     ) -> SystemResult:
         """Execute partition → render → composite (→ gather & assemble).
 
@@ -306,6 +308,19 @@ class SortLastSystem:
         per-attempt accounting, so coverage stays monotone across a
         degraded restart.  Feeds cannot cross the mp/mpi process
         boundary, so real transports reject one up front.
+
+        ``checkpoint_store`` (requires a resume-capable ``recovery``
+        policy) replaces the run-private store with a caller-owned one —
+        neither cleared nor deleted when this call returns.  This is the
+        whole-run-resume hook: a serving process can keep a job's
+        :class:`~repro.cluster.recovery.DiskCheckpointStore` in a
+        crash-survivable location, and a *different* process can later
+        rerun the job against the same store with ``resume="common"``,
+        restoring the highest stage every rank checkpointed (verified
+        loadable) and replaying only the tail — on the simulator *and*
+        on mp, since all ranks restart together the lockstep replay is
+        always protocol-consistent.  ``resume`` may also be an explicit
+        stage int; ``None`` starts fresh (snapshots still saved).
         """
         cfg = self.config
         if backend is None:
@@ -328,8 +343,27 @@ class SortLastSystem:
         # derives (memoized, and inherited by forked mp workers).
         scene = build_scene(cfg)
 
-        store, cleanup = self._make_store(engine, policy)
-        runtime = RecoveryRuntime(store=store) if store is not None else None
+        if checkpoint_store is not None:
+            if not policy.allows_resume:
+                raise ConfigurationError(
+                    "checkpoint_store requires a resume-capable recovery "
+                    f"policy (checkpoint-resume), got {policy.name!r}"
+                )
+            store, cleanup = checkpoint_store, None  # caller owns lifecycle
+        else:
+            store, cleanup = self._make_store(engine, policy)
+        resume_stage: Optional[int] = None
+        if store is not None and resume is not None:
+            resume_stage = (
+                store.resumable_stage(cfg.num_ranks)
+                if resume == "common"
+                else int(resume)
+            )
+        runtime = (
+            RecoveryRuntime(store=store, resume=resume_stage)
+            if store is not None
+            else None
+        )
         args: tuple = (cfg, gather_final)
         if progress is not None:
             args = (cfg, gather_final, fault_plan, runtime, progress)
@@ -441,14 +475,16 @@ class SortLastSystem:
         stage = crash_stage_of(err)
         if (
             policy.allows_resume
-            and engine.name == "sim"
+            and engine.name in ("sim", "mp")
             and store is not None
         ):
             # Lockstep resume needs a stage checkpointed by *every* rank;
             # when the crash hit before one exists the lossless fallback
             # is a clean full replay (resume=None) — still bit-identical,
-            # it just starts from stage 0.
-            resume = store.common_stage(cfg.num_ranks)
+            # it just starts from stage 0.  Unlike in-place respawn this
+            # is protocol-safe on mp too: every rank restarts together,
+            # so the replayed exchange sequence is self-consistent.
+            resume = store.resumable_stage(cfg.num_ranks)
             return self._run_resumed(
                 engine, scene, err, store, resume,
                 gather_final=gather_final, trace=trace, policy=policy,

@@ -20,12 +20,15 @@ from .service import (
     DEFAULT_QOS,
     JobTicket,
     QOS_POLICIES,
+    QOS_SHED_PRIORITY,
     RenderService,
+    SHED_POLICIES,
     SessionHandle,
     WorkerPool,
 )
 from .spool import (
     JOB_SCHEMA,
+    LEASE_SCHEMA,
     RESULT_SCHEMA,
     load_result,
     read_events,
@@ -38,10 +41,13 @@ __all__ = [
     "DEFAULT_QOS",
     "JOB_SCHEMA",
     "JobTicket",
+    "LEASE_SCHEMA",
     "ProgressiveFrame",
     "QOS_POLICIES",
+    "QOS_SHED_PRIORITY",
     "RESULT_SCHEMA",
     "RenderService",
+    "SHED_POLICIES",
     "SessionHandle",
     "WorkerPool",
     "load_result",

@@ -21,7 +21,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..cluster.progress import ProgressEvent
+from ..cluster.progress import ProgressEvent, serve_event_from_dict
 from ..render.image import SubImage
 
 __all__ = ["ProgressiveFrame"]
@@ -29,6 +29,21 @@ __all__ = ["ProgressiveFrame"]
 
 class ProgressiveFrame:
     """Fold progress events into a best-known partial display image."""
+
+    @classmethod
+    def replay(cls, docs, height: int, width: int) -> "ProgressiveFrame":
+        """Fold a recorded ``repro.serve-event/1`` document stream.
+
+        Pairs with :func:`repro.serving.spool.read_events`, which
+        already drops a torn trailing record from an interrupted
+        writer — so replaying a crashed server's partial event log
+        yields the frame as of the last *complete* event, never a JSON
+        crash.
+        """
+        frame = cls(height, width)
+        for doc in docs:
+            frame.apply(serve_event_from_dict(doc))
+        return frame
 
     def __init__(self, height: int, width: int):
         self.image = SubImage.blank(height, width)

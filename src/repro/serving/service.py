@@ -8,6 +8,22 @@
   models time, not wall time, so threads are the right grain: the pool
   bounds *admission* (how many renders are in flight), which is the
   resource the service actually rations.
+* **Admission control** — a bounded job queue (``queue_limit``) in
+  front of the pool with a shedding-policy lattice
+  ``block < reject < shed-lowest-qos`` (:data:`SHED_POLICIES`): under
+  ``block`` a full queue back-pressures the submitter; under ``reject``
+  the arrival is turned away with a typed
+  :class:`~repro.errors.JobRejectedError`; under ``shed-lowest-qos``
+  the lowest-priority *queued* job is evicted (its ticket future
+  resolves with :class:`~repro.errors.JobShedError` — a shed client
+  never hangs) to admit a higher-QoS arrival.  Every overload decision
+  lands as a structured ``repro.serve-event/1`` document in
+  :attr:`RenderService.events`.
+* **Per-job deadlines** — ``deadline_s`` (on the job or the submit
+  call) starts the clock at admission: queued-past-deadline jobs are
+  dropped before execution, and running sim jobs are aborted at the
+  engines' checkpoint/tile boundaries via the progress-feed hook —
+  both surfacing a typed :class:`~repro.errors.DeadlineExceededError`.
 * **Per-session serialization** — jobs within one session run in
   submission order on the session's warm backend; different sessions
   run concurrently up to the pool bound.
@@ -18,6 +34,8 @@
   (``result.degraded``), a ``lossless`` session pays for checkpoints
   and resumes bit-identically, a ``strict`` session surfaces the typed
   error.  A job may still override its own ``recovery`` explicitly.
+  The same classes double as the shedding priority
+  (:data:`QOS_SHED_PRIORITY`).
 * **Per-job perf scoping** — each job runs under its own
   :class:`repro.perf.PerfRegistry` scope, so concurrent sessions never
   interleave counters; the report lands on the ticket.
@@ -25,19 +43,33 @@
   :class:`~repro.cluster.progress.ProgressFeed` automatically;
   :meth:`JobTicket.stream` yields bit-exact partial frames while the
   render is still in flight.
+* **Graceful drain** — :meth:`RenderService.close` refuses new
+  admissions, finishes in-flight jobs, and *cancels* queued ones
+  (futures resolved with :class:`~repro.errors.JobCancelledError`,
+  tickets returned so a spool front end can re-spool them); with
+  ``drain=False`` running jobs are abandoned after a bounded thread
+  join instead of awaited.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import InvalidStateError
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterator, Optional
 
 from .. import perf
-from ..cluster.progress import ProgressEvent, ProgressFeed
-from ..errors import ConfigurationError
+from ..cluster.progress import SERVE_EVENT_SCHEMA, ProgressEvent, ProgressFeed
+from ..errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    JobCancelledError,
+    JobRejectedError,
+    JobShedError,
+)
 from ..pipeline.config import RunConfig
 from ..pipeline.session import RenderJob, RenderSession
 from ..pipeline.system import SystemResult
@@ -46,7 +78,9 @@ __all__ = [
     "DEFAULT_QOS",
     "JobTicket",
     "QOS_POLICIES",
+    "QOS_SHED_PRIORITY",
     "RenderService",
+    "SHED_POLICIES",
     "SessionHandle",
     "WorkerPool",
 ]
@@ -61,6 +95,23 @@ QOS_POLICIES = {
 }
 
 DEFAULT_QOS = "degrade"
+
+#: Shedding priority per QoS class — *lower sheds first* under
+#: ``shed-lowest-qos``.  ``degrade`` tolerates partial frames (the
+#: cheapest client contract, so the first to go under overload);
+#: ``lossless`` pays for checkpoints and is protected the hardest.
+QOS_SHED_PRIORITY = {
+    "degrade": 0,
+    "available": 1,
+    "strict": 2,
+    "lossless": 3,
+}
+
+#: The shedding-policy lattice, gentlest first: ``block`` back-pressures
+#: the submitter, ``reject`` turns arrivals away at the door,
+#: ``shed-lowest-qos`` additionally evicts queued low-QoS work to admit
+#: higher-QoS arrivals (falling back to reject among equals).
+SHED_POLICIES = ("block", "reject", "shed-lowest-qos")
 
 
 class WorkerPool:
@@ -101,8 +152,30 @@ class WorkerPool:
 
         return self._executor.submit(_tracked)
 
-    def shutdown(self, wait: bool = True) -> None:
-        self._executor.shutdown(wait=wait)
+    def shutdown(
+        self,
+        wait: bool = True,
+        *,
+        timeout: Optional[float] = None,
+        cancel_futures: bool = False,
+    ) -> bool:
+        """Stop the executor; returns True when every thread exited.
+
+        ``timeout`` bounds the total join wall time (``wait`` is then
+        implied): a wedged render cannot hang the closing process
+        forever.  ``cancel_futures`` drops work the executor has not
+        started yet (the abandon path — the service resolves the
+        corresponding tickets itself, so nothing leaks).
+        """
+        self._executor.shutdown(
+            wait=wait and timeout is None, cancel_futures=cancel_futures
+        )
+        if timeout is None:
+            return True
+        deadline = time.monotonic() + timeout
+        for thread in list(self._executor._threads):
+            thread.join(max(0.0, deadline - time.monotonic()))
+        return not any(t.is_alive() for t in self._executor._threads)
 
 
 @dataclass
@@ -128,6 +201,7 @@ class JobTicket:
         job: RenderJob,
         feed: Optional[ProgressFeed],
         qos: str,
+        deadline_s: Optional[float] = None,
     ):
         self.job_id = f"job-{next(self._ids)}"
         self.session = session
@@ -137,6 +211,14 @@ class JobTicket:
         self.future: Future = Future()
         #: The job's scoped perf report, set on completion.
         self.perf_report: Optional[dict] = None
+        #: Admission-time wall reference for the deadline clock.
+        self.submitted_at = time.monotonic()
+        self.deadline_s = deadline_s
+        self.deadline_at = (
+            None if deadline_s is None else self.submitted_at + float(deadline_s)
+        )
+        #: Lifecycle: queued -> running -> (done) | shed | cancelled.
+        self.state = "queued"
 
     def stream(self, timeout: Optional[float] = None) -> Iterator[ProgressEvent]:
         """Yield the job's progress events as they happen (see
@@ -152,9 +234,36 @@ class JobTicket:
     def done(self) -> bool:
         return self.future.done()
 
+    # ---- internal ----------------------------------------------------------
+    def _resolve(self, *, result=None, exc: Optional[BaseException] = None) -> bool:
+        """Settle the future exactly once (races with the worker thread
+        are benign: first writer wins, the loser is a no-op)."""
+        try:
+            if exc is not None:
+                self.future.set_exception(exc)
+            else:
+                self.future.set_result(result)
+            return True
+        except InvalidStateError:
+            return False
+
+    def _abandon(self, exc: BaseException, state: str) -> None:
+        """Resolve + close the stream so no consumer of this ticket —
+        ``result()``, ``stream()``, or a spool writer — can hang."""
+        self.state = state
+        self._resolve(exc=exc)
+        if self.feed is not None:
+            self.feed.close()
+
 
 class RenderService:
-    """Multiplex concurrent render sessions over one bounded pool."""
+    """Multiplex concurrent render sessions over one bounded pool.
+
+    ``queue_limit`` bounds the *waiting* line (jobs admitted but not yet
+    executing); ``None`` keeps the legacy unbounded queue.  When the
+    line is full, ``shed_policy`` (one of :data:`SHED_POLICIES`) decides
+    between back-pressure, rejection, and QoS-based eviction.
+    """
 
     def __init__(
         self,
@@ -162,12 +271,69 @@ class RenderService:
         *,
         max_workers: int = 2,
         pool: Optional[WorkerPool] = None,
+        queue_limit: Optional[int] = None,
+        shed_policy: str = "block",
     ):
+        if shed_policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"unknown shed policy {shed_policy!r}; "
+                f"available: {list(SHED_POLICIES)}"
+            )
+        if queue_limit is not None and queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1 (or None for unbounded), got {queue_limit}"
+            )
         self.base_config = base_config
         self.pool = pool if pool is not None else WorkerPool(max_workers)
+        self.queue_limit = queue_limit
+        self.shed_policy = shed_policy
         self._sessions: dict[str, SessionHandle] = {}
-        self._lock = threading.Lock()
+        # Reentrant: _admit holds it while _record re-enters for the
+        # structured shed/reject event.
+        self._lock = threading.RLock()
+        self._admission = threading.Condition(self._lock)
+        self._queued: list[JobTicket] = []
+        self._running: set[JobTicket] = set()
         self._closed = False
+        #: Structured ``repro.serve-event/1`` control documents, one per
+        #: overload/deadline/drain decision (no pixel payloads).
+        self.events: list[dict] = []
+        self.shed_jobs = 0
+        self.rejected_jobs = 0
+        self.deadline_jobs = 0
+        self.cancelled_jobs = 0
+
+    # ---- introspection -----------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet executing."""
+        with self._lock:
+            return len(self._queued)
+
+    @property
+    def active_jobs(self) -> int:
+        with self._lock:
+            return len(self._running)
+
+    def _record(self, kind: str, ticket: Optional[JobTicket] = None, **extra) -> dict:
+        doc: dict[str, Any] = {
+            "schema": SERVE_EVENT_SCHEMA,
+            "kind": kind,
+            "policy": self.shed_policy,
+            "queue_limit": self.queue_limit,
+            "t_wall": time.time(),
+        }
+        if ticket is not None:
+            doc.update(
+                job_id=ticket.job_id,
+                session=ticket.session,
+                qos=ticket.qos,
+                label=ticket.job.label,
+            )
+        doc.update(extra)
+        with self._lock:
+            self.events.append(doc)
+        return doc
 
     # ---- sessions ----------------------------------------------------------
     def open_session(
@@ -208,6 +374,69 @@ class RenderService:
         if handle is not None:
             handle.session.close()
 
+    # ---- admission ---------------------------------------------------------
+    def _shed_victim(self, priority: int) -> Optional[JobTicket]:
+        """The queued ticket to evict for an arrival at ``priority``:
+        lowest shed-priority strictly below the arrival's, newest among
+        equals (the most recently queued low-QoS job loses the least
+        invested waiting time).  ``None`` when nobody outranks."""
+        victim: Optional[JobTicket] = None
+        victim_pri = priority
+        for ticket in self._queued:
+            pri = QOS_SHED_PRIORITY[ticket.qos]
+            if pri < victim_pri or (victim is not None and pri == victim_pri):
+                victim, victim_pri = ticket, pri
+        return victim
+
+    def _admit(self, ticket: JobTicket) -> None:
+        """Apply the shedding policy; on return the ticket is queued.
+
+        Raises :class:`JobRejectedError` when the policy turns the
+        arrival away.  Must be called with the admission lock held.
+        """
+        if self.queue_limit is None:
+            self._queued.append(ticket)
+            return
+        while len(self._queued) >= self.queue_limit:
+            if self.shed_policy == "block":
+                # Back-pressure: park the submitter until the queue
+                # drains (a worker starting a job frees a slot).
+                self._admission.wait()
+                if self._closed:
+                    raise ConfigurationError("render service is shut down")
+                continue
+            if self.shed_policy == "shed-lowest-qos":
+                victim = self._shed_victim(QOS_SHED_PRIORITY[ticket.qos])
+                if victim is not None:
+                    self._queued.remove(victim)
+                    self.shed_jobs += 1
+                    victim._abandon(
+                        JobShedError(
+                            f"job {victim.job_id} ({victim.qos}) shed for an "
+                            f"arriving {ticket.qos} job (queue full at "
+                            f"{self.queue_limit})",
+                            policy=self.shed_policy,
+                            queue_limit=self.queue_limit,
+                        ),
+                        "shed",
+                    )
+                    self._record(
+                        "shed", victim,
+                        shed_for=ticket.job_id, shed_for_qos=ticket.qos,
+                    )
+                    continue
+            # "reject", or "shed-lowest-qos" with nobody to outrank.
+            self.rejected_jobs += 1
+            self._record("rejected", ticket)
+            raise JobRejectedError(
+                f"job queue full ({len(self._queued)}/{self.queue_limit}) "
+                f"and policy {self.shed_policy!r} refuses the "
+                f"{ticket.qos}-QoS arrival",
+                policy=self.shed_policy,
+                queue_limit=self.queue_limit,
+            )
+        self._queued.append(ticket)
+
     # ---- jobs --------------------------------------------------------------
     def submit(
         self,
@@ -215,6 +444,7 @@ class RenderService:
         job: Optional[RenderJob] = None,
         *,
         stream: bool = True,
+        deadline_s: Optional[float] = None,
         **deltas: Any,
     ) -> JobTicket:
         """Queue one job on ``session`` (opened with default QoS if new).
@@ -222,7 +452,11 @@ class RenderService:
         ``stream=True`` (sim substrate only) attaches a fresh
         :class:`ProgressFeed` when the job does not carry one.  The
         session's QoS supplies the recovery policy unless the job sets
-        its own.  Returns immediately with a :class:`JobTicket`.
+        its own.  ``deadline_s`` (or the job's own) arms the wall-clock
+        deadline from this call.  Returns a :class:`JobTicket` once the
+        job is admitted — immediately unless the queue is full under the
+        ``block`` policy; a full queue under ``reject``/``shed-lowest-qos``
+        raises :class:`~repro.errors.JobRejectedError` instead.
         """
         with self._lock:
             handle = self._sessions.get(session)
@@ -233,64 +467,160 @@ class RenderService:
         elif deltas:
             raise ConfigurationError("pass either a RenderJob or config deltas, not both")
         if job.recovery is None:
-            job = RenderJob(
-                deltas=job.deltas,
-                gather_final=job.gather_final,
-                trace=job.trace,
-                fault_plan=job.fault_plan,
-                recovery=QOS_POLICIES[handle.qos],
-                schedule_policy=job.schedule_policy,
-                progress=job.progress,
-                label=job.label,
-            )
+            job = replace(job, recovery=QOS_POLICIES[handle.qos])
         feed = job.progress
         if feed is None and stream and handle.session.backend.name == "sim":
             feed = ProgressFeed()
-            job = RenderJob(
-                deltas=job.deltas,
-                gather_final=job.gather_final,
-                trace=job.trace,
-                fault_plan=job.fault_plan,
-                recovery=job.recovery,
-                schedule_policy=job.schedule_policy,
-                progress=feed,
-                label=job.label,
-            )
-        ticket = JobTicket(session, job, feed, handle.qos)
+            job = replace(job, progress=feed)
+        if deadline_s is None:
+            deadline_s = job.deadline_s
+        ticket = JobTicket(session, job, feed, handle.qos, deadline_s=deadline_s)
+        with self._admission:
+            if self._closed:
+                raise ConfigurationError("render service is shut down")
+            self._admit(ticket)
         handle.jobs_submitted += 1
-        self.pool.submit(self._execute, handle, ticket)
+        try:
+            self.pool.submit(self._execute, handle, ticket)
+        except RuntimeError as err:
+            # Admission raced a concurrent close past the pool's
+            # shutdown: settle the ticket and refuse, don't leak it.
+            with self._admission:
+                if ticket in self._queued:
+                    self._queued.remove(ticket)
+            ticket._abandon(
+                JobCancelledError(f"job {ticket.job_id} cancelled: service closing"),
+                "cancelled",
+            )
+            raise ConfigurationError("render service is shut down") from err
         return ticket
 
-    @staticmethod
-    def _execute(handle: SessionHandle, ticket: JobTicket) -> None:
+    def _execute(self, handle: SessionHandle, ticket: JobTicket) -> None:
+        with self._admission:
+            if ticket.state != "queued":
+                return  # shed or cancelled while waiting; future settled
+            ticket.state = "running"
+            try:
+                self._queued.remove(ticket)
+            except ValueError:
+                pass
+            self._running.add(ticket)
+            self._admission.notify_all()  # a queue slot freed up
         try:
+            if (
+                ticket.deadline_at is not None
+                and time.monotonic() >= ticket.deadline_at
+            ):
+                # Queued past its deadline: drop before execution.
+                raise DeadlineExceededError(
+                    f"job {ticket.job_id} spent its {ticket.deadline_s}s "
+                    "deadline in the queue; dropped before execution",
+                    deadline_s=ticket.deadline_s,
+                    elapsed=time.monotonic() - ticket.submitted_at,
+                )
+            if ticket.feed is not None and ticket.deadline_at is not None:
+                # Running-job enforcement: the engines emit at exactly
+                # their checkpoint/tile boundaries, so the feed's
+                # deadline hook aborts there.
+                ticket.feed.set_deadline(ticket.deadline_at, ticket.deadline_s)
             with handle.lock:  # one job at a time per session
                 with perf.scope() as registry:
                     result = handle.session.submit(ticket.job)
                 ticket.perf_report = registry.report()
         except BaseException as err:  # noqa: BLE001 - future carries it
-            ticket.future.set_exception(err)
+            if isinstance(err, DeadlineExceededError):
+                with self._lock:
+                    self.deadline_jobs += 1
+                self._record(
+                    "deadline", ticket,
+                    deadline_s=ticket.deadline_s, detail=str(err),
+                )
+            ticket._resolve(exc=err)
         else:
-            ticket.future.set_result(result)
+            ticket._resolve(result=result)
         finally:
             # The system layer closes the feed after a run; close again
             # here (idempotent) so a pre-run failure can't hang a stream.
             if ticket.feed is not None:
                 ticket.feed.close()
+            with self._admission:
+                self._running.discard(ticket)
+                self._admission.notify_all()
 
     # ---- lifecycle ---------------------------------------------------------
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting sessions and drain (or abandon) the pool."""
-        with self._lock:
+    def close(
+        self, *, drain: bool = True, timeout: Optional[float] = None
+    ) -> list[JobTicket]:
+        """Stop the service; returns the queued tickets it cancelled.
+
+        New admissions are refused immediately (blocked ``block``-policy
+        submitters wake and raise).  Queued-but-unstarted jobs are
+        *cancelled* — their futures resolve with
+        :class:`~repro.errors.JobCancelledError` and the tickets are
+        returned so a spool front end can re-spool them.  In-flight jobs
+        are awaited to completion under ``drain=True`` (bounded by
+        ``timeout`` when given); under ``drain=False`` the pool is
+        abandoned after a bounded thread join (default 10 s) and any
+        ticket still unresolved is settled with
+        :class:`~repro.errors.JobCancelledError` so nothing leaks.
+        """
+        with self._admission:
+            already_closed = self._closed
             self._closed = True
+            cancelled = list(self._queued)
+            self._queued.clear()
+            for ticket in cancelled:
+                # Inside the lock: a pool worker reaching _execute now
+                # sees the state flip and skips, instead of racing the
+                # cancellation below.
+                ticket.state = "cancelled"
             handles = list(self._sessions.values())
             self._sessions.clear()
-        self.pool.shutdown(wait=wait)
+            self._admission.notify_all()  # wake blocked submitters
+        for ticket in cancelled:
+            self.cancelled_jobs += 1
+            ticket._abandon(
+                JobCancelledError(
+                    f"job {ticket.job_id} cancelled: service closing "
+                    f"({'drain' if drain else 'abandon'})"
+                ),
+                "cancelled",
+            )
+            self._record("cancelled", ticket, drain=drain)
+        if not already_closed:
+            self._record("drain", None, drain=drain, cancelled=len(cancelled))
+        if drain:
+            self.pool.shutdown(wait=True, timeout=timeout)
+        else:
+            joined = self.pool.shutdown(
+                wait=True,
+                timeout=10.0 if timeout is None else timeout,
+                cancel_futures=True,
+            )
+            # Anything still unresolved after the bounded join (a wedged
+            # render, or a pool item cancel_futures dropped before
+            # _execute ran) must not leak an unsettled future.
+            leftovers = list(self._running) if not joined else []
+            with self._lock:
+                pending = [t for t in leftovers if not t.future.done()]
+            for ticket in pending:
+                ticket._abandon(
+                    JobCancelledError(
+                        f"job {ticket.job_id} abandoned: service closed "
+                        "without drain"
+                    ),
+                    "cancelled",
+                )
         for handle in handles:
             handle.session.close()
+        return cancelled
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Back-compat alias: ``close(drain=wait)``."""
+        self.close(drain=wait)
 
     def __enter__(self) -> "RenderService":
         return self
 
     def __exit__(self, *exc) -> None:
-        self.shutdown()
+        self.close(drain=True)

@@ -10,19 +10,50 @@ RenderService`, streams every progress event as a
 and finishes with ``<spool>/out/<job>.result.json`` plus the final
 image planes in ``<spool>/out/<job>.final.npz``.
 
-All writes are atomic (temp file + ``os.replace``), so a concurrent
-submitter/poller never observes a half-written document.  The claim
-rename makes multiple serving processes on one spool safe: a job is
-executed exactly once by whichever server wins the rename.
+Crash-survivability contract:
 
-This is deliberately the plainest possible transport — the CI smoke
-test drives a whole multi-session serve cycle with nothing but files.
+* **Claims are leases.**  Claiming renames ``jobs/<id>.json`` to
+  ``work/<id>.a1.json`` (attempt 1) and drops a heartbeat-stamped
+  ``work/<id>.a1.lease.json`` beside it, refreshed by a server-side
+  heartbeat thread every ``heartbeat_s``.  A server that dies (SIGKILL,
+  OOM, power loss) simply stops heartbeating.
+* **Orphan reclamation.**  Any serving process — a restart, or a
+  competitor sharing the spool — reclaims a work item whose lease is
+  older than ``lease_s`` by atomically renaming it to the next attempt
+  (``work/<id>.aN.json`` → ``work/<id>.a(N+1).json``); the rename has
+  exactly one winner, so a job is never executed by two reclaimers at
+  once.  After ``max_attempts`` expired leases the job is buried with a
+  structured failure result instead of looping forever.
+* **At most one result.**  ``<id>.result.json`` is created with an
+  *exclusive* link-into-place: if a presumed-dead server was merely
+  slow and finishes late, exactly one attempt's document lands and the
+  loser is a no-op.  The final ``.npz`` may be rewritten by the loser —
+  harmlessly, because renders are deterministic and bit-identical.
+  Competing event streams from a slow loser can tear
+  ``<id>.events.jsonl`` lines; readers drop a torn trailing record
+  (see :func:`read_events`).
+* **Whole-run resume.**  A reclaimed ``checkpoint-resume`` job (QoS
+  ``lossless``) re-renders from ``work/<id>.ckpt/`` via
+  :class:`~repro.cluster.recovery.DiskCheckpointStore` and lockstep
+  resume — all ranks restart together, which is protocol-safe even on
+  the multiprocessing substrate (unlike in-place respawn mid-run).
+* **Graceful drain.**  On SIGTERM (or a ``stop_event``) the loop stops
+  claiming, lets in-flight renders finish, and re-spools queued-but-
+  unstarted claims back into ``jobs/`` so nothing is lost and nothing
+  is double-rendered.
+
+All document writes are atomic (temp file + ``os.replace``), so a
+concurrent submitter/poller never observes a half-written document.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
+import re
+import shutil
+import signal
 import threading
 import time
 import uuid
@@ -31,13 +62,15 @@ from typing import Any, Optional
 import numpy as np
 
 from ..cluster.faults import FaultPlan
-from ..errors import ConfigurationError
+from ..cluster.recovery import DiskCheckpointStore
+from ..errors import ConfigurationError, JobCancelledError, OverloadError
 from ..pipeline.config import RunConfig
 from ..pipeline.session import RenderJob
 from .service import DEFAULT_QOS, QOS_POLICIES, RenderService
 
 __all__ = [
     "JOB_SCHEMA",
+    "LEASE_SCHEMA",
     "RESULT_SCHEMA",
     "load_result",
     "read_events",
@@ -48,8 +81,12 @@ __all__ = [
 
 JOB_SCHEMA = "repro.serve-job/1"
 RESULT_SCHEMA = "repro.serve-result/1"
+LEASE_SCHEMA = "repro.serve-lease/1"
 
 _JOBS, _WORK, _OUT = "jobs", "work", "out"
+
+#: ``work/`` entry for attempt N of a job: ``<job_id>.aN.json``.
+_WORK_RE = re.compile(r"^(?P<jid>.+)\.a(?P<n>\d+)\.json$")
 
 
 def _ensure_layout(root: str) -> None:
@@ -64,6 +101,36 @@ def _atomic_write_text(path: str, text: str) -> None:
     os.replace(tmp, path)
 
 
+def _exclusive_write_text(path: str, text: str) -> bool:
+    """Create ``path`` atomically with ``text``; False if it already
+    exists.  This is the at-most-one-result primitive: the content
+    appears fully formed (hard link of a complete temp file) and
+    creation has exactly one winner across processes."""
+    tmp = f"{path}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    try:
+        os.link(tmp, path)
+        return True
+    except FileExistsError:
+        return False
+    except OSError:
+        # Filesystem without hard links: O_EXCL create (content is not
+        # atomic, but creation still has one winner).
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return True
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
 # ---- client side ------------------------------------------------------------
 def submit_job(
     root: str,
@@ -73,8 +140,14 @@ def submit_job(
     deltas: Optional[dict[str, Any]] = None,
     fault_plan: Optional[FaultPlan] = None,
     job_id: Optional[str] = None,
+    deadline_s: Optional[float] = None,
 ) -> str:
-    """Drop one job request into the spool; returns its job id."""
+    """Drop one job request into the spool; returns its job id.
+
+    ``deadline_s`` is a wall-clock budget counted from the moment a
+    server admits the job (not from submission — the spool may sit
+    unserved indefinitely).
+    """
     if qos not in QOS_POLICIES:
         raise ConfigurationError(
             f"unknown QoS class {qos!r}; available: {sorted(QOS_POLICIES)}"
@@ -89,6 +162,7 @@ def submit_job(
         "qos": qos,
         "deltas": dict(deltas or {}),
         "fault_plan": None if fault_plan is None else fault_plan.to_dict(),
+        "deadline_s": deadline_s,
     }
     _atomic_write_text(
         os.path.join(root, _JOBS, f"{job_id}.json"), json.dumps(doc, indent=2)
@@ -107,37 +181,133 @@ def load_result(root: str, job_id: str) -> Optional[dict[str, Any]]:
 
 
 def wait_for_result(
-    root: str, job_id: str, *, timeout: float = 60.0, poll: float = 0.05
+    root: str,
+    job_id: str,
+    *,
+    timeout: float = 60.0,
+    poll: float = 0.05,
+    max_poll: float = 0.5,
 ) -> dict[str, Any]:
-    """Poll the spool until the job's result document lands."""
+    """Poll the spool until the job's result document lands.
+
+    The poll interval backs off exponentially from ``poll`` to
+    ``max_poll`` with +/-20% jitter, so many waiters on one spool don't
+    hammer the filesystem in lockstep while a long render runs.
+    """
     deadline = time.monotonic() + timeout
+    delay = poll
     while True:
         doc = load_result(root, job_id)
         if doc is not None:
             return doc
-        if time.monotonic() >= deadline:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
             raise TimeoutError(f"no result for {job_id!r} within {timeout}s")
-        time.sleep(poll)
+        time.sleep(min(delay * random.uniform(0.8, 1.2), max_poll, remaining))
+        delay = min(delay * 1.6, max_poll)
 
 
 def read_events(root: str, job_id: str) -> list[dict[str, Any]]:
-    """The job's streamed serve-event documents, in emission order."""
+    """The job's streamed serve-event documents, in emission order.
+
+    Tolerates a torn trailing record: a server killed (or still alive)
+    mid-write leaves a truncated final line, which is dropped rather
+    than raised — every *complete* line is still returned.  A malformed
+    line anywhere else is real corruption and raises.
+    """
     path = os.path.join(root, _OUT, f"{job_id}.events.jsonl")
-    events: list[dict[str, Any]] = []
     try:
         with open(path, encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    events.append(json.loads(line))
+            lines = fh.readlines()
     except FileNotFoundError:
-        pass
+        return []
+    events: list[dict[str, Any]] = []
+    last = len(lines) - 1
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == last:
+                break  # torn final record from an interrupted writer
+            raise
     return events
 
 
+# ---- leases -----------------------------------------------------------------
+def _lease_path(root: str, job_id: str, attempt: int) -> str:
+    return os.path.join(root, _WORK, f"{job_id}.a{attempt}.lease.json")
+
+
+def _write_lease(root: str, job_id: str, attempt: int, lease_s: float) -> None:
+    doc = {
+        "schema": LEASE_SCHEMA,
+        "job_id": job_id,
+        "attempt": attempt,
+        "owner_pid": os.getpid(),
+        "heartbeat_at": time.time(),
+        "lease_s": lease_s,
+    }
+    _atomic_write_text(_lease_path(root, job_id, attempt), json.dumps(doc))
+
+
+def _read_lease(root: str, job_id: str, attempt: int) -> Optional[dict[str, Any]]:
+    try:
+        with open(_lease_path(root, job_id, attempt), encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _drop_leases(root: str, job_id: str) -> None:
+    work_dir = os.path.join(root, _WORK)
+    try:
+        names = os.listdir(work_dir)
+    except OSError:
+        return
+    for name in names:
+        if name.startswith(f"{job_id}.a") and name.endswith(".lease.json"):
+            try:
+                os.remove(os.path.join(work_dir, name))
+            except OSError:
+                pass
+
+
+def _cleanup_work(root: str, work_path: str, job_id: str) -> None:
+    """Retire a finished work item: claim file, leases, checkpoints."""
+    try:
+        os.remove(work_path)
+    except OSError:
+        pass
+    _drop_leases(root, job_id)
+    shutil.rmtree(os.path.join(root, _WORK, f"{job_id}.ckpt"), ignore_errors=True)
+
+
+def _respool(root: str, work_path: str, job_id: str) -> bool:
+    """Return a claimed-but-unrendered job to ``jobs/`` (drain path).
+
+    Checkpoints are kept: if the job had started an earlier attempt its
+    next claim resumes from them.  Returns False when the work file is
+    gone (another process already reclaimed or finished it).
+    """
+    try:
+        os.replace(work_path, os.path.join(root, _JOBS, f"{job_id}.json"))
+    except OSError:
+        return False
+    _drop_leases(root, job_id)
+    return True
+
+
 # ---- server side ------------------------------------------------------------
-def _claim_next(root: str) -> Optional[str]:
-    """Atomically claim the oldest pending job file; returns its path."""
+def _claim_next(root: str) -> Optional[tuple[str, str, int]]:
+    """Atomically claim the oldest pending job file.
+
+    Returns ``(work_path, job_id, attempt)`` — the claim renames
+    ``jobs/<id>.json`` to ``work/<id>.a1.json`` so a crashed server's
+    orphan carries its attempt number in the name.
+    """
     jobs_dir = os.path.join(root, _JOBS)
     try:
         names = sorted(os.listdir(jobs_dir))
@@ -146,14 +316,94 @@ def _claim_next(root: str) -> Optional[str]:
     for name in names:
         if not name.endswith(".json"):
             continue
+        job_id = name[: -len(".json")]
         src = os.path.join(jobs_dir, name)
-        dst = os.path.join(root, _WORK, name)
+        dst = os.path.join(root, _WORK, f"{job_id}.a1.json")
         try:
             os.replace(src, dst)
         except OSError:
             continue  # another server won the claim
-        return dst
+        return dst, job_id, 1
     return None
+
+
+def _reclaim_expired(
+    root: str,
+    *,
+    lease_s: float,
+    max_attempts: int,
+    skip: "set[str] | frozenset[str]" = frozenset(),
+) -> list[tuple[str, str, int]]:
+    """Reclaim work items whose lease expired; returns new claims.
+
+    Each reclaim renames ``work/<id>.aN.json`` to
+    ``work/<id>.a(N+1).json`` — atomic, one winner — so competing
+    reclaimers never both execute a job.  Items whose result already
+    exists are retired; items past ``max_attempts`` are buried with a
+    structured failure document.
+    """
+    work_dir = os.path.join(root, _WORK)
+    try:
+        names = sorted(os.listdir(work_dir))
+    except OSError:
+        return []
+    claims: list[tuple[str, str, int]] = []
+    now = time.time()
+    for name in names:
+        if name.endswith(".lease.json"):
+            continue
+        match = _WORK_RE.match(name)
+        if match is None:
+            continue
+        job_id, attempt = match.group("jid"), int(match.group("n"))
+        if job_id in skip:
+            continue
+        path = os.path.join(work_dir, name)
+        if os.path.exists(os.path.join(root, _OUT, f"{job_id}.result.json")):
+            # Finished, but the owner died before retiring the claim.
+            _cleanup_work(root, path, job_id)
+            continue
+        lease = _read_lease(root, job_id, attempt)
+        if lease is not None:
+            age = now - float(lease.get("heartbeat_at", 0.0))
+        else:
+            # Crashed between claim-rename and first lease write: age
+            # the bare work file by mtime.
+            try:
+                age = now - os.path.getmtime(path)
+            except OSError:
+                continue
+        if age < lease_s:
+            continue
+        if attempt >= max_attempts:
+            doc = {
+                "schema": RESULT_SCHEMA,
+                "job_id": job_id,
+                "ok": False,
+                "error": "LeaseReclaimExhausted",
+                "detail": (
+                    f"lease expired on attempt {attempt}/{max_attempts}; "
+                    "giving up"
+                ),
+                "attempt": attempt,
+            }
+            _exclusive_write_text(
+                os.path.join(root, _OUT, f"{job_id}.result.json"),
+                json.dumps(doc, indent=2),
+            )
+            _cleanup_work(root, path, job_id)
+            continue
+        new_path = os.path.join(work_dir, f"{job_id}.a{attempt + 1}.json")
+        try:
+            os.replace(path, new_path)
+        except OSError:
+            continue  # another reclaimer won
+        try:
+            os.remove(_lease_path(root, job_id, attempt))
+        except OSError:
+            pass
+        claims.append((new_path, job_id, attempt + 1))
+    return claims
 
 
 def _stream_events(root: str, job_id: str, session: str, ticket) -> None:
@@ -166,29 +416,52 @@ def _stream_events(root: str, job_id: str, session: str, ticket) -> None:
             fh.flush()
 
 
-def _job_writer(root: str, job_id: str, session: str, qos: str, ticket) -> None:
-    """Writer thread body: stream events, then the result document.
+def _job_writer(
+    root: str,
+    job_id: str,
+    session: str,
+    qos: str,
+    ticket,
+    work_path: Optional[str] = None,
+    attempt: int = 1,
+) -> None:
+    """Writer thread body: stream events, result document, then retire.
 
     Ordering contract for pollers: by the time ``<job>.result.json``
     exists, ``<job>.events.jsonl`` is complete — the event stream only
     ends once the feed is closed, which happens strictly after the run
-    finishes (or fails).
+    finishes (or fails).  A *cancelled* job (service drain) writes no
+    result at all, leaving its work file for the drain path to re-spool.
     """
     _stream_events(root, job_id, session, ticket)
-    _finish_job(root, job_id, session, qos, ticket)
+    retired = _finish_job(root, job_id, session, qos, ticket, attempt=attempt)
+    if retired and work_path is not None:
+        _cleanup_work(root, work_path, job_id)
 
 
-def _finish_job(root: str, job_id: str, session: str, qos: str, ticket) -> None:
-    """Write the job's final image and result document."""
+def _finish_job(
+    root: str, job_id: str, session: str, qos: str, ticket, *, attempt: int = 1
+) -> bool:
+    """Write the job's final image and result document.
+
+    Returns True when the job is *finished* (a result document exists —
+    ours or a competing attempt's) and the claim should be retired;
+    False for a cancelled job that must be re-spooled instead.
+    """
     out_dir = os.path.join(root, _OUT)
     doc: dict[str, Any] = {
         "schema": RESULT_SCHEMA,
         "job_id": job_id,
         "session": session,
         "qos": qos,
+        "attempt": attempt,
     }
     try:
         result = ticket.result()
+    except JobCancelledError:
+        # Service drain cancelled the queued job: no result document —
+        # the job is not over, it goes back to the spool.
+        return False
     except Exception as err:  # noqa: BLE001 - reported to the client
         doc.update({"ok": False, "error": type(err).__name__, "detail": str(err)})
     else:
@@ -218,9 +491,13 @@ def _finish_job(root: str, job_id: str, session: str, qos: str, ticket) -> None:
                 "label": result.config.label(),
             }
         )
-    _atomic_write_text(
+    # Exclusive create: at most one attempt's result document ever
+    # lands.  Losing means a presumed-dead competitor finished first —
+    # fine, deterministic renders made the payloads identical.
+    _exclusive_write_text(
         os.path.join(out_dir, f"{job_id}.result.json"), json.dumps(doc, indent=2)
     )
+    return True
 
 
 def serve(
@@ -231,57 +508,171 @@ def serve(
     max_jobs: Optional[int] = None,
     idle_timeout: Optional[float] = None,
     poll: float = 0.05,
+    queue_limit: Optional[int] = None,
+    shed_policy: str = "block",
+    lease_s: float = 15.0,
+    heartbeat_s: Optional[float] = None,
+    max_attempts: int = 3,
+    stop_event: Optional[threading.Event] = None,
 ) -> int:
     """Run a serve loop over the spool; returns the number of jobs served.
 
-    Claims pending requests in name order, multiplexes them through one
-    :class:`RenderService` (sessions and QoS from each request), and
-    exits after ``max_jobs`` jobs or once the spool has been idle — no
-    pending or in-flight work — for ``idle_timeout`` seconds.  With
-    neither bound the loop serves forever (Ctrl-C to stop).
+    Claims pending requests in name order (reclaiming expired leases
+    first), multiplexes them through one :class:`RenderService`
+    (sessions and QoS from each request, admission per
+    ``queue_limit``/``shed_policy``), and exits after ``max_jobs`` jobs
+    or once the spool has been idle — no pending or in-flight work —
+    for ``idle_timeout`` seconds.  With neither bound the loop serves
+    until SIGTERM/``stop_event``, then drains gracefully: in-flight
+    renders finish, queued claims go back to ``jobs/``.
     """
     _ensure_layout(root)
+    if heartbeat_s is None:
+        heartbeat_s = max(lease_s / 3.0, 0.2)
+    stop = stop_event if stop_event is not None else threading.Event()
+    prev_handler = None
+    if threading.current_thread() is threading.main_thread():
+        try:
+            prev_handler = signal.signal(
+                signal.SIGTERM, lambda signum, frame: stop.set()
+            )
+        except (ValueError, OSError):  # pragma: no cover - exotic runtimes
+            prev_handler = None
+
     served = 0
-    pending: list[tuple[str, threading.Thread]] = []
+    inflight: dict[str, dict[str, Any]] = {}
+    inflight_lock = threading.Lock()
+    service = RenderService(
+        base_config,
+        max_workers=max_workers,
+        queue_limit=queue_limit,
+        shed_policy=shed_policy,
+    )
+
+    def _heartbeat() -> None:
+        while not stop.wait(heartbeat_s):
+            with inflight_lock:
+                live = [
+                    (jid, meta["attempt"])
+                    for jid, meta in inflight.items()
+                    if not meta["ticket"].done()
+                ]
+            for jid, attempt in live:
+                _write_lease(root, jid, attempt, lease_s)
+
+    beater = threading.Thread(target=_heartbeat, name="spool-heartbeat", daemon=True)
+    beater.start()
+
+    def _launch(work_path: str, job_id: str, attempt: int) -> bool:
+        """Admit one claimed work item; False if it could not start."""
+        nonlocal served
+        try:
+            with open(work_path, encoding="utf-8") as fh:
+                request = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return False  # claim raced away / torn write; reclaim later
+        if request.get("schema") != JOB_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported job schema {request.get('schema')!r} "
+                f"in {work_path!r} (expected {JOB_SCHEMA!r})"
+            )
+        session = str(request.get("session", "default"))
+        qos = str(request.get("qos", DEFAULT_QOS))
+        deltas = dict(request.get("deltas") or {})
+        plan_doc = request.get("fault_plan")
+        store = None
+        resume = None
+        if QOS_POLICIES.get(qos) == "checkpoint-resume" or (
+            deltas.get("recovery") == "checkpoint-resume"
+        ):
+            # Durable per-job store: a reclaimed attempt resumes the
+            # whole run in lockstep from the highest loadable common
+            # stage (compact=False keeps that stage loadable on every
+            # rank).
+            store = DiskCheckpointStore(
+                os.path.join(root, _WORK, f"{job_id}.ckpt"),
+                run_id=job_id,
+                compact=False,
+            )
+            resume = "common"
+        job = RenderJob(
+            deltas=deltas,
+            fault_plan=None if plan_doc is None else FaultPlan.from_dict(plan_doc),
+            label=job_id,
+            deadline_s=request.get("deadline_s"),
+            checkpoint_store=store,
+            resume=resume,
+        )
+        service.open_session(session, qos=qos)
+        _write_lease(root, job_id, attempt, lease_s)
+        try:
+            ticket = service.submit(session, job)
+        except OverloadError as err:
+            # reject / shed-at-the-door: the client gets a typed
+            # failure document instead of hanging.
+            doc = {
+                "schema": RESULT_SCHEMA,
+                "job_id": job_id,
+                "session": session,
+                "qos": qos,
+                "attempt": attempt,
+                "ok": False,
+                "error": type(err).__name__,
+                "detail": str(err),
+            }
+            _exclusive_write_text(
+                os.path.join(root, _OUT, f"{job_id}.result.json"),
+                json.dumps(doc, indent=2),
+            )
+            _cleanup_work(root, work_path, job_id)
+            return False
+        except ConfigurationError:
+            # Service closed under us (stop raced the claim): re-spool.
+            _respool(root, work_path, job_id)
+            return False
+        writer = threading.Thread(
+            target=_job_writer,
+            args=(root, job_id, session, qos, ticket, work_path, attempt),
+            name=f"spool-writer-{job_id}",
+            daemon=True,
+        )
+        writer.start()
+        with inflight_lock:
+            inflight[job_id] = {
+                "ticket": ticket,
+                "work_path": work_path,
+                "attempt": attempt,
+                "writer": writer,
+            }
+        served += 1
+        return True
+
     last_activity = time.monotonic()
-    with RenderService(base_config, max_workers=max_workers) as service:
-        while True:
+    last_reclaim = -float("inf")
+    try:
+        while not stop.is_set():
+            if max_jobs is not None and served >= max_jobs:
+                break
+            now = time.monotonic()
+            if now - last_reclaim >= heartbeat_s:
+                last_reclaim = now
+                with inflight_lock:
+                    own = set(inflight)
+                for claim in _reclaim_expired(
+                    root, lease_s=lease_s, max_attempts=max_attempts, skip=own
+                ):
+                    if _launch(*claim):
+                        last_activity = time.monotonic()
+                if stop.is_set() or (max_jobs is not None and served >= max_jobs):
+                    continue
             claimed = _claim_next(root)
             if claimed is not None:
-                with open(claimed, encoding="utf-8") as fh:
-                    request = json.load(fh)
-                if request.get("schema") != JOB_SCHEMA:
-                    raise ConfigurationError(
-                        f"unsupported job schema {request.get('schema')!r} "
-                        f"in {claimed!r} (expected {JOB_SCHEMA!r})"
-                    )
-                job_id = str(request["job_id"])
-                session = str(request.get("session", "default"))
-                qos = str(request.get("qos", DEFAULT_QOS))
-                plan_doc = request.get("fault_plan")
-                job = RenderJob(
-                    deltas=dict(request.get("deltas") or {}),
-                    fault_plan=(
-                        None if plan_doc is None else FaultPlan.from_dict(plan_doc)
-                    ),
-                    label=job_id,
-                )
-                service.open_session(session, qos=qos)
-                ticket = service.submit(session, job)
-                writer = threading.Thread(
-                    target=_job_writer,
-                    args=(root, job_id, session, qos, ticket),
-                    name=f"spool-writer-{job_id}",
-                    daemon=True,
-                )
-                writer.start()
-                pending.append((job_id, writer))
-                served += 1
-                last_activity = time.monotonic()
-                if max_jobs is not None and served >= max_jobs:
-                    break
-                continue  # drain the queue before sleeping
-            if service.pool.jobs_active > 0:
+                if _launch(*claimed):
+                    last_activity = time.monotonic()
+                continue  # drain the backlog before sleeping
+            with inflight_lock:
+                busy = any(not m["ticket"].done() for m in inflight.values())
+            if busy or service.pool.jobs_active > 0:
                 last_activity = time.monotonic()
             elif (
                 idle_timeout is not None
@@ -289,8 +680,36 @@ def serve(
             ):
                 break
             time.sleep(poll)
-    # Service shutdown drained the pool; join the writers so every
-    # events.jsonl + result.json pair is complete before we return.
-    for _, writer in pending:
-        writer.join(timeout=30.0)
+    finally:
+        interrupted = stop.is_set()
+        stop.set()
+        if not interrupted:
+            # Natural exit (max_jobs / idle): every admitted job still
+            # completes — only an interrupt cancels queued work.
+            with inflight_lock:
+                metas = list(inflight.items())
+            for _, meta in metas:
+                try:
+                    meta["ticket"].result()
+                except Exception:  # noqa: BLE001 - writer reports it
+                    pass
+        # Drain: running jobs finish, queued tickets come back cancelled.
+        cancelled = service.close(drain=True)
+        cancelled_ids = {t.job.label for t in cancelled}
+        with inflight_lock:
+            metas = list(inflight.items())
+        # Writers observe the settled futures/closed feeds and exit;
+        # join them so every events/result pair is complete (or the
+        # cancelled job's work file is provably untouched) on return.
+        for _, meta in metas:
+            meta["writer"].join(timeout=30.0)
+        for job_id, meta in metas:
+            if job_id in cancelled_ids or meta["ticket"].state == "cancelled":
+                served -= 1 if _respool(root, meta["work_path"], job_id) else 0
+        beater.join(timeout=heartbeat_s + 1.0)
+        if prev_handler is not None:
+            try:
+                signal.signal(signal.SIGTERM, prev_handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
     return served

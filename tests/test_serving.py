@@ -10,11 +10,24 @@ bit-identically); and the file-spool front end round-trips jobs,
 events, and results through nothing but a directory.
 """
 
+import json
+import os
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.cluster.faults import FaultPlan, FaultRule
-from repro.errors import ConfigurationError, RankFailedError
+from repro.cluster.progress import ProgressFeed
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    JobCancelledError,
+    JobRejectedError,
+    JobShedError,
+    RankFailedError,
+)
 from repro.pipeline.config import RunConfig
 from repro.pipeline.session import RenderJob
 from repro.pipeline.system import SortLastSystem
@@ -22,6 +35,7 @@ from repro.serving import (
     ProgressiveFrame,
     QOS_POLICIES,
     RenderService,
+    SHED_POLICIES,
     WorkerPool,
     read_events,
     serve,
@@ -271,6 +285,253 @@ class TestSpool:
     def test_submit_rejects_unknown_qos(self, tmp_path):
         with pytest.raises(ConfigurationError, match="QoS"):
             submit_job(str(tmp_path), qos="platinum")
+
+
+def _blocked_service(**service_kw):
+    """A service whose single pool worker is parked on a gate, so every
+    submitted job stays deterministically queued until the gate opens."""
+    service = RenderService(_cfg(), max_workers=1, **service_kw)
+    gate = threading.Event()
+    started = threading.Event()
+
+    def _block():
+        started.set()
+        gate.wait(60)
+
+    service.pool.submit(_block)
+    assert started.wait(10)
+    return service, gate
+
+
+class TestAdmission:
+    def test_policies_are_a_lattice(self):
+        assert SHED_POLICIES == ("block", "reject", "shed-lowest-qos")
+        with pytest.raises(ConfigurationError, match="shed policy"):
+            RenderService(_cfg(), shed_policy="lifo")
+        with pytest.raises(ConfigurationError, match="queue_limit"):
+            RenderService(_cfg(), queue_limit=0)
+
+    def test_reject_turns_away_the_overflow_arrival(self):
+        service, gate = _blocked_service(queue_limit=2, shed_policy="reject")
+        try:
+            kept = [service.submit("s", rot_y=float(i)) for i in range(2)]
+            with pytest.raises(JobRejectedError) as exc:
+                service.submit("s", rot_y=99.0)
+            assert exc.value.queue_limit == 2
+            assert service.rejected_jobs == 1
+            kinds = [e["kind"] for e in service.events]
+            assert kinds.count("rejected") == 1
+            assert all(e["schema"] == "repro.serve-event/1" for e in service.events)
+            gate.set()
+            for ticket in kept:
+                assert ticket.result(timeout=120).config is not None
+        finally:
+            gate.set()
+            service.close()
+
+    def test_shed_lowest_qos_evicts_a_lower_priority_job(self):
+        service, gate = _blocked_service(
+            queue_limit=2, shed_policy="shed-lowest-qos"
+        )
+        try:
+            service.open_session("cheap", qos="degrade")
+            service.open_session("vip", qos="lossless")
+            victim_a = service.submit("cheap", rot_y=1.0)
+            victim_b = service.submit("cheap", rot_y=2.0)
+            vip = service.submit("vip", rot_y=3.0)
+            # The newest of the lowest-QoS queued jobs was evicted, and
+            # its client got a typed error instead of a hang.
+            with pytest.raises(JobShedError):
+                victim_b.result(timeout=10)
+            assert victim_b.state == "shed"
+            assert service.shed_jobs == 1
+            shed_events = [e for e in service.events if e["kind"] == "shed"]
+            assert len(shed_events) == 1
+            assert shed_events[0]["job_id"] == victim_b.job_id
+            assert shed_events[0]["shed_for"] == vip.job_id
+            # An equal-priority arrival outranks nobody: rejected.
+            with pytest.raises(JobRejectedError):
+                service.submit("cheap", rot_y=4.0)
+            gate.set()
+            assert victim_a.result(timeout=120).config.rot_y == 1.0
+            assert vip.result(timeout=120).config.rot_y == 3.0
+        finally:
+            gate.set()
+            service.close()
+
+    def test_block_backpressures_until_a_slot_frees(self):
+        service, gate = _blocked_service(queue_limit=1, shed_policy="block")
+        try:
+            first = service.submit("s", rot_y=1.0)
+            admitted = []
+
+            def _submit_second():
+                admitted.append(service.submit("s", rot_y=2.0))
+
+            blocked = threading.Thread(target=_submit_second)
+            blocked.start()
+            blocked.join(timeout=0.3)
+            assert blocked.is_alive(), "full queue should block the submitter"
+            gate.set()  # worker frees the slot; the parked submit admits
+            blocked.join(timeout=60)
+            assert not blocked.is_alive()
+            assert first.result(timeout=120).config.rot_y == 1.0
+            assert admitted[0].result(timeout=120).config.rot_y == 2.0
+            assert service.shed_jobs == service.rejected_jobs == 0
+        finally:
+            gate.set()
+            service.close()
+
+
+class TestDeadlines:
+    def test_queued_past_deadline_is_dropped_before_execution(self):
+        service, gate = _blocked_service()
+        try:
+            late = service.submit("s", deadline_s=0.05, rot_y=1.0)
+            time.sleep(0.2)
+            gate.set()
+            with pytest.raises(DeadlineExceededError, match="in the queue"):
+                late.result(timeout=30)
+            assert service.deadline_jobs == 1
+            assert [e["kind"] for e in service.events] == ["deadline"]
+        finally:
+            gate.set()
+            service.close()
+
+    def test_running_job_aborts_at_a_progress_boundary(self):
+        """An already-expired feed deadline fires at the first tile or
+        stage boundary the engines emit — mid-run, typed, no hang."""
+        feed = ProgressFeed()
+        feed.set_deadline(time.monotonic() - 1.0, 0.001)
+        with RenderService(_cfg(), max_workers=1) as service:
+            ticket = service.submit(
+                "s", RenderJob(progress=feed, deltas={"method": "tile-routed:rle"})
+            )
+            with pytest.raises(DeadlineExceededError, match="boundary"):
+                ticket.result(timeout=120)
+            assert ticket.feed.closed
+
+    def test_generous_deadline_does_not_interfere(self):
+        with RenderService(_cfg(), max_workers=1) as service:
+            ticket = service.submit("s", deadline_s=300.0)
+            result = ticket.result(timeout=120)
+        assert result.final_image is not None
+        one_shot = SortLastSystem(_cfg()).run()
+        assert np.array_equal(
+            result.final_image.intensity, one_shot.final_image.intensity
+        )
+
+
+class TestDrain:
+    def test_close_cancels_queued_jobs_and_returns_them(self):
+        service, gate = _blocked_service()
+        try:
+            queued = [service.submit("s", rot_y=float(i)) for i in range(3)]
+            gate.set()  # let the blocker finish so drain can complete
+            cancelled = service.close(drain=True)
+        finally:
+            gate.set()
+        # Every queued ticket resolved — a drained client never hangs.
+        assert {t.job_id for t in cancelled} <= {t.job_id for t in queued}
+        for ticket in queued:
+            assert ticket.done()
+            if ticket in cancelled:
+                with pytest.raises(JobCancelledError):
+                    ticket.result(timeout=1)
+                assert ticket.state == "cancelled"
+        assert any(e["kind"] == "drain" for e in service.events)
+
+    def test_abandon_resolves_leftovers_with_a_bounded_join(self):
+        service, gate = _blocked_service()
+        try:
+            queued = [service.submit("s", rot_y=float(i)) for i in range(2)]
+            t0 = time.monotonic()
+            service.close(drain=False, timeout=0.5)
+            assert time.monotonic() - t0 < 30.0
+            for ticket in queued:
+                with pytest.raises(JobCancelledError):
+                    ticket.result(timeout=1)
+        finally:
+            gate.set()
+
+    def test_submit_after_close_is_refused(self):
+        service = RenderService(_cfg(), max_workers=1)
+        service.close()
+        with pytest.raises(ConfigurationError, match="shut down"):
+            service.submit("s")
+
+    def test_blocked_submitter_wakes_on_close(self):
+        service, gate = _blocked_service(queue_limit=1, shed_policy="block")
+        try:
+            service.submit("s", rot_y=1.0)
+            outcome = []
+
+            def _submit_blocked():
+                try:
+                    service.submit("s", rot_y=2.0)
+                    outcome.append("admitted")
+                except ConfigurationError:
+                    outcome.append("refused")
+
+            blocked = threading.Thread(target=_submit_blocked)
+            blocked.start()
+            time.sleep(0.2)
+            gate.set()
+            service.close(drain=True)
+            blocked.join(timeout=30)
+            assert not blocked.is_alive()
+            assert outcome and outcome[0] in ("admitted", "refused")
+        finally:
+            gate.set()
+
+
+class TestTornSpoolWrites:
+    def _events_path(self, spool, job_id):
+        return os.path.join(spool, "out", f"{job_id}.events.jsonl")
+
+    def test_torn_trailing_record_is_dropped(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        job_id = submit_job(spool, deltas={"method": "tile-routed:rle"})
+        serve(spool, _cfg(), max_workers=1, max_jobs=1, idle_timeout=10.0)
+        intact = read_events(spool, job_id)
+        assert intact and intact[-1]["kind"] == "final"
+        # A server killed mid-write leaves a truncated final line.
+        with open(self._events_path(spool, job_id), "a", encoding="utf-8") as fh:
+            fh.write('{"schema": "repro.serve-ev')
+        assert read_events(spool, job_id) == intact
+
+    def test_torn_log_still_replays_to_a_frame(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        job_id = submit_job(spool, deltas={"method": "tile-routed:rle"})
+        serve(spool, _cfg(), max_workers=1, max_jobs=1, idle_timeout=10.0)
+        path = self._events_path(spool, job_id)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        # Truncate mid-record: drop the final event and tear the one
+        # before it in half.
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:-2])
+            fh.write(lines[-2][: len(lines[-2]) // 2])
+        events = read_events(spool, job_id)
+        assert len(events) == len(lines) - 2
+        frame = ProgressiveFrame.replay(events, 64, 64)
+        assert not frame.finalized
+        assert frame.events_applied == len(events)
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        os.makedirs(os.path.join(spool, "out"))
+        with open(self._events_path(spool, "job-x"), "w", encoding="utf-8") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"schema": "repro.serve-event/1"}) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_events(spool, "job-x")
+
+    def test_wait_for_result_times_out_cleanly(self, tmp_path):
+        t0 = time.monotonic()
+        with pytest.raises(TimeoutError, match="job-none"):
+            wait_for_result(str(tmp_path), "job-none", timeout=0.3, poll=0.01)
+        assert time.monotonic() - t0 < 5.0
 
 
 class TestWorkerPool:

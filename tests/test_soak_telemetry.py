@@ -48,6 +48,7 @@ class TestIterationRecords:
         rc = soak.main(
             [
                 "--iterations", "3",
+                "--serve-jobs", "0",
                 "--artifacts", str(tmp_path / "artifacts"),
                 "--archive", str(archive),
             ]
@@ -72,6 +73,7 @@ class TestIterationRecords:
         rc = soak.main(
             [
                 "--iterations", "4",
+                "--serve-jobs", "0",
                 "--artifacts", str(tmp_path / "artifacts"),
                 "--archive", str(archive),
             ]
@@ -89,6 +91,7 @@ class TestIterationRecords:
         soak.main(
             [
                 "--iterations", "2",
+                "--serve-jobs", "0",
                 "--offset-step", "5",
                 "--artifacts", str(tmp_path / "a"),
                 "--archive", str(tmp_path / "s.json"),
@@ -104,6 +107,7 @@ class TestIterationRecords:
         rc = soak.main(
             [
                 "--iterations", "1",
+                "--serve-jobs", "0",
                 "--artifacts", str(artifacts),
                 "--archive", str(tmp_path / "s.json"),
             ]
@@ -131,6 +135,7 @@ class TestArchiveWrites:
         soak.main(
             [
                 "--iterations", "3",
+                "--serve-jobs", "0",
                 "--artifacts", str(tmp_path / "a"),
                 "--archive", str(archive),
             ]
@@ -164,6 +169,7 @@ class TestCommandLine:
             [
                 "--minutes", "0",
                 "--iterations", "2",
+                "--serve-jobs", "0",
                 "--artifacts", str(tmp_path / "a"),
                 "--archive", str(tmp_path / "s.json"),
             ]
@@ -175,5 +181,71 @@ class TestCommandLine:
         monkeypatch.setattr(soak.subprocess, "run", fake_run([0]))
         monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "0")
         artifacts = tmp_path / "arts"
-        soak.main(["--iterations", "1", "--artifacts", str(artifacts)])
+        soak.main(["--iterations", "1", "--serve-jobs", "0", "--artifacts", str(artifacts)])
         assert (artifacts / "soak-summary.json").exists()
+
+
+class TestServeSweepTelemetry:
+    def test_serve_block_feeds_archive_totals(self, soak, monkeypatch, tmp_path):
+        monkeypatch.setattr(soak.subprocess, "run", fake_run([0]))
+        monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "0")
+        sweeps = []
+
+        def fake_sweep(offset, jobs, artifacts):
+            sweeps.append((offset, jobs))
+            return {
+                "jobs": jobs, "settled": jobs, "rendered": jobs - 1,
+                "shed": 1, "reclaimed": 1,
+                "shed_rate": 1 / jobs, "reclaim_rate": 1 / jobs,
+                "ok": True,
+            }
+
+        monkeypatch.setattr(soak, "run_serve_sweep", fake_sweep)
+        archive = tmp_path / "s.json"
+        rc = soak.main(
+            [
+                "--iterations", "2",
+                "--serve-jobs", "4",
+                "--artifacts", str(tmp_path / "a"),
+                "--archive", str(archive),
+            ]
+        )
+        assert rc == 0
+        assert sweeps == [(0, 4), (soak.MATRIX_SEEDS, 4)]
+        doc = json.loads(archive.read_text())
+        serve_totals = doc["totals"]["serve"]
+        assert serve_totals["jobs"] == 8
+        assert serve_totals["shed"] == 2 and serve_totals["reclaimed"] == 2
+        assert serve_totals["shed_rate"] == 0.25
+        assert serve_totals["reclaim_rate"] == 0.25
+        assert serve_totals["failures"] == 0
+        for it in doc["iterations"]:
+            assert it["serve"]["ok"] is True
+
+    def test_failing_serve_sweep_fails_the_iteration(self, soak, monkeypatch, tmp_path):
+        monkeypatch.setattr(soak.subprocess, "run", fake_run([0]))
+        monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "0")
+        monkeypatch.setattr(
+            soak, "run_serve_sweep",
+            lambda *a: {
+                "jobs": 4, "settled": 3, "rendered": 3, "shed": 0,
+                "reclaimed": 0, "shed_rate": 0.0, "reclaim_rate": 0.0,
+                "ok": False, "error": "one job never settled",
+            },
+        )
+        rc = soak.main(
+            [
+                "--iterations", "1",
+                "--serve-jobs", "4",
+                "--artifacts", str(tmp_path / "a"),
+                "--archive", str(tmp_path / "s.json"),
+            ]
+        )
+        assert rc == 1
+
+    def test_summarize_tolerates_records_without_serve(self, soak):
+        totals = soak.summarize(
+            [{"offset": 0, "seconds": 1.0, "ok": True, "returncode": 0}]
+        )
+        assert totals["serve"]["jobs"] == 0
+        assert totals["serve"]["shed_rate"] == 0.0

@@ -17,6 +17,12 @@ traces under ``fail-<offset>/sched-traces/`` — right next to the
 regenerated fault plans — and the per-iteration explorer counts feed an
 ``explorer`` flake-rate block in the archive totals.
 
+Each iteration further runs a serve-mode burst through the real file
+spool (:func:`run_serve_sweep`): a seed-derived job burst under a
+bounded admission queue with one pre-forged expired orphan claim, so
+overload shedding and lease reclamation both fire nightly; the
+shed/reclaim rates land in a ``serve`` block of the archive totals.
+
 Every run also writes a ``repro.soak-summary/1`` archive JSON
 (``--archive``, default ``<artifacts>/soak-summary.json``) holding one
 record per iteration — seed offset, wall seconds, pass/fail, explorer
@@ -64,6 +70,9 @@ ARCHIVE_SCHEMA = "repro.soak-summary/1"
 #: Per-iteration schedule-exploration sweep width (0 disables).
 EXPLORE_INTERLEAVINGS = 4
 EXPLORE_RANKS = 8
+
+#: Per-iteration serve-mode burst size (0 disables).
+SERVE_JOBS = 4
 
 
 def _pytest_command(offset: int, timeout_flag: bool) -> list[str]:
@@ -153,6 +162,78 @@ def run_explorer_sweep(offset: int, interleavings: int, artifacts: str) -> dict:
         sys.path.pop(0)
 
 
+def run_serve_sweep(offset: int, jobs: int, artifacts: str) -> dict:
+    """One serve-mode soak burst: overload + lease-reclaim through the
+    real file spool.
+
+    Submits a seed-derived burst of jobs (one pre-forged as an expired
+    orphaned claim, so reclamation fires every iteration) and serves
+    them under a bounded queue with the ``reject`` policy.  Returns the
+    shed/reclaim telemetry that feeds the archive's ``serve`` block:
+    every job must *settle* — a rendered result or a typed
+    rejection — for the sweep to count as ok.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        import tempfile
+
+        from repro.pipeline.config import RunConfig
+        from repro.serving import load_result, serve, submit_job
+
+        with tempfile.TemporaryDirectory(prefix=f"soak-serve-{offset}-") as spool:
+            cfg = RunConfig(
+                dataset="sphere", image_size=48, num_ranks=4,
+                method="bsbrc", volume_shape=(32, 32, 16),
+            )
+            job_ids = [
+                submit_job(
+                    spool,
+                    job_id=f"soak-{offset}-{i}",
+                    deltas={"rot_y": float((offset + i * 7) % 90)},
+                )
+                for i in range(jobs)
+            ]
+            # Forge one expired orphan (a crashed server's claim with a
+            # long-dead lease) so reclamation runs on every sweep.
+            orphan = os.path.join(spool, "work", f"{job_ids[0]}.a1.json")
+            os.replace(os.path.join(spool, "jobs", f"{job_ids[0]}.json"), orphan)
+            ancient = time.time() - 3600
+            os.utime(orphan, (ancient, ancient))
+            serve(
+                spool, cfg, max_workers=2,
+                queue_limit=max(2, jobs // 2), shed_policy="reject",
+                lease_s=1.0, idle_timeout=2.0, poll=0.01,
+            )
+            docs = [load_result(spool, job_id) for job_id in job_ids]
+            settled = sum(1 for d in docs if d is not None)
+            rendered = sum(1 for d in docs if d and d.get("ok"))
+            shed = sum(
+                1 for d in docs
+                if d and not d.get("ok")
+                and d.get("error") in ("JobRejectedError", "JobShedError")
+            )
+            reclaimed = sum(1 for d in docs if d and d.get("attempt", 1) > 1)
+            return {
+                "jobs": jobs,
+                "settled": settled,
+                "rendered": rendered,
+                "shed": shed,
+                "reclaimed": reclaimed,
+                "shed_rate": shed / jobs if jobs else 0.0,
+                "reclaim_rate": reclaimed / jobs if jobs else 0.0,
+                "ok": settled == jobs and rendered >= 1 and reclaimed >= 1,
+            }
+    except Exception as exc:  # a serve crash is itself a failure
+        return {
+            "jobs": jobs, "settled": 0, "rendered": 0,
+            "shed": 0, "reclaimed": 0,
+            "shed_rate": 0.0, "reclaim_rate": 0.0,
+            "error": repr(exc), "ok": False,
+        }
+    finally:
+        sys.path.pop(0)
+
+
 def summarize(iterations: list[dict]) -> dict:
     """Aggregate per-iteration records into the archive's totals block."""
     count = len(iterations)
@@ -161,6 +242,12 @@ def summarize(iterations: list[dict]) -> dict:
     explored = sum(it.get("explorer", {}).get("interleavings", 0) for it in iterations)
     explorer_failures = sum(
         it.get("explorer", {}).get("failures", 0) for it in iterations
+    )
+    serve_jobs = sum(it.get("serve", {}).get("jobs", 0) for it in iterations)
+    serve_shed = sum(it.get("serve", {}).get("shed", 0) for it in iterations)
+    serve_reclaimed = sum(it.get("serve", {}).get("reclaimed", 0) for it in iterations)
+    serve_failures = sum(
+        1 for it in iterations if it.get("serve") and not it["serve"]["ok"]
     )
     return {
         "iterations": count,
@@ -173,6 +260,14 @@ def summarize(iterations: list[dict]) -> dict:
             "interleavings": explored,
             "failures": explorer_failures,
             "flake_rate": (explorer_failures / explored) if explored else 0.0,
+        },
+        "serve": {
+            "jobs": serve_jobs,
+            "shed": serve_shed,
+            "reclaimed": serve_reclaimed,
+            "failures": serve_failures,
+            "shed_rate": (serve_shed / serve_jobs) if serve_jobs else 0.0,
+            "reclaim_rate": (serve_reclaimed / serve_jobs) if serve_jobs else 0.0,
         },
     }
 
@@ -201,6 +296,7 @@ def run_iteration(
     artifacts: str,
     *,
     explore_interleavings: int = EXPLORE_INTERLEAVINGS,
+    serve_jobs: int = SERVE_JOBS,
 ) -> dict:
     """One soak iteration: run the suites at ``offset``, record telemetry."""
     env = dict(env_base, REPRO_CHAOS_SEED_OFFSET=str(offset))
@@ -217,15 +313,24 @@ def run_iteration(
     explorer = None
     if explore_interleavings > 0:
         explorer = run_explorer_sweep(offset, explore_interleavings, artifacts)
+    serve_record = None
+    if serve_jobs > 0:
+        serve_record = run_serve_sweep(offset, serve_jobs, artifacts)
     elapsed = time.monotonic() - started
     record = {
         "offset": offset,
         "seconds": round(elapsed, 3),
-        "ok": suites_ok and (explorer is None or explorer["ok"]),
+        "ok": (
+            suites_ok
+            and (explorer is None or explorer["ok"])
+            and (serve_record is None or serve_record["ok"])
+        ),
         "returncode": proc.returncode,
     }
     if explorer is not None:
         record["explorer"] = explorer
+    if serve_record is not None:
+        record["serve"] = serve_record
     return record
 
 
@@ -257,6 +362,12 @@ def main(argv: list[str] | None = None) -> int:
         help="random schedule interleavings explored per iteration "
              f"(default: {EXPLORE_INTERLEAVINGS}; 0 disables the sweep)",
     )
+    parser.add_argument(
+        "--serve-jobs", type=int, default=SERVE_JOBS,
+        help="serve-mode burst size per iteration: spool jobs pushed "
+             "through overload + lease reclamation, shed/reclaim rates "
+             f"archived (default: {SERVE_JOBS}; 0 disables the sweep)",
+    )
     args = parser.parse_args(argv)
     archive = args.archive or os.path.join(args.artifacts, "soak-summary.json")
 
@@ -277,6 +388,7 @@ def main(argv: list[str] | None = None) -> int:
         record = run_iteration(
             offset, env_base, timeout_flag, args.artifacts,
             explore_interleavings=args.explore_interleavings,
+            serve_jobs=args.serve_jobs,
         )
         records.append(record)
         status = "ok" if record["ok"] else f"FAIL rc={record['returncode']}"
@@ -285,6 +397,13 @@ def main(argv: list[str] | None = None) -> int:
             status += (
                 f" explore={explorer['interleavings'] - explorer['failures']}"
                 f"/{explorer['interleavings']}"
+            )
+        serve_record = record.get("serve")
+        if serve_record is not None:
+            status += (
+                f" serve={serve_record['settled']}/{serve_record['jobs']}"
+                f" shed={serve_record['shed']}"
+                f" reclaimed={serve_record['reclaimed']}"
             )
         print(
             f"[soak] iteration {len(records)} offset={offset} "
@@ -308,6 +427,14 @@ def main(argv: list[str] | None = None) -> int:
             f"[soak] explorer: {explorer_totals['interleavings']} interleavings, "
             f"{explorer_totals['failures']} failing "
             f"(flake rate {explorer_totals['flake_rate']:.1%})"
+        )
+    serve_totals = totals["serve"]
+    if serve_totals["jobs"]:
+        print(
+            f"[soak] serve: {serve_totals['jobs']} spool jobs, "
+            f"shed rate {serve_totals['shed_rate']:.1%}, "
+            f"reclaim rate {serve_totals['reclaim_rate']:.1%}, "
+            f"{serve_totals['failures']} failing sweeps"
         )
     print(f"[soak] archive at {archive}")
     if totals["failures"]:
